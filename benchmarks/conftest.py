@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures.
+
+The experiment context (world, study, signatures) is built once per
+session at the canonical study scale — 2048-cell raster, 7 zoom levels,
+18 users.  Set ``REPRO_SIZE`` / ``REPRO_USERS`` to downscale for quicker
+runs; every result keeps its shape, absolute trace counts shrink.
+
+Each benchmark prints the rows/series the paper's table or figure
+reports (captured with ``-s`` or in the benchmark summary), and times a
+representative unit of work with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runner import latency_points as compute_latency_points
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """The full experiment context (memoized across the session)."""
+    return ExperimentContext.default()
+
+
+@pytest.fixture(scope="session")
+def latency_points(context):
+    """(points, accuracy results) shared by Figures 12 and 13."""
+    return compute_latency_points(context)
+
+
+def print_report(*artifacts) -> None:
+    """Print report objects with spacing (shown with ``pytest -s``)."""
+    for artifact in artifacts:
+        print()
+        print(artifact)
+
+
+def is_full_scale(context: ExperimentContext) -> bool:
+    """True when running at the canonical study scale.
+
+    Some of the paper's qualitative shapes (trace-length ordering across
+    tasks, the multi-descent sawtooth) only emerge at the full 2048-cell
+    world where the tasks have their calibrated difficulty; downscaled
+    runs check the machinery but skip those assertions.
+    """
+    pyramid = context.pyramid
+    world_side = pyramid.tile_size * (2 ** (pyramid.num_levels - 1))
+    return world_side >= 2048 and len(context.study.user_ids) >= 12

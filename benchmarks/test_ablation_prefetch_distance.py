@@ -1,0 +1,24 @@
+"""Prefetch-distance ablation (Section 5.2.2).
+
+The paper found that predicting more than one move ahead "did not
+actually improve accuracy" — fetching d=2 candidates spends budget on
+tiles two moves away while the user's next request is always one move
+away.  Shape to reproduce: d=2 accuracy <= d=1 accuracy at equal k.
+"""
+
+from conftest import print_report
+
+from repro.experiments.runner import run_prefetch_distance_ablation
+
+
+def test_ablation_prefetch_distance(context, benchmark):
+    table = benchmark.pedantic(
+        lambda: run_prefetch_distance_ablation(context, ks=(4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    print_report(table)
+
+    series = {int(r[0]): [float(v) for v in r[1:]] for r in table.rows}
+    for i in range(len(series[1])):
+        assert series[2][i] <= series[1][i] + 0.01

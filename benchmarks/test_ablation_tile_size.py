@@ -1,0 +1,54 @@
+"""Tile-size ablation (Section 2.3's future-work question).
+
+Bigger tiles mean fewer tiles fit in a fixed-size cache (smaller
+effective k) but each fetch moves more data; smaller tiles allow more
+prefetch slots.  With a fixed memory budget, accuracy per budget should
+favor smaller tiles, while per-tile fetch cost grows with tile size.
+"""
+
+from conftest import print_report
+
+from repro.experiments.report import Table
+from repro.modis.dataset import MODISDataset, NDSI_ATTRIBUTES
+
+
+def test_ablation_tile_size(benchmark):
+    size = 256
+    budget_bytes = 9 * (32 * 32 * len(NDSI_ATTRIBUTES) * 8)  # 9 tiles at 32px
+
+    table = Table(
+        ["tile_size", "levels", "total_tiles", "bytes_per_tile", "tiles_in_budget"],
+        title="Ablation: tile size vs cache capacity (fixed memory budget)",
+    )
+    reports = {}
+    for tile_size in (16, 32, 64):
+        dataset = MODISDataset.build(
+            size=size, tile_size=tile_size, days=1, seed=7
+        )
+        sample = dataset.pyramid.fetch_tile(
+            dataset.pyramid.grid.root, charge=False
+        )
+        tiles_in_budget = budget_bytes // sample.nbytes
+        reports[tile_size] = (
+            dataset.num_levels,
+            dataset.pyramid.grid.total_tiles(),
+            sample.nbytes,
+            tiles_in_budget,
+        )
+        table.add_row(tile_size, *reports[tile_size])
+    print_report(table)
+
+    # Halving the tile size adds a level and quadruples the tile count.
+    assert reports[16][0] == reports[32][0] + 1 == reports[64][0] + 2
+    # Smaller tiles -> more prefetch slots under the same memory budget.
+    assert reports[16][3] > reports[32][3] > reports[64][3]
+    # The k=9 guarantee needs 9 slots: only feasible at 16/32px here.
+    assert reports[32][3] >= 9
+    assert reports[64][3] < 9
+
+    # Unit of work: building a small pyramid at the default tile size.
+    benchmark.pedantic(
+        lambda: MODISDataset.build(size=128, tile_size=32, days=1, seed=11),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,34 @@
+"""Figure 10c: the full two-level engine vs its best components.
+
+Shape to reproduce: the hybrid matches the best individual model in
+each phase — AB-level accuracy in Navigation/Foraging, SB-level in
+Sensemaking — instead of being dragged down by either.
+"""
+
+from conftest import print_report
+
+from repro.experiments.runner import HYBRID_SIGNATURE, run_figure10c
+
+
+def test_figure10c_hybrid_vs_components(context, benchmark):
+    def compute():
+        return run_figure10c(context)
+
+    tables = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_report(*tables)
+
+    by_phase = {t.title.split("— ")[-1]: t for t in tables}
+    sb_name = f"sb:{HYBRID_SIGNATURE}"
+
+    nav = {r[0]: [float(v) for v in r[1:]] for r in by_phase["navigation"].rows}
+    sense = {r[0]: [float(v) for v in r[1:]] for r in by_phase["sensemaking"].rows}
+    overall = {r[0]: [float(v) for v in r[1:]] for r in by_phase["overall"].rows}
+
+    # Hybrid ~ AB in navigation (within a few points at k=5).
+    assert nav["hybrid"][4] >= nav["markov3"][4] - 0.05
+    # Hybrid matches the better component in sensemaking at k=5.
+    assert sense["hybrid"][4] >= min(sense[sb_name][4], sense["markov3"][4]) - 0.05
+    # Overall, the hybrid is far above the weaker component and within
+    # a whisker of the stronger one at the paper's headline k=5.
+    assert overall["hybrid"][4] >= overall[sb_name][4]
+    assert overall["hybrid"][4] >= overall["markov3"][4] - 0.03

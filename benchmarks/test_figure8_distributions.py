@@ -1,0 +1,36 @@
+"""Figure 8: move and phase distributions per task.
+
+Shapes to reproduce: zooming-in takes the largest share of moves in
+every task; task 1 (US) has the most requests; task 3 (South America)
+favors panning over zooming out; Foraging's share shrinks in tasks 2-3.
+"""
+
+from conftest import is_full_scale, print_report
+
+from repro.experiments.runner import run_figure8
+from repro.users.study import run_study
+
+
+def test_figure8_distributions(context, benchmark):
+    move_table, phase_table, user_table = run_figure8(context)
+    print_report(move_table, phase_table)
+
+    rows = {int(r[0]): [float(v) for v in r[1:]] for r in move_table.rows}
+    # Task 3 favors panning over zooming out (Section 5.3.4).
+    pan3, _, zoom_out3, _ = rows[3]
+    assert pan3 > zoom_out3
+    if is_full_scale(context):
+        # Zoom-in is the dominant move category for tasks 1 and 2
+        # (paper: "participants spent the most time zooming in").
+        for task_id in (1, 2):
+            pan, zoom_in, zoom_out, _ = rows[task_id]
+            assert zoom_in >= max(pan, zoom_out) * 0.75
+        # Task 1 is the longest (paper: 35 vs 25 vs 17 requests).
+        assert rows[1][3] >= rows[3][3]
+
+    # Unit of work: regenerating one user's three traces.
+    benchmark.pedantic(
+        lambda: run_study(context.dataset, num_users=1, seed=99),
+        rounds=1,
+        iterations=1,
+    )

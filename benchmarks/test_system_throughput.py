@@ -1,0 +1,59 @@
+"""Microbenchmarks of the system's hot paths.
+
+Not a paper figure — these keep the substrate honest: tile fetches,
+signature computation, engine predictions, and phase classification are
+the operations the middleware performs between every pair of user
+requests, so they must comfortably fit inside human think time.
+"""
+
+import pytest
+
+from repro.experiments.runner import hybrid_factory
+from repro.signatures.sift import extract_sift_descriptors
+from repro.signatures.gradients import normalize_tile_values
+from repro.tiles.key import TileKey
+
+
+@pytest.fixture(scope="module")
+def trained_hybrid(context):
+    engine = hybrid_factory(context)(context.study.excluding_user(1))
+    engine.observe(None, context.grid.root)
+    engine.observe(
+        context.grid.root.move_to(TileKey(1, 0, 0)), TileKey(1, 0, 0)
+    )
+    return engine
+
+
+def test_tile_fetch_throughput(context, benchmark):
+    """One uncharged tile fetch (pure substrate I/O)."""
+    pyramid = context.pyramid
+    key = TileKey(2, 1, 1)
+    tile = benchmark(lambda: pyramid.fetch_tile(key, charge=False))
+    assert tile.shape == (pyramid.tile_size, pyramid.tile_size)
+
+
+def test_sift_extraction_throughput(context, benchmark):
+    """SIFT descriptor extraction on one tile."""
+    tile = context.pyramid.fetch_tile(TileKey(2, 1, 1), charge=False)
+    image = normalize_tile_values(tile.attribute(context.attribute))
+    descriptors = benchmark(lambda: extract_sift_descriptors(image))
+    assert descriptors.shape[1] == 128
+
+
+def test_engine_prediction_throughput(trained_hybrid, benchmark):
+    """One full two-level prediction round at k=5."""
+
+    def predict():
+        trained_hybrid._round_cache.clear()
+        trained_hybrid._round_phase = None
+        return trained_hybrid.predict(5)
+
+    result = benchmark(predict)
+    assert len(result.tiles) == 5
+
+
+def test_phase_classification_throughput(context, benchmark):
+    """One SVM phase classification."""
+    classifier = context.phase_classifier(context.study.excluding_user(1))
+    phase = benchmark(lambda: classifier.predict(TileKey(3, 2, 2), None))
+    assert phase is not None

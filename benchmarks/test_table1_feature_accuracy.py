@@ -1,0 +1,38 @@
+"""Table 1: per-feature SVM phase-classification accuracy.
+
+Paper values: x .676, y .692, zoom .696, pan .580, zoom-in .556,
+zoom-out .448.  Shape to reproduce: positional/zoom features beat the
+one-hot move flags, and zoom-out is the weakest signal.
+"""
+
+from conftest import print_report
+
+from repro.experiments.crossval import classifier_cv_accuracy
+from repro.experiments.runner import run_table1
+from repro.phases.features import FEATURE_NAMES
+
+
+def test_table1_feature_accuracy(context, benchmark):
+    table, comparison = run_table1(context)
+    print_report(table, comparison)
+
+    measured = {
+        metric: float(value) for metric, _, value in comparison.rows
+    }
+    position_like = [measured["x_position"], measured["y_position"], measured["zoom_level"]]
+    flag_like = [measured["pan_flag"], measured["zoom_in_flag"], measured["zoom_out_flag"]]
+    # Shape: the positional features carry more signal than move flags.
+    assert max(position_like) > max(flag_like)
+    # Zoom-out is the weakest single feature (paper: 0.448, last).
+    assert measured["zoom_out_flag"] <= min(position_like)
+    # Even the weakest feature carries some signal (a single binary
+    # flag cannot separate three classes; the paper's 0.448 and our
+    # value are both below the majority baseline).
+    assert min(measured.values()) > 0.2
+
+    # Unit of work: one single-feature LOO fold evaluation.
+    benchmark.pedantic(
+        lambda: classifier_cv_accuracy(context.study, feature_indices=[2]),
+        rounds=1,
+        iterations=1,
+    )

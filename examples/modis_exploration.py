@@ -1,0 +1,75 @@
+"""Full study-scale scenario: simulated scientists exploring snow cover.
+
+Run with::
+
+    python examples/modis_exploration.py [--size 1024] [--users 8]
+
+Reproduces the paper's evaluation loop end to end: build the NDSI
+dataset, run a simulated user study over the three search tasks, train
+every model with leave-one-user-out cross validation, and print
+per-phase accuracy plus replayed latency — the content of Figures 11
+and 13.
+"""
+
+import argparse
+
+from repro.experiments.accuracy import replay_engine
+from repro.experiments.context import ExperimentContext
+from repro.experiments.crossval import evaluate_engine_cv, leave_one_user_out
+from repro.experiments.report import Table
+from repro.experiments.runner import hybrid_factory, replay_model_latency
+from repro.phases.model import ALL_PHASES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=1024)
+    parser.add_argument("--users", type=int, default=8)
+    args = parser.parse_args()
+
+    print(f"building context: {args.size}px world, {args.users} users...")
+    context = ExperimentContext.build(size=args.size, num_users=args.users)
+    study = context.study
+    print(f"  {len(study)} traces, {study.total_requests()} requests")
+
+    ks = (1, 3, 5, 8)
+    factories = {
+        "momentum": context.momentum_engine,
+        "hotspot": context.hotspot_engine,
+        "markov3": lambda tr: context.markov_engine(tr, 3),
+        "hybrid": hybrid_factory(context),
+    }
+
+    print("\nevaluating models (leave-one-user-out)...")
+    results = {}
+    for name, factory in factories.items():
+        results[name] = evaluate_engine_cv(study, factory, ks)
+        print(f"  {name} done")
+
+    accuracy_table = Table(
+        ["model"] + [f"k={k}" for k in ks], title="\nOverall prediction accuracy"
+    )
+    for name, result in results.items():
+        accuracy_table.add_row(name, *(result.accuracy(k) for k in ks))
+    print(accuracy_table)
+
+    for phase in ALL_PHASES:
+        phase_table = Table(
+            ["model"] + [f"k={k}" for k in ks],
+            title=f"\nAccuracy — {phase.value}",
+        )
+        for name, result in results.items():
+            phase_table.add_row(name, *(result.accuracy(k, phase) for k in ks))
+        print(phase_table)
+
+    print("\nreplaying latency at k=5 (virtual clock)...")
+    latency_table = Table(["model", "avg_latency_ms"], title="")
+    for name, factory in factories.items():
+        recorder = replay_model_latency(context, factory, k=5)
+        latency_table.add_row(name, recorder.average_seconds * 1000.0)
+    latency_table.add_row("(no prefetching)", 984.0)
+    print(latency_table)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Trace analysis: phases, ROIs, and what the classifier sees.
+
+Run with::
+
+    python examples/trace_analysis.py
+
+Generates one user's traces, prints the zoom-level sawtooth (the
+paper's Figure 9 view), steps Algorithm 1's ROI tracker through a
+session, and shows the SVM's phase predictions next to the ground-truth
+labels.
+"""
+
+from repro.core.roi import ROITracker
+from repro.modis.dataset import MODISDataset
+from repro.phases.classifier import PhaseClassifier
+from repro.users.study import run_study
+
+
+def sawtooth_row(level: int, max_level: int) -> str:
+    """Render one zoom level as an indented bar (coarse at left)."""
+    return "  " * level + "#" + " " * (2 * (max_level - level))
+
+
+def main() -> None:
+    print("building world and study...")
+    dataset = MODISDataset.build(size=1024, tile_size=32, days=1, seed=7)
+    study = run_study(dataset, num_users=4, seed=17)
+
+    # ------------------------------------------------------------------
+    # 1. The zoom-level sawtooth (Figure 9).
+    # ------------------------------------------------------------------
+    trace = max(study.by_task(2), key=len)
+    max_level = dataset.num_levels - 1
+    print(
+        f"\nzoom-level sawtooth: user {trace.user_id}, task 2 "
+        f"({len(trace)} requests)"
+    )
+    print(f"{'req':>4} {'move':<12} level 0 {'-' * (2 * max_level - 8)} level {max_level}")
+    for request in trace.requests:
+        move = request.move.value if request.move else "(start)"
+        print(f"{request.index:>4} {move:<12} {sawtooth_row(request.tile.level, max_level)}")
+
+    # ------------------------------------------------------------------
+    # 2. Algorithm 1: ROI tracking through the same session.
+    # ------------------------------------------------------------------
+    print("\nAlgorithm 1 (UpdateROI) through that session:")
+    tracker = ROITracker()
+    previous = ()
+    for request in trace.requests:
+        roi = tracker.update(request.move, request.tile)
+        if roi != previous:
+            tiles = ", ".join(str(t) for t in roi)
+            print(f"  after request {request.index}: ROI = [{tiles}]")
+            previous = roi
+    if not previous:
+        print("  (no zoom-in/zoom-out cycle completed: ROI stayed empty)")
+
+    # ------------------------------------------------------------------
+    # 3. Phase classification vs ground truth.
+    # ------------------------------------------------------------------
+    print(f"\ntraining classifier on the other users; predicting user {trace.user_id}...")
+    classifier = PhaseClassifier()
+    classifier.fit_traces(study.excluding_user(trace.user_id))
+    agree = 0
+    print(f"{'req':>4} {'truth':<12} {'predicted':<12}")
+    for request in trace.requests:
+        predicted = classifier.predict(request.tile, request.move)
+        match = "" if predicted is request.phase else "  <-- miss"
+        if predicted is request.phase:
+            agree += 1
+        print(f"{request.index:>4} {request.phase.value:<12} {predicted.value:<12}{match}")
+    print(f"\nagreement: {agree}/{len(trace)} = {agree / len(trace):.0%}")
+
+
+if __name__ == "__main__":
+    main()

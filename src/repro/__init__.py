@@ -1,0 +1,26 @@
+"""ForeCache reproduction.
+
+A production-quality reimplementation of the system described in
+"Dynamic Prefetching of Data Tiles for Interactive Visualization"
+(Battle, Chang, Stonebraker — SIGMOD 2016), including every substrate the
+paper depends on:
+
+- :mod:`repro.arraydb` — a SciDB-like array DBMS,
+- :mod:`repro.tiles` — the tile/zoom-level data model,
+- :mod:`repro.modis` — a synthetic MODIS-style snow-cover dataset,
+- :mod:`repro.signatures` — tile signatures (stats, histograms, SIFT),
+- :mod:`repro.recommenders` — action-based and signature-based models
+  plus the Momentum/Hotspot baselines,
+- :mod:`repro.phases` — the three-phase analysis model and SVM classifier,
+- :mod:`repro.cache` / :mod:`repro.middleware` — the prefetching
+  middleware,
+- :mod:`repro.core` — the two-level prediction engine,
+- :mod:`repro.users` — the simulated user study,
+- :mod:`repro.experiments` — the evaluation harness for every table and
+  figure in the paper.
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the full system
+inventory.
+"""
+
+__version__ = "1.0.0"

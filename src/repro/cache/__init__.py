@@ -1,0 +1,13 @@
+"""The middleware tile cache (Section 3).
+
+A main-memory cache in front of the DBMS with two regions: space for the
+last ``n`` tiles the user actually requested (LRU), and per-model
+allocations that the cache manager refills with each recommender's
+predictions after every request.
+"""
+
+from repro.cache.lru import LRUCache
+from repro.cache.manager import CacheManager, FetchOutcome
+from repro.cache.tile_cache import TileCache
+
+__all__ = ["CacheManager", "FetchOutcome", "LRUCache", "TileCache"]

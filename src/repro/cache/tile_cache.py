@@ -1,0 +1,110 @@
+"""The partitioned main-memory tile cache.
+
+Two regions (Section 3, "Tile Cache Manager"):
+
+- a **recent** region keeping the last ``n`` tiles the interface
+  actually requested (plain LRU), and
+- a **prefetch** region refilled after every request with the
+  prediction engine's tiles, tracked per recommendation model so the
+  allocation strategy's quotas are observable.
+"""
+
+from __future__ import annotations
+
+from repro.cache.lru import LRUCache
+from repro.tiles.key import TileKey
+from repro.tiles.tile import DataTile
+
+
+class TileCache:
+    """Recent-LRU plus per-model prefetch slots."""
+
+    def __init__(self, recent_capacity: int = 10, prefetch_capacity: int = 9) -> None:
+        if prefetch_capacity < 1:
+            raise ValueError(
+                f"prefetch capacity must be >= 1, got {prefetch_capacity}"
+            )
+        self.prefetch_capacity = prefetch_capacity
+        self._recent: LRUCache[TileKey, DataTile] = LRUCache(recent_capacity)
+        self._prefetched: dict[TileKey, DataTile] = {}
+        self._attribution: dict[TileKey, str] = {}
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def lookup(self, key: TileKey) -> DataTile | None:
+        """Find a tile in either region (None on full miss)."""
+        tile = self._prefetched.get(key)
+        if tile is not None:
+            return tile
+        return self._recent.peek(key)
+
+    def __contains__(self, key: TileKey) -> bool:
+        return key in self._prefetched or key in self._recent
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def record_request(self, tile: DataTile) -> None:
+        """A tile the user actually requested enters the recent region."""
+        self._recent.put(tile.key, tile)
+
+    def begin_prefetch_cycle(self) -> None:
+        """Clear the prefetch region for the next round of predictions.
+
+        The paper re-evaluates allocations after every request; tiles
+        prefetched for the previous request are superseded (any still
+        relevant will be re-predicted)."""
+        self._prefetched.clear()
+        self._attribution.clear()
+
+    def store_prefetched(self, tile: DataTile, model: str) -> bool:
+        """Add a predicted tile on behalf of ``model``.
+
+        Returns False (and stores nothing) once the region is full.
+        """
+        if len(self._prefetched) >= self.prefetch_capacity:
+            return False
+        self._prefetched[tile.key] = tile
+        self._attribution[tile.key] = model
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def prefetched_keys(self) -> list[TileKey]:
+        """Keys currently in the prefetch region (insertion order)."""
+        return list(self._prefetched)
+
+    @property
+    def recent_keys(self) -> list[TileKey]:
+        """Keys in the recent region, least recent first."""
+        return self._recent.keys()
+
+    def attribution(self, key: TileKey) -> str | None:
+        """Which model's allocation paid for a prefetched tile."""
+        return self._attribution.get(key)
+
+    def model_usage(self) -> dict[str, int]:
+        """Prefetched-tile counts per model."""
+        usage: dict[str, int] = {}
+        for model in self._attribution.values():
+            usage[model] = usage.get(model, 0) + 1
+        return usage
+
+    def nbytes(self) -> int:
+        """Total payload bytes held across both regions."""
+        total = sum(tile.nbytes for tile in self._prefetched.values())
+        total += sum(
+            tile.nbytes
+            for key in self._recent.keys()
+            if (tile := self._recent.peek(key)) is not None
+        )
+        return total
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._recent.clear()
+        self._prefetched.clear()
+        self._attribution.clear()

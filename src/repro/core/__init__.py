@@ -1,0 +1,31 @@
+"""The paper's primary contribution: the two-level prediction engine.
+
+At the top level an analysis-phase classifier infers the user's frame of
+mind (Foraging / Navigation / Sensemaking) from her recent requests; at
+the bottom, multiple recommendation models run in parallel and a
+per-phase allocation strategy decides how much of the prefetch budget
+each model's predictions receive (Sections 4.2-4.4).
+"""
+
+from repro.core.allocation import (
+    AllocationStrategy,
+    InterleavedStrategy,
+    PaperFinalStrategy,
+    PerPhaseSplitStrategy,
+    SingleModelStrategy,
+)
+from repro.core.engine import PredictionEngine, PredictionResult
+from repro.core.history import SessionHistory
+from repro.core.roi import ROITracker
+
+__all__ = [
+    "AllocationStrategy",
+    "InterleavedStrategy",
+    "PaperFinalStrategy",
+    "PerPhaseSplitStrategy",
+    "PredictionEngine",
+    "PredictionResult",
+    "ROITracker",
+    "SessionHistory",
+    "SingleModelStrategy",
+]

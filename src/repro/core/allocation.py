@@ -1,0 +1,131 @@
+"""Cache allocation strategies (Sections 4.4 and 5.4.3).
+
+A strategy maps (predicted analysis phase, prefetch budget ``k``) to an
+ordered list of ``(model name, tile quota)`` pairs.  The engine fills
+the prefetch list by taking each model's top predictions in that order.
+
+Two strategies reproduce the paper:
+
+- :class:`PerPhaseSplitStrategy` — the initial design of Section 4.4:
+  Navigation gets the AB model, Sensemaking the SB model, Foraging an
+  even split.
+- :class:`PaperFinalStrategy` — the tuned strategy of Section 5.4.3 the
+  final engine actually uses: SB-only in Sensemaking; otherwise the
+  first four tiles from AB, with SB filling anything beyond ``k = 4``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.phases.model import AnalysisPhase
+
+Allocation = list[tuple[str, int]]
+
+
+class AllocationStrategy(abc.ABC):
+    """Maps phase and budget to per-model tile quotas."""
+
+    @abc.abstractmethod
+    def allocate(self, phase: AnalysisPhase | None, k: int) -> Allocation:
+        """Ordered ``(model name, quota)`` pairs; quotas sum to ``k``.
+
+        ``phase`` is None when no classifier is attached (single-model
+        deployments).
+        """
+
+    @staticmethod
+    def _check_budget(k: int) -> None:
+        if k < 1:
+            raise ValueError(f"prefetch budget k must be >= 1, got {k}")
+
+
+class SingleModelStrategy(AllocationStrategy):
+    """The whole budget to one model, regardless of phase."""
+
+    def __init__(self, model_name: str) -> None:
+        self.model_name = model_name
+
+    def allocate(self, phase: AnalysisPhase | None, k: int) -> Allocation:
+        self._check_budget(k)
+        return [(self.model_name, k)]
+
+
+class InterleavedStrategy(AllocationStrategy):
+    """Round-robin the budget across several models, one tile at a time."""
+
+    def __init__(self, model_names: tuple[str, ...]) -> None:
+        if not model_names:
+            raise ValueError("need at least one model name")
+        self.model_names = tuple(model_names)
+
+    def allocate(self, phase: AnalysisPhase | None, k: int) -> Allocation:
+        self._check_budget(k)
+        quotas = {name: 0 for name in self.model_names}
+        for i in range(k):
+            quotas[self.model_names[i % len(self.model_names)]] += 1
+        return [(name, quotas[name]) for name in self.model_names if quotas[name]]
+
+
+class PerPhaseSplitStrategy(AllocationStrategy):
+    """Section 4.4's initial strategy.
+
+    Navigation → all AB; Sensemaking → all SB; Foraging → equal split
+    (AB first, covering the zoom-outs that return the user to scanning).
+    Unknown phase falls back to the Foraging split.
+    """
+
+    def __init__(self, ab_model: str, sb_model: str) -> None:
+        self.ab_model = ab_model
+        self.sb_model = sb_model
+
+    def allocate(self, phase: AnalysisPhase | None, k: int) -> Allocation:
+        self._check_budget(k)
+        if phase is AnalysisPhase.NAVIGATION:
+            return [(self.ab_model, k)]
+        if phase is AnalysisPhase.SENSEMAKING:
+            return [(self.sb_model, k)]
+        ab_share = (k + 1) // 2
+        allocation: Allocation = [(self.ab_model, ab_share)]
+        if k - ab_share:
+            allocation.append((self.sb_model, k - ab_share))
+        return allocation
+
+
+class PaperFinalStrategy(AllocationStrategy):
+    """Section 5.4.3's tuned strategy, used by the final engine.
+
+    When the ``sb_only_phase`` is predicted (the paper tuned this to
+    Sensemaking on its study data), fetch from the SB model only.
+    Otherwise fetch the first ``min(ab_first, k)`` predictions from the
+    AB model and fill the remainder (``k > ab_first``) from SB.
+
+    The paper derived this strategy from its observed per-phase accuracy
+    results; reproductions should do the same — pass
+    ``sb_only_phase=None`` when the AB model also wins Sensemaking on
+    your traces, which keeps AB first everywhere with SB topping up.
+    """
+
+    def __init__(
+        self,
+        ab_model: str,
+        sb_model: str,
+        ab_first: int = 4,
+        sb_only_phase: AnalysisPhase | None = AnalysisPhase.SENSEMAKING,
+    ) -> None:
+        if ab_first < 1:
+            raise ValueError(f"ab_first must be >= 1, got {ab_first}")
+        self.ab_model = ab_model
+        self.sb_model = sb_model
+        self.ab_first = ab_first
+        self.sb_only_phase = sb_only_phase
+
+    def allocate(self, phase: AnalysisPhase | None, k: int) -> Allocation:
+        self._check_budget(k)
+        if self.sb_only_phase is not None and phase is self.sb_only_phase:
+            return [(self.sb_model, k)]
+        ab_share = min(self.ab_first, k)
+        allocation: Allocation = [(self.ab_model, ab_share)]
+        if k > ab_share:
+            allocation.append((self.sb_model, k - ab_share))
+        return allocation

@@ -1,0 +1,64 @@
+"""Leave-one-user-out cross validation (Section 5.4).
+
+Every experiment in the paper trains on 17 of the 18 participants and
+tests on the held-out one, then averages across users.  A *fold* is
+``(user_id, training traces, test traces)``; engine factories receive
+the training traces and return a fully trained engine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Sequence
+
+from repro.core.engine import PredictionEngine
+from repro.experiments.accuracy import AccuracyResult, DEFAULT_KS, replay_engine
+from repro.phases.classifier import PhaseClassifier
+from repro.phases.features import trace_features
+from repro.users.session import StudyData, Trace
+
+EngineFactory = Callable[[list[Trace]], PredictionEngine]
+
+
+def leave_one_user_out(
+    study: StudyData,
+) -> Iterator[tuple[int, list[Trace], list[Trace]]]:
+    """Yield (held-out user id, training traces, test traces) folds."""
+    for user_id in study.user_ids:
+        yield user_id, study.excluding_user(user_id), study.by_user(user_id)
+
+
+def evaluate_engine_cv(
+    study: StudyData,
+    engine_factory: EngineFactory,
+    ks: Sequence[int] = DEFAULT_KS,
+) -> AccuracyResult:
+    """LOO-CV accuracy of an engine across the whole study."""
+    result = AccuracyResult()
+    for _, train, test in leave_one_user_out(study):
+        engine = engine_factory(train)
+        replay_engine(engine, test, ks, result)
+    return result
+
+
+def classifier_cv_accuracy(
+    study: StudyData,
+    feature_indices: Sequence[int] | None = None,
+    c: float = 10.0,
+    gamma: float | str = 1.0,
+) -> tuple[float, dict[int, float]]:
+    """LOO-CV accuracy of the phase classifier (Section 5.4.1).
+
+    Returns (overall accuracy averaged across users, per-user accuracy).
+    ``feature_indices`` restricts the feature set — Table 1 evaluates
+    each single feature this way.
+    """
+    per_user: dict[int, float] = {}
+    for user_id, train, test in leave_one_user_out(study):
+        classifier = PhaseClassifier(
+            c=c, gamma=gamma, feature_indices=feature_indices
+        )
+        classifier.fit_traces(train)
+        features, labels = trace_features(test)
+        per_user[user_id] = classifier.accuracy(features, labels)
+    overall = sum(per_user.values()) / len(per_user) if per_user else 0.0
+    return overall, per_user

@@ -1,0 +1,86 @@
+"""Latency replay and the accuracy↔latency regression (Section 5.5).
+
+Traces are replayed through a full middleware stack (prediction engine,
+cache manager, calibrated backend); every response's latency is the
+virtual time the stack actually charged.  Plotting average latency
+against prefetch accuracy across all models and fetch sizes reproduces
+the paper's Figure 12: a near-perfect line with intercept ≈ the miss
+cost and slope ≈ −(miss − hit).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.middleware.client import BrowsingSession
+from repro.middleware.latency import LatencyRecorder
+from repro.middleware.server import ForeCacheServer
+from repro.users.session import Trace
+
+ServerFactory = Callable[[list[Trace], int], ForeCacheServer]
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One (model, k) cell of Figures 12/13."""
+
+    model: str
+    k: int
+    accuracy: float
+    average_latency_seconds: float
+
+    @property
+    def average_latency_ms(self) -> float:
+        """Average latency in milliseconds."""
+        return self.average_latency_seconds * 1000.0
+
+
+def replay_latency(
+    server_factory: Callable[[], ForeCacheServer],
+    traces: Sequence[Trace],
+) -> LatencyRecorder:
+    """Replay traces through fresh server sessions, pooling latencies.
+
+    A new server session (cold cache, fresh engine state) is used per
+    trace, as each study trace was an independent session.
+    """
+    recorder = LatencyRecorder()
+    for trace in traces:
+        server = server_factory()
+        session = BrowsingSession(server)
+        session.replay(trace)
+        recorder.merge(server.recorder)
+    return recorder
+
+
+def linear_fit(
+    points: Sequence[LatencyPoint],
+) -> tuple[float, float, float]:
+    """Least-squares latency(ms) = slope * accuracy + intercept.
+
+    Returns (slope, intercept, adjusted R^2) — the paper reports
+    intercept 961.33, slope -939.08, adj. R^2 0.99985.
+    """
+    if len(points) < 3:
+        raise ValueError(f"need at least 3 points to fit, got {len(points)}")
+    x = np.asarray([p.accuracy for p in points])
+    y = np.asarray([p.average_latency_ms for p in points])
+    fit = stats.linregress(x, y)
+    n = len(points)
+    r2 = fit.rvalue**2
+    adjusted = 1.0 - (1.0 - r2) * (n - 1) / (n - 2)
+    return float(fit.slope), float(fit.intercept), float(adjusted)
+
+
+def improvement_percent(baseline_ms: float, improved_ms: float) -> float:
+    """The paper's "X% improvement" convention: (old - new) / new * 100.
+
+    984 ms vs 185 ms → ~430%; 349 ms vs 185 ms → ~88%.
+    """
+    if improved_ms <= 0:
+        raise ValueError("improved latency must be positive")
+    return (baseline_ms - improved_ms) / improved_ms * 100.0

@@ -1,0 +1,84 @@
+"""Plain-text tables and paper-vs-measured comparison rows.
+
+The benchmark harness prints the same rows/series the paper reports;
+:class:`Table` keeps that output aligned and diff-friendly, and
+:class:`Comparison` pairs each paper number with the measured one so
+EXPERIMENTS.md can be generated mechanically.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+
+class Table:
+    """A fixed-width text table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; cells are stringified (floats to 3 decimals)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_format_cell(c) for c in cells])
+
+    def __str__(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Comparison:
+    """Paper-vs-measured rows for one experiment."""
+
+    experiment: str
+    rows: list[tuple[str, str, str]] = field(default_factory=list)
+
+    def add(self, metric: str, paper: object, measured: object) -> None:
+        """Record one metric's paper value and our measurement."""
+        self.rows.append((metric, _format_cell(paper), _format_cell(measured)))
+
+    def to_table(self) -> Table:
+        """Render as a 3-column table."""
+        table = Table(["metric", "paper", "measured"], title=self.experiment)
+        for metric, paper, measured in self.rows:
+            table.add_row(metric, paper, measured)
+        return table
+
+    def __str__(self) -> str:
+        return str(self.to_table())

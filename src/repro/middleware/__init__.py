@@ -1,0 +1,28 @@
+"""The ForeCache middleware: client/server glue (Section 3).
+
+:class:`ForeCacheServer` wires the prediction engine, the cache manager,
+and the backend DBMS together; :class:`BrowsingSession` is the
+lightweight client the user (or a trace replay) drives.
+"""
+
+from repro.middleware.client import BrowsingSession
+from repro.middleware.latency import (
+    HIT_SECONDS,
+    LatencyModel,
+    LatencyRecorder,
+    MISS_SECONDS,
+)
+from repro.middleware.multiuser import MultiUserResponse, MultiUserServer
+from repro.middleware.server import ForeCacheServer, TileResponse
+
+__all__ = [
+    "BrowsingSession",
+    "ForeCacheServer",
+    "HIT_SECONDS",
+    "LatencyModel",
+    "LatencyRecorder",
+    "MISS_SECONDS",
+    "MultiUserResponse",
+    "MultiUserServer",
+    "TileResponse",
+]

@@ -1,0 +1,66 @@
+"""The lightweight client interface.
+
+The front-end visualizer only ever talks to the back-end through tile
+requests (Section 3).  :class:`BrowsingSession` models one user session:
+it tracks the current tile, validates moves against the pyramid, and
+forwards requests to the server.  It can also replay a recorded trace —
+the workhorse of the latency experiments.
+"""
+
+from __future__ import annotations
+
+from repro.middleware.server import ForeCacheServer, TileResponse
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.users.session import Trace
+
+
+class BrowsingSession:
+    """One user's live session against a ForeCache server."""
+
+    def __init__(self, server: ForeCacheServer) -> None:
+        self.server = server
+        self.current: TileKey | None = None
+
+    def start(self, at: TileKey | None = None) -> TileResponse:
+        """Open the session at a tile (default: the root overview)."""
+        if self.current is not None:
+            raise RuntimeError("session already started")
+        key = at if at is not None else self.server.pyramid.grid.root
+        if not self.server.pyramid.grid.valid(key):
+            raise ValueError(f"tile {key} is not in the pyramid")
+        self.current = key
+        return self.server.handle_request(None, key)
+
+    def move(self, move: Move) -> TileResponse:
+        """Apply one interface move and request the resulting tile."""
+        if self.current is None:
+            raise RuntimeError("session not started; call start() first")
+        target = self.server.pyramid.grid.apply(self.current, move)
+        if target is None:
+            raise ValueError(f"move {move} is not legal from {self.current}")
+        self.current = target
+        return self.server.handle_request(move, target)
+
+    @property
+    def available_moves(self) -> list[Move]:
+        """Moves legal from the current tile."""
+        if self.current is None:
+            return []
+        return [
+            move
+            for move, _ in self.server.pyramid.grid.available_moves(self.current)
+        ]
+
+    def replay(self, trace: Trace) -> list[TileResponse]:
+        """Replay a recorded trace through the server, returning every
+        response.  The session must be fresh."""
+        if self.current is not None:
+            raise RuntimeError("replay requires a fresh session")
+        responses = []
+        for request in trace.requests:
+            self.current = request.tile
+            responses.append(
+                self.server.handle_request(request.move, request.tile)
+            )
+        return responses

@@ -1,0 +1,166 @@
+"""Multi-user ForeCache (Section 6.2, future work).
+
+The paper notes its framework "does not currently take into account
+potential optimizations within a multi-user scheme" and plans
+coordinated predictions and caching across users.  This module
+implements the obvious first design:
+
+- one shared :class:`~repro.cache.manager.CacheManager` (and therefore
+  one shared middleware cache) for all users of a dataset, so a tile
+  fetched for one user serves everyone,
+- one prediction engine *per user* (each session has its own history,
+  ROI, and phase), and
+- a fair split of the prefetch budget: each user's predictions claim an
+  equal share of the shared prefetch region, with leftover slots
+  round-robined by prediction priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.manager import CacheManager
+from repro.cache.tile_cache import TileCache
+from repro.core.engine import PredictionEngine
+from repro.middleware.latency import LatencyModel, LatencyRecorder
+from repro.phases.model import AnalysisPhase
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.tiles.pyramid import TilePyramid
+from repro.tiles.tile import DataTile
+
+
+@dataclass(frozen=True)
+class MultiUserResponse:
+    """What one user's request returns."""
+
+    user_id: int
+    tile: DataTile
+    latency_seconds: float
+    hit: bool
+    phase: AnalysisPhase | None
+
+
+@dataclass
+class _UserSession:
+    engine: PredictionEngine
+    recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
+    pending: list[tuple[TileKey, str]] = field(default_factory=list)
+
+
+class MultiUserServer:
+    """Several concurrent users sharing one middleware cache.
+
+    Total prefetch budget is ``prefetch_k`` tiles; after every request
+    the predictions of *all* active users are interleaved fairly and the
+    shared prefetch region refilled.  Users therefore warm the cache for
+    each other — the cross-user sharing the paper's Section 6.2 calls
+    for.
+    """
+
+    def __init__(
+        self,
+        pyramid: TilePyramid,
+        prefetch_k: int = 9,
+        recent_capacity: int = 10,
+        latency_model: LatencyModel | None = None,
+    ) -> None:
+        if prefetch_k < 1:
+            raise ValueError(f"prefetch_k must be >= 1, got {prefetch_k}")
+        self.pyramid = pyramid
+        self.prefetch_k = prefetch_k
+        self.cache_manager = CacheManager(
+            pyramid,
+            TileCache(
+                recent_capacity=recent_capacity, prefetch_capacity=prefetch_k
+            ),
+        )
+        self.latency_model = (
+            latency_model if latency_model is not None else LatencyModel()
+        )
+        self._sessions: dict[int, _UserSession] = {}
+
+    # ------------------------------------------------------------------
+    # session management
+    # ------------------------------------------------------------------
+    def register_user(self, user_id: int, engine: PredictionEngine) -> None:
+        """Attach a user with her own (trained) prediction engine."""
+        if user_id in self._sessions:
+            raise ValueError(f"user {user_id} is already registered")
+        engine.reset()
+        self._sessions[user_id] = _UserSession(engine=engine)
+
+    def remove_user(self, user_id: int) -> None:
+        """Detach a user; her cache contributions stay shared."""
+        if user_id not in self._sessions:
+            raise KeyError(f"user {user_id} is not registered")
+        del self._sessions[user_id]
+
+    @property
+    def user_ids(self) -> list[int]:
+        """Registered users, sorted."""
+        return sorted(self._sessions)
+
+    def recorder(self, user_id: int) -> LatencyRecorder:
+        """One user's latency log."""
+        return self._sessions[user_id].recorder
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def handle_request(
+        self, user_id: int, move: Move | None, key: TileKey
+    ) -> MultiUserResponse:
+        """Serve one user's request and re-plan the shared prefetch."""
+        session = self._sessions.get(user_id)
+        if session is None:
+            raise KeyError(f"user {user_id} is not registered")
+
+        outcome = self.cache_manager.fetch(key)
+        latency = self.latency_model.response_seconds(
+            outcome.hit, outcome.backend_seconds
+        )
+        session.recorder.record(latency, outcome.hit)
+
+        session.engine.observe(move, key)
+        per_user_budget = max(1, self.prefetch_k // max(1, len(self._sessions)))
+        result = session.engine.predict(per_user_budget)
+        session.pending = result.attributed_tiles()
+
+        self.cache_manager.prefetch(self._merged_predictions())
+        return MultiUserResponse(
+            user_id=user_id,
+            tile=outcome.tile,
+            latency_seconds=latency,
+            hit=outcome.hit,
+            phase=result.phase,
+        )
+
+    def _merged_predictions(self) -> list[tuple[TileKey, str]]:
+        """Interleave all users' pending predictions, fairly.
+
+        Round-robin by prediction rank: every user's best prediction
+        first, then every user's second, and so on — deduplicated, so a
+        tile two users both want claims a single slot.
+        """
+        queues = [
+            list(session.pending)
+            for _, session in sorted(self._sessions.items())
+            if session.pending
+        ]
+        merged: list[tuple[TileKey, str]] = []
+        seen: set[TileKey] = set()
+        rank = 0
+        while len(merged) < self.prefetch_k and any(
+            rank < len(queue) for queue in queues
+        ):
+            for queue in queues:
+                if rank < len(queue):
+                    tile, model = queue[rank]
+                    if tile not in seen:
+                        seen.add(tile)
+                        merged.append((tile, model))
+                        if len(merged) >= self.prefetch_k:
+                            break
+            rank += 1
+        return merged

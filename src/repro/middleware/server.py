@@ -1,0 +1,91 @@
+"""The ForeCache middleware server.
+
+Request lifecycle (Figure 5): the visualizer asks for a tile; the server
+answers from the cache manager (hit) or the DBMS (miss); the prediction
+engine then updates its state and emits an ordered prefetch list, which
+the cache manager executes during the user's think time.  Prefetch work
+therefore never counts toward response latency — exactly the overlap the
+paper's design exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.manager import CacheManager
+from repro.core.engine import PredictionEngine
+from repro.middleware.latency import LatencyModel, LatencyRecorder
+from repro.phases.model import AnalysisPhase
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.tiles.pyramid import TilePyramid
+from repro.tiles.tile import DataTile
+
+
+@dataclass(frozen=True)
+class TileResponse:
+    """What the client gets back for one request."""
+
+    tile: DataTile
+    latency_seconds: float
+    hit: bool
+    phase: AnalysisPhase | None
+    prefetched: tuple[TileKey, ...] = field(default_factory=tuple)
+
+
+class ForeCacheServer:
+    """Prediction engine + cache manager + DBMS, behind one entry point."""
+
+    def __init__(
+        self,
+        pyramid: TilePyramid,
+        engine: PredictionEngine,
+        cache_manager: CacheManager | None = None,
+        latency_model: LatencyModel | None = None,
+        prefetch_k: int = 5,
+        prefetch_enabled: bool = True,
+    ) -> None:
+        if prefetch_k < 1:
+            raise ValueError(f"prefetch_k must be >= 1, got {prefetch_k}")
+        self.pyramid = pyramid
+        self.engine = engine
+        self.cache_manager = (
+            cache_manager if cache_manager is not None else CacheManager(pyramid)
+        )
+        self.latency_model = (
+            latency_model if latency_model is not None else LatencyModel()
+        )
+        self.prefetch_k = prefetch_k
+        self.prefetch_enabled = prefetch_enabled
+        self.recorder = LatencyRecorder()
+
+    def handle_request(self, move: Move | None, key: TileKey) -> TileResponse:
+        """Serve one tile request and prefetch for the next one."""
+        outcome = self.cache_manager.fetch(key)
+        latency = self.latency_model.response_seconds(
+            outcome.hit, outcome.backend_seconds
+        )
+        self.recorder.record(latency, outcome.hit)
+
+        self.engine.observe(move, key)
+        phase: AnalysisPhase | None = None
+        prefetched: tuple[TileKey, ...] = ()
+        if self.prefetch_enabled:
+            result = self.engine.predict(self.prefetch_k)
+            phase = result.phase
+            self.cache_manager.prefetch(result.attributed_tiles())
+            prefetched = tuple(result.tiles)
+        return TileResponse(
+            tile=outcome.tile,
+            latency_seconds=latency,
+            hit=outcome.hit,
+            phase=phase,
+            prefetched=prefetched,
+        )
+
+    def reset_session(self) -> None:
+        """Start a fresh user session (engine state and cache cleared)."""
+        self.engine.reset()
+        self.cache_manager.cache.clear()
+        self.cache_manager.reset_stats()
+        self.recorder = LatencyRecorder()

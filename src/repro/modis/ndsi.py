@@ -1,0 +1,65 @@
+"""The NDSI user-defined function and the paper's Query 1.
+
+The Normalized Difference Snow Index (Section 5.1)::
+
+    NDSI = (VIS - SWIR) / (VIS + SWIR)
+
+is close to +1 over snow and negative over bare ground.  It is computed
+inside the DBMS by registering :func:`ndsi_func` as a UDF and executing
+Query 1 from Section 5.1.2 —
+``store(apply(join(S_VIS, S_SWIR), ndsi, ndsi_func(...)), NDSI)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arraydb import query as Q
+from repro.arraydb.executor import Database
+from repro.arraydb.functions import FunctionRegistry
+
+
+def ndsi_func(vis: np.ndarray, swir: np.ndarray) -> np.ndarray:
+    """Vectorized NDSI; cells where both bands are zero yield 0."""
+    vis = np.asarray(vis, dtype="float64")
+    swir = np.asarray(swir, dtype="float64")
+    total = vis + swir
+    return np.divide(
+        vis - swir, total, out=np.zeros_like(total), where=total != 0
+    )
+
+
+def register_ndsi(registry: FunctionRegistry) -> None:
+    """Register ``ndsi_func`` with a UDF registry (idempotent)."""
+    if "ndsi_func" not in registry:
+        registry.register("ndsi_func", ndsi_func)
+
+
+def run_ndsi_query(
+    db: Database,
+    vis_array: str,
+    swir_array: str,
+    out_array: str,
+    chunks: tuple[int, ...] | None = None,
+) -> str:
+    """Execute Query 1: join the band arrays, apply NDSI, store the result.
+
+    The stored array has a single ``ndsi`` attribute.  Returns the output
+    array name.
+    """
+    register_ndsi(db.registry)
+    plan = Q.store(
+        Q.project(
+            Q.apply(
+                Q.join(Q.scan(vis_array), Q.scan(swir_array)),
+                "ndsi",
+                "ndsi_func",
+                (f"{vis_array}.reflectance", f"{swir_array}.reflectance"),
+            ),
+            ("ndsi",),
+        ),
+        out_array,
+        chunks=chunks,
+    )
+    db.execute(plan)
+    return out_array

@@ -1,0 +1,194 @@
+"""World geography for the synthetic MODIS dataset.
+
+Coordinates are normalized to the unit square: ``x`` is longitude
+(0 = 180°W, 1 = 180°E), ``y`` is latitude row (0 = north pole,
+1 = south pole).  The layout loosely mirrors an equirectangular world
+map so the three study tasks (Section 5.3.3) target regions in the same
+relative positions as the paper's: the continental United States
+(Rockies), western Europe (Alps), and South America (Andes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MountainRange:
+    """A ridge of elevated (snowy) terrain along a line segment.
+
+    ``(x0, y0) → (x1, y1)`` is the ridge axis; ``width`` is the Gaussian
+    falloff perpendicular to it; ``height`` scales how strongly the range
+    raises elevation (and therefore snow likelihood).
+    """
+
+    name: str
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(
+                f"range {self.name!r}: width and height must be positive"
+            )
+
+
+@dataclass(frozen=True)
+class Continent:
+    """An elliptical landmass blob (the land/sea mask is their union)."""
+
+    name: str
+    cx: float
+    cy: float
+    rx: float
+    ry: float
+
+    def __post_init__(self) -> None:
+        if self.rx <= 0 or self.ry <= 0:
+            raise ValueError(f"continent {self.name!r}: radii must be positive")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One study search task (Section 5.3.3).
+
+    Users must find ``tiles_to_find`` tiles inside ``bbox`` (normalized
+    ``(x_min, y_min, x_max, y_max)``) at ``target_depth`` levels above the
+    pyramid's deepest level, visibly containing NDSI above
+    ``ndsi_threshold``.  "Visibly" means at least ``min_fraction`` of the
+    tile's cells qualify — a human judging a rendered 32x32 heatmap needs
+    an actual cluster of orange pixels, not one hot cell.
+    """
+
+    task_id: int
+    name: str
+    bbox: tuple[float, float, float, float]
+    target_depth: int
+    ndsi_threshold: float
+    tiles_to_find: int = 4
+    min_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        x_min, y_min, x_max, y_max = self.bbox
+        if not (0 <= x_min < x_max <= 1 and 0 <= y_min < y_max <= 1):
+            raise ValueError(f"task {self.name!r}: malformed bbox {self.bbox}")
+        if self.target_depth < 0:
+            raise ValueError(f"task {self.name!r}: target_depth must be >= 0")
+        if not 0.0 < self.min_fraction <= 1.0:
+            raise ValueError(f"task {self.name!r}: min_fraction must be in (0, 1]")
+
+    def target_level(self, num_levels: int) -> int:
+        """Resolve the task's absolute zoom level for a concrete pyramid."""
+        level = num_levels - 1 - self.target_depth
+        if level < 0:
+            raise ValueError(
+                f"task {self.name!r} needs {self.target_depth + 1} levels, "
+                f"pyramid has {num_levels}"
+            )
+        return level
+
+    def contains(self, x: float, y: float) -> bool:
+        """True if a normalized point falls inside the task region."""
+        x_min, y_min, x_max, y_max = self.bbox
+        return x_min <= x <= x_max and y_min <= y <= y_max
+
+
+#: Mountain ranges, loosely following real-world geography.  The US
+#: ranges are deliberately separated (Cascades / N. Rockies / S. Rockies
+#: / Sierra Nevada) so task 1 requires visiting several distinct regions,
+#: as the paper's longest task did.
+DEFAULT_RANGES: tuple[MountainRange, ...] = (
+    MountainRange("cascades", 0.170, 0.205, 0.185, 0.26, width=0.012, height=0.95),
+    MountainRange("n_rockies", 0.215, 0.235, 0.235, 0.29, width=0.014, height=1.00),
+    MountainRange("s_rockies", 0.245, 0.345, 0.26, 0.405, width=0.013, height=0.90),
+    MountainRange("sierra_nevada", 0.163, 0.345, 0.178, 0.40, width=0.011, height=0.85),
+    MountainRange("appalachians", 0.285, 0.30, 0.315, 0.37, width=0.012, height=0.35),
+    MountainRange("alps_west", 0.505, 0.292, 0.528, 0.276, width=0.013, height=0.95),
+    MountainRange("alps_east", 0.528, 0.276, 0.558, 0.294, width=0.013, height=0.9),
+    MountainRange("pyrenees", 0.487, 0.303, 0.503, 0.306, width=0.009, height=0.65),
+    MountainRange("scandes", 0.53, 0.13, 0.56, 0.20, width=0.015, height=0.70),
+    MountainRange("caucasus", 0.625, 0.28, 0.655, 0.29, width=0.011, height=0.75),
+    MountainRange("himalayas", 0.70, 0.325, 0.76, 0.345, width=0.018, height=1.05),
+    MountainRange("andes_north", 0.300, 0.55, 0.306, 0.68, width=0.013, height=0.95),
+    MountainRange("andes_south", 0.306, 0.68, 0.325, 0.83, width=0.013, height=0.92),
+    MountainRange("southern_alps_nz", 0.935, 0.73, 0.95, 0.76, width=0.010, height=0.70),
+)
+
+#: Landmass blobs for the land/sea mask.
+DEFAULT_CONTINENTS: tuple[Continent, ...] = (
+    Continent("north_america", 0.22, 0.28, 0.14, 0.17),
+    Continent("central_america", 0.26, 0.45, 0.05, 0.06),
+    Continent("south_america", 0.32, 0.65, 0.08, 0.17),
+    Continent("greenland", 0.40, 0.12, 0.05, 0.06),
+    Continent("europe", 0.53, 0.25, 0.08, 0.10),
+    Continent("africa", 0.55, 0.50, 0.10, 0.16),
+    Continent("asia", 0.70, 0.25, 0.18, 0.15),
+    Continent("india", 0.70, 0.42, 0.05, 0.07),
+    Continent("southeast_asia", 0.78, 0.47, 0.06, 0.06),
+    Continent("australia", 0.85, 0.68, 0.08, 0.08),
+    Continent("new_zealand", 0.94, 0.74, 0.025, 0.04),
+    Continent("antarctica", 0.50, 0.97, 0.50, 0.05),
+)
+
+def scaled_tasks(size: int, reference_size: int = 2048) -> tuple["TaskSpec", ...]:
+    """The default tasks, adjusted for a downscaled world raster.
+
+    The study tasks are calibrated for a 2048-cell raster (7 zoom
+    levels).  Halving the raster doubles the geographic area each
+    target-level tile covers, so mountain peaks occupy a smaller
+    fraction of every tile: the visible-cluster bar (``min_fraction``)
+    and qualifying-tile counts must relax accordingly or small test
+    worlds have no findable tiles at all.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    factor = reference_size / size
+    if factor <= 1.0:
+        return DEFAULT_TASKS
+    from dataclasses import replace
+
+    if factor <= 2.0:
+        min_fraction, threshold_drop, to_find = 0.06, 0.05, 2
+    else:
+        min_fraction, threshold_drop, to_find = 0.04, 0.10, 2
+    return tuple(
+        replace(
+            task,
+            min_fraction=min_fraction,
+            ndsi_threshold=max(0.05, task.ndsi_threshold - threshold_drop),
+            tiles_to_find=to_find,
+        )
+        for task in DEFAULT_TASKS
+    )
+
+
+#: The three study tasks from Section 5.3.3.  ``target_depth`` is levels
+#: above the raw level: the paper's zoom level 6 of 9 is depth 2; level 8
+#: of 9 is depth 0 — kept relative so smaller pyramids stay meaningful.
+DEFAULT_TASKS: tuple[TaskSpec, ...] = (
+    TaskSpec(
+        task_id=1,
+        name="us_snow",
+        bbox=(0.13, 0.22, 0.33, 0.44),
+        target_depth=1,
+        ndsi_threshold=0.55,
+    ),
+    TaskSpec(
+        task_id=2,
+        name="europe_snow",
+        bbox=(0.46, 0.18, 0.60, 0.34),
+        target_depth=0,
+        ndsi_threshold=0.50,
+    ),
+    TaskSpec(
+        task_id=3,
+        name="south_america_snow",
+        bbox=(0.26, 0.50, 0.40, 0.86),
+        target_depth=1,
+        ndsi_threshold=0.25,
+    ),
+)

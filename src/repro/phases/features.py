@@ -1,0 +1,68 @@
+"""Feature extraction for the phase classifier (Table 1).
+
+Each request yields six features computed from the requested tile and
+the move that produced it: the tile's X and Y positions (in tiles), its
+zoom level, and one-hot flags for pan / zoom-in / zoom-out.  Only
+interaction data and relative tile positions are used, so the classifier
+transfers to any tile-amenable dataset (Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phases.model import AnalysisPhase
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.users.session import Trace
+
+#: Feature order, matching Table 1.
+FEATURE_NAMES: tuple[str, ...] = (
+    "x_position",
+    "y_position",
+    "zoom_level",
+    "pan_flag",
+    "zoom_in_flag",
+    "zoom_out_flag",
+)
+
+
+def feature_vector(tile: TileKey, move: Move | None) -> np.ndarray:
+    """The Table 1 feature vector for one request.
+
+    The session's initial request has no move; its flags are all zero.
+    """
+    pan_flag = 1.0 if move is not None and move.is_pan else 0.0
+    zoom_in_flag = 1.0 if move is not None and move.is_zoom_in else 0.0
+    zoom_out_flag = 1.0 if move is not None and move.is_zoom_out else 0.0
+    return np.asarray(
+        [
+            float(tile.x),
+            float(tile.y),
+            float(tile.level),
+            pan_flag,
+            zoom_in_flag,
+            zoom_out_flag,
+        ]
+    )
+
+
+def trace_features(
+    traces: list[Trace],
+) -> tuple[np.ndarray, list[AnalysisPhase]]:
+    """Stack feature vectors and phase labels for all labeled requests.
+
+    Requests without a phase label are skipped (there are none in the
+    simulated study; external traces may be partially labeled).
+    """
+    rows: list[np.ndarray] = []
+    labels: list[AnalysisPhase] = []
+    for trace in traces:
+        for request in trace.requests:
+            if request.phase is None:
+                continue
+            rows.append(feature_vector(request.tile, request.move))
+            labels.append(request.phase)
+    if not rows:
+        return np.zeros((0, len(FEATURE_NAMES))), []
+    return np.stack(rows), labels

@@ -1,0 +1,33 @@
+"""Recommendation models — the bottom level of the prediction engine.
+
+Two families (Section 4.3):
+
+- **Action-Based (AB)**: predict from the user's recent *moves* — the
+  n-th order Markov chain with Kneser–Ney smoothing
+  (:class:`MarkovRecommender`), plus the Momentum and Hotspot baselines
+  from Doshi et al. that the paper compares against.
+- **Signature-Based (SB)**: predict from tile *content* — rank candidate
+  tiles by visual similarity to the user's last region of interest
+  (:class:`SignatureBasedRecommender`, Algorithm 3).
+
+Every model consumes a :class:`PredictionContext` and emits a ranked
+tile list; the prediction engine trims each list to its cache
+allocation.
+"""
+
+from repro.recommenders.base import PredictionContext, Recommender
+from repro.recommenders.hotspot import HotspotRecommender
+from repro.recommenders.markov import MarkovRecommender
+from repro.recommenders.momentum import MomentumRecommender
+from repro.recommenders.signature_based import SignatureBasedRecommender
+from repro.recommenders.smoothing import KneserNeyEstimator
+
+__all__ = [
+    "HotspotRecommender",
+    "KneserNeyEstimator",
+    "MarkovRecommender",
+    "MomentumRecommender",
+    "PredictionContext",
+    "Recommender",
+    "SignatureBasedRecommender",
+]

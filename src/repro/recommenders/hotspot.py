@@ -1,0 +1,74 @@
+"""The Hotspot baseline (Doshi et al., reimplemented per Section 5.2.3).
+
+Hotspot extends Momentum with awareness of popular tiles: training
+counts requests per tile across the study traces and keeps the most
+requested as *hotspots*.  When the user is near a hotspot, candidate
+tiles that bring her closer to it are ranked above the rest; otherwise
+the model behaves exactly like Momentum.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.recommenders.base import PredictionContext, Recommender
+from repro.recommenders.momentum import MomentumRecommender
+from repro.tiles.key import TileKey
+from repro.tiles.moves import ALL_MOVES
+from repro.users.session import Trace
+
+
+class HotspotRecommender(Recommender):
+    """Momentum plus popularity-based pull toward hotspot tiles."""
+
+    name = "hotspot"
+
+    def __init__(self, num_hotspots: int = 10, proximity: int = 4) -> None:
+        if num_hotspots < 1:
+            raise ValueError(f"num_hotspots must be >= 1, got {num_hotspots}")
+        if proximity < 1:
+            raise ValueError(f"proximity must be >= 1, got {proximity}")
+        self.num_hotspots = num_hotspots
+        self.proximity = proximity
+        self.hotspots: tuple[TileKey, ...] = ()
+        self._momentum = MomentumRecommender()
+
+    def train(self, traces: Sequence[Trace]) -> None:
+        """Pick the most requested tiles in the training traces."""
+        counts: Counter[TileKey] = Counter()
+        for trace in traces:
+            counts.update(trace.tiles())
+        # Ties broken by key order for determinism.
+        ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        self.hotspots = tuple(key for key, _ in ordered[: self.num_hotspots])
+
+    def nearest_hotspot(self, tile: TileKey) -> TileKey | None:
+        """The closest hotspot within ``proximity`` moves, if any."""
+        best: TileKey | None = None
+        best_distance = self.proximity + 1
+        for hotspot in self.hotspots:
+            distance = tile.manhattan_distance(hotspot)
+            if distance < best_distance:
+                best = hotspot
+                best_distance = distance
+        return best
+
+    def predict(self, context: PredictionContext) -> list[TileKey]:
+        hotspot = self.nearest_hotspot(context.current)
+        if hotspot is None:
+            return self._momentum.predict(context)
+
+        distribution = self._momentum.move_distribution(context.last_move)
+        current_distance = context.current.manhattan_distance(hotspot)
+        candidate_set = set(context.candidates)
+        ranked: list[tuple[int, float, int, TileKey]] = []
+        for move_index, move in enumerate(ALL_MOVES):
+            target = context.grid.apply(context.current, move)
+            if target is None or target not in candidate_set:
+                continue
+            closer = target.manhattan_distance(hotspot) < current_distance
+            # Approaching tiles first; Momentum order within each group.
+            ranked.append((0 if closer else 1, -distribution[move], move_index, target))
+        ranked.sort()
+        return [tile for _, _, _, tile in ranked]

@@ -1,0 +1,49 @@
+"""Tile signatures (Table 2 of the paper).
+
+A *signature* is a compact numeric vector summarizing one data tile,
+computed over a single array attribute.  The Signature-Based recommender
+compares candidate tiles to the user's last region of interest by
+signature distance (Algorithm 3).  Four signatures reproduce the paper's
+Table 2 — :class:`NormalSignature`, :class:`HistogramSignature`,
+:class:`SIFTSignature`, and :class:`DenseSIFTSignature` — and the
+toolbox adds the time-series-oriented extras the paper lists as future
+work (Section 6.2).
+
+All signatures emit histogram-like non-negative vectors, so the
+Chi-Squared distance applies uniformly (Section 4.3.3).
+"""
+
+from repro.signatures.base import Signature, SignatureRegistry
+from repro.signatures.densesift import DenseSIFTSignature
+from repro.signatures.distance import (
+    chi_squared_distance,
+    score_candidates,
+    weighted_l2,
+)
+from repro.signatures.histogram import HistogramSignature
+from repro.signatures.provider import SignatureProvider
+from repro.signatures.selection import SelectionResult, select_best_signature
+from repro.signatures.sift import SIFTSignature, extract_sift_descriptors
+from repro.signatures.stats import NormalSignature
+from repro.signatures.toolbox import LinearCorrelationSignature, OutlierCountSignature
+from repro.signatures.visualwords import VisualVocabulary, train_vocabulary
+
+__all__ = [
+    "DenseSIFTSignature",
+    "HistogramSignature",
+    "LinearCorrelationSignature",
+    "NormalSignature",
+    "OutlierCountSignature",
+    "SIFTSignature",
+    "SelectionResult",
+    "Signature",
+    "SignatureProvider",
+    "SignatureRegistry",
+    "select_best_signature",
+    "VisualVocabulary",
+    "chi_squared_distance",
+    "extract_sift_descriptors",
+    "score_candidates",
+    "train_vocabulary",
+    "weighted_l2",
+]

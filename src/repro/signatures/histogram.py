@@ -1,0 +1,41 @@
+"""The 1-D histogram signature (Table 2, row 2).
+
+A fixed-bin, mass-normalized histogram of the tile's cell values —
+captures the distribution of rendered datapoints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signatures.base import Signature
+from repro.tiles.tile import DataTile
+
+
+class HistogramSignature(Signature):
+    """Fixed-bin value histogram, normalized to unit mass."""
+
+    name = "histogram"
+
+    def __init__(
+        self, bins: int = 16, value_range: tuple[float, float] = (-1.0, 1.0)
+    ) -> None:
+        if bins < 2:
+            raise ValueError(f"need at least 2 bins, got {bins}")
+        lo, hi = value_range
+        if hi <= lo:
+            raise ValueError(f"empty value range {value_range}")
+        self.bins = bins
+        self.value_range = (float(lo), float(hi))
+
+    def compute(self, tile: DataTile, attribute: str) -> np.ndarray:
+        values = np.asarray(tile.attribute(attribute), dtype="float64").ravel()
+        counts, _ = np.histogram(
+            np.clip(values, *self.value_range),
+            bins=self.bins,
+            range=self.value_range,
+        )
+        total = counts.sum()
+        if total == 0:
+            return np.zeros(self.bins, dtype="float64")
+        return counts.astype("float64") / total

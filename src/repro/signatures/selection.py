@@ -1,0 +1,73 @@
+"""Automatic signature selection (Section 6.2, future work).
+
+The paper hand-picked SIFT for the NDSI dataset and proposes learning
+which signature works best for a given dataset automatically.  This
+module implements the obvious estimator: evaluate each candidate
+signature's SB recommender on held-out traces and pick the winner.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.signatures.provider import SignatureProvider
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.accuracy import AccuracyResult
+    from repro.users.session import Trace
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a signature-selection run."""
+
+    best: str
+    scores: dict[str, float]
+    per_signature: dict[str, "AccuracyResult"]
+
+
+def select_best_signature(
+    provider: SignatureProvider,
+    traces: Sequence["Trace"],
+    signature_names: Sequence[str] | None = None,
+    k: int = 5,
+) -> SelectionResult:
+    """Pick the signature whose SB recommender best predicts ``traces``.
+
+    ``traces`` should be held-out validation sessions — selecting on the
+    same traces you later evaluate on would leak.  Returns the winner,
+    per-signature accuracy at the chosen ``k``, and the full accuracy
+    results for further inspection.
+    """
+    # Imported here: the engine/experiments layers sit above signatures
+    # in the package graph, and importing them at module load would be
+    # circular.
+    from repro.core.allocation import SingleModelStrategy
+    from repro.core.engine import PredictionEngine
+    from repro.experiments.accuracy import AccuracyResult, replay_engine
+    from repro.recommenders.signature_based import SignatureBasedRecommender
+
+    if signature_names is None:
+        signature_names = provider.registry.names()
+    if not signature_names:
+        raise ValueError("no signatures to select from")
+    if not traces:
+        raise ValueError("signature selection needs at least one trace")
+
+    scores: dict[str, float] = {}
+    per_signature: dict[str, AccuracyResult] = {}
+    for name in signature_names:
+        model = SignatureBasedRecommender(provider, (name,))
+        engine = PredictionEngine(
+            grid=provider.pyramid.grid,
+            recommenders={model.name: model},
+            strategy=SingleModelStrategy(model.name),
+        )
+        result = replay_engine(engine, list(traces), ks=(k,))
+        per_signature[name] = result
+        scores[name] = result.accuracy(k)
+
+    best = max(sorted(scores), key=lambda name: scores[name])
+    return SelectionResult(best=best, scores=scores, per_signature=per_signature)

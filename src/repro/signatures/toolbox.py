@@ -1,0 +1,73 @@
+"""The extended signature toolbox (Section 6.2, future work).
+
+The paper proposes a general-purpose signature toolbox for non-imagery
+data, naming outlier counting and linear correlation as candidates for
+time-series prefetching.  Both are implemented here as histogram-style
+signatures so they compose with the existing Chi-Squared machinery and
+the SB recommender unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.signatures.base import Signature
+from repro.tiles.tile import DataTile
+
+
+class OutlierCountSignature(Signature):
+    """Distribution of per-cell z-score magnitudes.
+
+    Bins |z| into ``[0,1), [1,2), [2,3), [3,inf)`` by default.  Two tiles
+    with similar tail weight (similar outlier structure — e.g. two heart
+    rate windows with unusual peaks) land close together.
+    """
+
+    name = "outliers"
+
+    def __init__(self, edges: tuple[float, ...] = (0.0, 1.0, 2.0, 3.0)) -> None:
+        if len(edges) < 2 or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"edges must be strictly increasing, got {edges}")
+        self.edges = tuple(float(e) for e in edges)
+
+    def compute(self, tile: DataTile, attribute: str) -> np.ndarray:
+        values = np.asarray(tile.attribute(attribute), dtype="float64").ravel()
+        std = values.std()
+        if std == 0:
+            z = np.zeros_like(values)
+        else:
+            z = np.abs(values - values.mean()) / std
+        edges = list(self.edges) + [np.inf]
+        counts, _ = np.histogram(z, bins=edges)
+        total = counts.sum()
+        if total == 0:
+            return np.zeros(len(self.edges), dtype="float64")
+        return counts.astype("float64") / total
+
+
+class LinearCorrelationSignature(Signature):
+    """Correlation of cell values against each positional axis.
+
+    Captures directional trends (values rising to the east, falling to
+    the south, ...), useful for time-series tiles where slope is the
+    salient visual feature.  Correlations in [-1, 1] are affinely mapped
+    to [0, 1] so the vector stays Chi-Squared-compatible.
+    """
+
+    name = "correlation"
+
+    def compute(self, tile: DataTile, attribute: str) -> np.ndarray:
+        values = np.asarray(tile.attribute(attribute), dtype="float64")
+        h, w = values.shape
+        yy, xx = np.mgrid[0:h, 0:w]
+        flat = values.ravel()
+        corr_x = _safe_corr(flat, xx.ravel())
+        corr_y = _safe_corr(flat, yy.ravel())
+        return np.asarray([(corr_x + 1.0) / 2.0, (corr_y + 1.0) / 2.0])
+
+
+def _safe_corr(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation, 0.0 when either side is constant."""
+    if a.std() == 0 or b.std() == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])

@@ -1,0 +1,280 @@
+"""Zoom levels as materialized views, partitioned into data tiles.
+
+:class:`TileGrid` is the pure geometry of a quadtree pyramid (which keys
+exist, which moves are legal).  :class:`TilePyramid` binds that geometry
+to a :class:`~repro.arraydb.executor.Database`: building it creates one
+materialized view per zoom level (Section 2.3, "Building Materialized
+Views"), chunk-aligned to the tile size so a tile fetch reads exactly one
+chunk per attribute.
+
+Dimension convention: the first array dimension is ``y`` (rows,
+latitude), the second is ``x`` (columns, longitude).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.arraydb import query as Q
+from repro.arraydb.executor import Database
+from repro.arraydb.schema import ArraySchema, Attribute, Dimension
+from repro.tiles.key import TileKey
+from repro.tiles.moves import ALL_MOVES, Move
+from repro.tiles.tile import DataTile
+
+
+class TileGrid:
+    """Bounds-checked quadtree geometry: level ``l`` has ``2^l`` tiles/dim."""
+
+    def __init__(self, num_levels: int) -> None:
+        if num_levels < 1:
+            raise ValueError(f"a pyramid needs at least one level, got {num_levels}")
+        self.num_levels = num_levels
+
+    @property
+    def root(self) -> TileKey:
+        """The single tile at level 0."""
+        return TileKey(0, 0, 0)
+
+    @property
+    def deepest_level(self) -> int:
+        """The raw-data level."""
+        return self.num_levels - 1
+
+    def tiles_per_dim(self, level: int) -> int:
+        """Number of tiles along each dimension of ``level``."""
+        if not 0 <= level < self.num_levels:
+            raise ValueError(
+                f"level {level} outside pyramid (has {self.num_levels} levels)"
+            )
+        return 1 << level
+
+    def tile_count(self, level: int) -> int:
+        """Total tiles at ``level``."""
+        return self.tiles_per_dim(level) ** 2
+
+    def total_tiles(self) -> int:
+        """Total tiles across all levels."""
+        return sum(self.tile_count(level) for level in range(self.num_levels))
+
+    def valid(self, key: TileKey) -> bool:
+        """True if ``key`` exists in this pyramid."""
+        if not 0 <= key.level < self.num_levels:
+            return False
+        n = self.tiles_per_dim(key.level)
+        return 0 <= key.x < n and 0 <= key.y < n
+
+    def keys_at_level(self, level: int) -> Iterator[TileKey]:
+        """Iterate all keys at one level in row-major order."""
+        n = self.tiles_per_dim(level)
+        for y in range(n):
+            for x in range(n):
+                yield TileKey(level, x, y)
+
+    def all_keys(self) -> Iterator[TileKey]:
+        """Iterate all keys in the pyramid, coarsest level first."""
+        for level in range(self.num_levels):
+            yield from self.keys_at_level(level)
+
+    # ------------------------------------------------------------------
+    # movement
+    # ------------------------------------------------------------------
+    def apply(self, key: TileKey, move: Move) -> TileKey | None:
+        """The key reached by ``move``, or None if it leaves the pyramid."""
+        if not self.valid(key):
+            raise ValueError(f"key {key} is not in this pyramid")
+        if move is Move.ZOOM_OUT and key.level == 0:
+            return None
+        try:
+            target = key.apply(move)
+        except ValueError:
+            # Pans off the left/top edge produce negative coordinates.
+            return None
+        return target if self.valid(target) else None
+
+    def available_moves(self, key: TileKey) -> list[tuple[Move, TileKey]]:
+        """All legal (move, destination) pairs from ``key``, in move order."""
+        result = []
+        for move in ALL_MOVES:
+            target = self.apply(key, move)
+            if target is not None:
+                result.append((move, target))
+        return result
+
+    def neighbors(self, key: TileKey) -> list[TileKey]:
+        """Destinations of all legal moves from ``key``."""
+        return [target for _, target in self.available_moves(key)]
+
+    def candidates(self, key: TileKey, d: int = 1) -> list[TileKey]:
+        """All tiles reachable in at most ``d`` moves (Section 4.3.1).
+
+        Breadth-first order: tiles one move away come before tiles two
+        moves away, matching the prediction problem's candidate set ``C``.
+        ``key`` itself is excluded.
+        """
+        if d < 1:
+            raise ValueError(f"prefetch distance d must be >= 1, got {d}")
+        seen = {key}
+        order: list[TileKey] = []
+        frontier = deque([(key, 0)])
+        while frontier:
+            current, depth = frontier.popleft()
+            if depth == d:
+                continue
+            for neighbor in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    order.append(neighbor)
+                    frontier.append((neighbor, depth + 1))
+        return order
+
+
+class TilePyramid:
+    """Materialized zoom levels of a source array, tiled for fetching."""
+
+    def __init__(
+        self,
+        db: Database,
+        source: str,
+        tile_size: int,
+        num_levels: int,
+        attributes: tuple[str, ...],
+    ) -> None:
+        self.db = db
+        self.source = source
+        self.tile_size = tile_size
+        self.grid = TileGrid(num_levels)
+        self.attributes = attributes
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        db: Database,
+        source: str,
+        tile_size: int,
+        attributes: tuple[str, ...] | None = None,
+        aggregates: dict[str, str] | None = None,
+    ) -> "TilePyramid":
+        """Build every zoom level of ``source`` as materialized views.
+
+        ``source`` must be a square 2-D array whose side is
+        ``tile_size * 2^k`` for some ``k >= 0``; the pyramid then has
+        ``k + 1`` levels.  ``aggregates`` maps attribute name to the
+        regrid aggregate used when coarsening it (default ``"avg"``;
+        e.g. a land/sea mask wants ``"max"``).
+        """
+        schema = db.schema(source)
+        if schema.ndim != 2:
+            raise ValueError(
+                f"pyramids require 2-D arrays, {source!r} has {schema.ndim} dims"
+            )
+        side = schema.shape[0]
+        if schema.shape[1] != side:
+            raise ValueError(
+                f"pyramids require square arrays, {source!r} is {schema.shape}"
+            )
+        if schema.origin != (0, 0):
+            raise ValueError(f"pyramids require a (0, 0) origin, {source!r} starts at {schema.origin}")
+        if tile_size <= 0 or side % tile_size != 0:
+            raise ValueError(
+                f"tile size {tile_size} does not divide array side {side}"
+            )
+        factor = side // tile_size
+        if factor & (factor - 1) != 0:
+            raise ValueError(
+                f"array side / tile size must be a power of two, got {factor}"
+            )
+        num_levels = factor.bit_length()
+
+        if attributes is None:
+            attributes = tuple(a.name for a in schema.attributes)
+        aggregates = aggregates or {}
+
+        pyramid = cls(db, source, tile_size, num_levels, tuple(attributes))
+        for level in range(num_levels):
+            pyramid._materialize_level(level, aggregates)
+        return pyramid
+
+    def _materialize_level(self, level: int, aggregates: dict[str, str]) -> None:
+        """Create the materialized view for one zoom level (Figures 3-4)."""
+        interval = 1 << (self.grid.deepest_level - level)
+        side = self.grid.tiles_per_dim(level) * self.tile_size
+        dims = (
+            Dimension("y", 0, side, self.tile_size),
+            Dimension("x", 0, side, self.tile_size),
+        )
+        source_schema = self.db.schema(self.source)
+        attrs = tuple(
+            Attribute(name, source_schema.attribute(name).dtype)
+            for name in self.attributes
+        )
+        view = self.db.create_array(
+            ArraySchema(self.view_name(level), attributes=attrs, dimensions=dims)
+        )
+        for name in self.attributes:
+            if interval == 1:
+                data = self.db.read(self.source, name)
+            else:
+                agg = aggregates.get(name, "avg")
+                plan = Q.regrid(
+                    Q.project(Q.scan(self.source), (name,)),
+                    (interval, interval),
+                    agg,
+                )
+                data = self.db.execute(plan).attribute(name)
+            view.write(name, data)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        """Number of zoom levels (level 0 is coarsest)."""
+        return self.grid.num_levels
+
+    @property
+    def tile_cells(self) -> int:
+        """Cells per tile (``tile_size ** 2``)."""
+        return self.tile_size * self.tile_size
+
+    def view_name(self, level: int) -> str:
+        """Name of the materialized view backing one zoom level."""
+        if not 0 <= level < self.num_levels:
+            raise ValueError(
+                f"level {level} outside pyramid (has {self.num_levels} levels)"
+            )
+        return f"{self.source}__z{level}"
+
+    def tile_region(self, key: TileKey) -> tuple[tuple[int, int], tuple[int, int]]:
+        """The (y, x) cell bounds of ``key`` within its level's view."""
+        if not self.grid.valid(key):
+            raise ValueError(f"key {key} is not in this pyramid")
+        ts = self.tile_size
+        return (
+            (key.y * ts, (key.y + 1) * ts),
+            (key.x * ts, (key.x + 1) * ts),
+        )
+
+    def fetch_tile(self, key: TileKey, charge: bool = True) -> DataTile:
+        """Fetch one tile's payload from the backing DBMS.
+
+        With ``charge=True`` (the default) the fetch runs as a real
+        ``subarray(scan(...))`` query and is charged to the database's
+        cost model/clock — this is the "cache miss" path.  With
+        ``charge=False`` the read bypasses the executor (used when
+        precomputing metadata at build time).
+        """
+        region = self.tile_region(key)
+        view = self.view_name(key.level)
+        if charge:
+            result = self.db.execute(Q.subarray(Q.scan(view), region))
+            attributes = {name: result.attribute(name) for name in self.attributes}
+        else:
+            attributes = {
+                name: self.db.read(view, name, region) for name in self.attributes
+            }
+        return DataTile(key=key, attributes=attributes)

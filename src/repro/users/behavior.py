@@ -1,0 +1,574 @@
+"""The simulated study participant (Section 5.3's users).
+
+The policy follows the paper's own analysis model, with every decision
+driven by *what the user can actually see* — the single rendered tile:
+
+- **Foraging**: at a coarse "scanning" level, pan toward snow visible at
+  the tile's edges (with a geographic prior toward the task region —
+  real scientists know where the US is on a world map), occasionally
+  "peeking" one level down and back.  When the current coarse tile shows
+  a promising unexplored cluster, commit to it.
+- **Navigation (down)**: repeatedly click the snowiest visible quadrant
+  until the task's target zoom level.
+- **Sensemaking**: at the target level, record tiles satisfying the task
+  and pan along the visible snow structure (mountain ridges), with some
+  directional persistence.  When the local area is exhausted, retreat.
+- **Navigation (up)**: zoom out several levels and resume foraging in a
+  different part of the region.
+
+Per-user stochastic profiles (attention, persistence, wandering, peek
+rate, retreat depth) create the between-user variation visible in the
+paper's Figures 8c-8e.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.modis.dataset import MODISDataset
+from repro.modis.regions import TaskSpec
+from repro.phases.model import AnalysisPhase
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move, pan_move_for_offset, zoom_in_move_for_quadrant
+from repro.users.session import Request, Trace
+
+_PAN_DIRECTIONS = {
+    "left": (-1, 0),
+    "right": (1, 0),
+    "up": (0, -1),
+    "down": (0, 1),
+}
+
+_REVERSE_PAN = {
+    Move.PAN_LEFT: Move.PAN_RIGHT,
+    Move.PAN_RIGHT: Move.PAN_LEFT,
+    Move.PAN_UP: Move.PAN_DOWN,
+    Move.PAN_DOWN: Move.PAN_UP,
+}
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """Per-user behavioral parameters.
+
+    ``attention`` is the probability of taking the visually best option
+    (vs the runner-up); ``persistence`` the tendency to keep panning the
+    same direction; ``wander`` the rate of undirected exploratory pans;
+    ``peek_rate`` the rate of quick zoom-in/zoom-out peeks while
+    foraging; ``retreat_depth`` how many levels the user zooms back out
+    before re-foraging; ``patience`` how many consecutive unpromising
+    sensemaking pans the user tolerates.
+    """
+
+    attention: float
+    persistence: float
+    wander: float
+    peek_rate: float
+    retreat_depth: int
+    patience: int
+    cluster_greed: float
+    verify_rate: float
+    compare_rate: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "attention",
+            "persistence",
+            "wander",
+            "peek_rate",
+            "cluster_greed",
+            "verify_rate",
+            "compare_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.retreat_depth < 1:
+            raise ValueError("retreat_depth must be >= 1")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+    @classmethod
+    def sample(cls, rng: np.random.Generator) -> "BehaviorProfile":
+        """Draw a random but plausible participant profile."""
+        return cls(
+            attention=float(rng.uniform(0.78, 0.97)),
+            persistence=float(rng.uniform(0.3, 0.7)),
+            wander=float(rng.uniform(0.03, 0.18)),
+            peek_rate=float(rng.uniform(0.05, 0.22)),
+            retreat_depth=int(rng.integers(2, 4)),
+            patience=int(rng.integers(2, 5)),
+            cluster_greed=float(rng.uniform(0.25, 0.75)),
+            verify_rate=float(rng.uniform(0.1, 0.3)),
+            compare_rate=float(rng.uniform(0.1, 0.3)),
+        )
+
+
+class SimulatedUser:
+    """One study participant: runs tasks against a MODIS dataset."""
+
+    def __init__(
+        self,
+        dataset: MODISDataset,
+        user_id: int,
+        profile: BehaviorProfile,
+        seed: int,
+        max_requests: int = 90,
+    ) -> None:
+        self.dataset = dataset
+        self.user_id = user_id
+        self.profile = profile
+        self.seed = seed
+        self.max_requests = max_requests
+
+    # ------------------------------------------------------------------
+    # task execution
+    # ------------------------------------------------------------------
+    def run_task(self, task: TaskSpec) -> Trace:
+        """Complete one search task, returning the request trace."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, self.user_id, task.task_id])
+        )
+        session = _TaskSession(self.dataset, task, self.profile, rng, self.max_requests)
+        requests = session.run()
+        return Trace(user_id=self.user_id, task_id=task.task_id, requests=requests)
+
+
+class _TaskSession:
+    """Mutable state for one user completing one task."""
+
+    def __init__(
+        self,
+        dataset: MODISDataset,
+        task: TaskSpec,
+        profile: BehaviorProfile,
+        rng: np.random.Generator,
+        max_requests: int,
+    ) -> None:
+        self.dataset = dataset
+        self.task = task
+        self.profile = profile
+        self.rng = rng
+        self.max_requests = max_requests
+        self.grid = dataset.pyramid.grid
+        self.target_level = task.target_level(dataset.num_levels)
+        self.forage_level = self._choose_forage_level()
+        # Explored areas are remembered at a granularity between the
+        # scanning and target levels: fine enough that ruling out one
+        # cluster does not rule out the whole region.
+        self.exhaust_level = min(
+            self.target_level,
+            (self.forage_level + self.target_level + 1) // 2,
+        )
+        # Snow visibility threshold: a bit below the task's requirement,
+        # since users chase anything that might qualify.
+        self.view_threshold = max(0.0, task.ndsi_threshold - 0.25)
+
+        self.requests: list[Request] = []
+        self.current = self.grid.root
+        self.found: set[TileKey] = set()
+        self.visited_targets: set[TileKey] = set()
+        self.exhausted_regions: set[TileKey] = set()
+        self.forage_visits: dict[TileKey, int] = {}
+        self.peeked: set[TileKey] = set()
+        self.last_pan: Move | None = None
+
+    # ------------------------------------------------------------------
+    # geography the user knows
+    # ------------------------------------------------------------------
+    def _overlaps_bbox(self, key: TileKey) -> bool:
+        """Does this tile's coverage intersect the task region?"""
+        x_min, y_min, x_max, y_max = self.task.bbox
+        b = key.normalized_bounds()
+        return not (b[2] < x_min or b[0] > x_max or b[3] < y_min or b[1] > y_max)
+
+    def _center_in_bbox(self, key: TileKey) -> bool:
+        """Is this tile's center inside the task region?"""
+        cx, cy = key.normalized_center()
+        return self.task.contains(cx, cy)
+
+    def _mark_exhausted(self, key: TileKey) -> None:
+        """Write off a patch (at ``exhaust_level`` granularity or coarser)."""
+        if key.level > self.exhaust_level:
+            key = key.ancestor(self.exhaust_level)
+        self.exhausted_regions.add(key)
+
+    def _fully_exhausted(self, key: TileKey) -> bool:
+        """Has every explorable patch under this tile been ruled out?
+
+        A tile is dead when it (or an ancestor) was written off, or when
+        written-off patches cover its whole area.
+        """
+        for level in range(key.level + 1):
+            if key.ancestor(level) in self.exhausted_regions:
+                return True
+        if key.level >= self.exhaust_level:
+            return False
+        # Sum the coverage of marked patches underneath this tile.
+        total = 4 ** (self.exhaust_level - key.level)
+        covered = 0
+        for region in self.exhausted_regions:
+            if region.level >= key.level and region.ancestor(key.level) == key:
+                covered += 4 ** (self.exhaust_level - region.level)
+        return covered >= total
+
+    def _visited_fraction(self, key: TileKey) -> float:
+        """Fraction of this tile's target-level descendants already seen."""
+        if key.level > self.target_level:
+            return 0.0
+        span = 4 ** (self.target_level - key.level)
+        count = sum(
+            1 for t in self.visited_targets if t.ancestor(key.level) == key
+        )
+        return count / span
+
+    def _choose_forage_level(self) -> int:
+        """The coarse scanning level: tiles about the task region's size."""
+        x_min, y_min, x_max, y_max = self.task.bbox
+        extent = max(x_max - x_min, y_max - y_min)
+        level = int(np.floor(np.log2(1.0 / extent))) + 1
+        return int(np.clip(level, 1, max(1, self.target_level - 1)))
+
+    # ------------------------------------------------------------------
+    # request recording
+    # ------------------------------------------------------------------
+    def _record(self, move: Move | None, tile: TileKey, phase: AnalysisPhase) -> None:
+        self.requests.append(
+            Request(index=len(self.requests), tile=tile, move=move, phase=phase)
+        )
+        self.current = tile
+        if move is not None and move.is_pan:
+            self.last_pan = move
+        elif move is not None:
+            self.last_pan = None
+
+    def _done(self) -> bool:
+        return (
+            len(self.found) >= self.task.tiles_to_find
+            or len(self.requests) >= self.max_requests
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> list[Request]:
+        self._record(None, self.grid.root, AnalysisPhase.FORAGING)
+        self._locate()
+        while not self._done():
+            committed = self._forage()
+            if self._done():
+                break
+            if committed:
+                reached_target = self._descend()
+                if reached_target:
+                    dead_end = self._sensemake()
+                else:
+                    # The promise evaporated on the way down; write off
+                    # where we got stuck.
+                    dead_end = True
+                if not self._done():
+                    self._retreat(exhaust=dead_end)
+            else:
+                # Foraging stalled with nothing promising in sight;
+                # widen the view and keep scanning.
+                if self.current.level > 1:
+                    self._record(
+                        Move.ZOOM_OUT, self.current.parent, AnalysisPhase.FORAGING
+                    )
+                else:
+                    break
+        return self.requests
+
+    # ------------------------------------------------------------------
+    # phase behaviours
+    # ------------------------------------------------------------------
+    def _locate(self) -> None:
+        """Zoom from the root toward the task region's scanning level.
+
+        Labeled Foraging: the user is still scanning coarse overviews on
+        the way to the area of interest.
+        """
+        bx = (self.task.bbox[0] + self.task.bbox[2]) / 2.0
+        by = (self.task.bbox[1] + self.task.bbox[3]) / 2.0
+        while self.current.level < self.forage_level and not self._done():
+            n = 1 << (self.current.level + 1)
+            cx = min(int(bx * n), n - 1)
+            cy = min(int(by * n), n - 1)
+            dx = int(np.clip(cx - 2 * self.current.x, 0, 1))
+            dy = int(np.clip(cy - 2 * self.current.y, 0, 1))
+            move = zoom_in_move_for_quadrant(dx, dy)
+            self._record(move, self.current.child(dx, dy), AnalysisPhase.FORAGING)
+
+    def _forage(self) -> bool:
+        """Scan at the coarse level; True when committing to a descent."""
+        steps = 0
+        while not self._done() and steps < 12:
+            steps += 1
+            self.forage_visits[self.current] = (
+                self.forage_visits.get(self.current, 0) + 1
+            )
+            if self._promising(self.current):
+                return True
+            if (
+                self.current not in self.peeked
+                and self.rng.random() < self.profile.peek_rate
+            ):
+                self._peek()
+                continue
+            move = self._choose_forage_pan()
+            if move is None:
+                return False
+            target = self.grid.apply(self.current, move)
+            self._record(move, target, AnalysisPhase.FORAGING)
+        return False
+
+    def _peek(self) -> None:
+        """A quick look one level down and back (still Foraging)."""
+        if self.current.level + 1 >= self.dataset.num_levels:
+            return
+        self.peeked.add(self.current)
+        quadrants = self.dataset.quadrant_saliency(self.current, self.view_threshold)
+        (dx, dy), _ = max(quadrants.items(), key=lambda item: item[1])
+        child = self.current.child(dx, dy)
+        if not self.grid.valid(child):
+            return
+        parent = self.current
+        self._record(
+            zoom_in_move_for_quadrant(dx, dy), child, AnalysisPhase.FORAGING
+        )
+        if self._done():
+            return
+        self._record(Move.ZOOM_OUT, parent, AnalysisPhase.FORAGING)
+
+    def _promising(self, key: TileKey) -> bool:
+        """Does this coarse tile show an unexplored qualifying cluster?"""
+        if self._fully_exhausted(key):
+            return False
+        # The tile must at least overlap the task region.
+        if not self._overlaps_bbox(key):
+            return False
+        return (
+            self.dataset.saliency(key, self.view_threshold) > 0.03
+            and self.dataset.max_ndsi(key) > self.task.ndsi_threshold
+        )
+
+    def _choose_forage_pan(self) -> Move | None:
+        """Pan toward visible snow, biased toward the task region."""
+        edge = self.dataset.edge_saliency(self.current, self.view_threshold)
+        bx = (self.task.bbox[0] + self.task.bbox[2]) / 2.0
+        by = (self.task.bbox[1] + self.task.bbox[3]) / 2.0
+        cx, cy = self.current.normalized_center()
+        scored: list[tuple[float, Move]] = []
+        for direction, (dx, dy) in _PAN_DIRECTIONS.items():
+            move = pan_move_for_offset(dx, dy)
+            target = self.grid.apply(self.current, move)
+            if target is None or self._fully_exhausted(target):
+                continue
+            geographic = dx * np.sign(bx - cx) + dy * np.sign(by - cy)
+            score = edge[direction] + 0.25 * geographic
+            if self.last_pan is not None and move is self.last_pan:
+                score += 0.15 * self.profile.persistence
+            # Recently revisited tiles look stale; go somewhere new.
+            score -= 0.3 * self.forage_visits.get(target, 0)
+            scored.append((score, move))
+        if not scored:
+            return None
+        if self.rng.random() < self.profile.wander:
+            return scored[int(self.rng.integers(len(scored)))][1]
+        scored.sort(key=lambda item: -item[0])
+        if len(scored) > 1 and self.rng.random() > self.profile.attention:
+            return scored[1][1]
+        return scored[0][1]
+
+    def _descend(self) -> bool:
+        """Navigation: zoom to the target level via the snowiest quadrant
+        that stays inside the task region.
+
+        Returns False when every quadrant is visibly worthless (nothing
+        new to zoom into) — the descent stalls and the caller retreats.
+        """
+        while self.current.level < self.target_level and not self._done():
+            quadrants = self.dataset.quadrant_saliency(self.current, self.view_threshold)
+            scored = []
+            for (dx, dy), snow in quadrants.items():
+                child = self.current.child(dx, dy)
+                # Off-region quadrants are a last resort: the user knows
+                # Antarctic snow does not answer a South America task.
+                weight = 1.0 if self._overlaps_bbox(child) else 0.02
+                if self._fully_exhausted(child):
+                    weight *= 0.05
+                # Prefer parts of the region not yet examined in detail.
+                weight *= (1.0 - self._visited_fraction(child)) ** 2
+                score = snow * weight
+                if score > 1e-9:
+                    scored.append((score, (dx, dy)))
+            if not scored:
+                return False
+            scored.sort(key=lambda item: -item[0])
+            if len(scored) > 1 and self.rng.random() > self.profile.attention:
+                _, (dx, dy) = scored[1]
+            else:
+                _, (dx, dy) = scored[0]
+            move = zoom_in_move_for_quadrant(dx, dy)
+            self._record(move, self.current.child(dx, dy), AnalysisPhase.NAVIGATION)
+        return self.current.level == self.target_level
+
+    def _sensemake(self) -> bool:
+        """Pan along visible snow at the target level, collecting finds.
+
+        Returns True when the area turned out to be a dead end (nothing
+        promising left) — the caller then writes the patch off.  Leaving
+        to diversify after a find returns False: the user may come back.
+        """
+        unpromising_streak = 0
+        while not self._done():
+            self.visited_targets.add(self.current)
+            if (
+                self.current not in self.found
+                and self.dataset.satisfies_task(self.current, self.task)
+            ):
+                self.found.add(self.current)
+                unpromising_streak = 0
+                if self._done():
+                    return False
+                # Diversify or keep following the structure?  A ridge
+                # visibly continuing past the tile edge (the Andes) pulls
+                # the user along; a self-contained blob (a Rockies
+                # patch) sends her back out to forage (Figure 9's
+                # repeated descents).
+                continuation = self._best_fresh_edge()
+                if continuation > 0.12:
+                    stay = self.profile.cluster_greed + 0.35
+                else:
+                    stay = 0.3 * self.profile.cluster_greed
+                if self.rng.random() > float(np.clip(stay, 0.05, 0.95)):
+                    return False
+            if (
+                self.current.level + 1 < self.dataset.num_levels
+                and self.rng.random() < self.profile.verify_rate
+            ):
+                self._verify_zoom()
+                if self._done():
+                    return False
+                continue
+            move = self._choose_sensemaking_pan()
+            if move is None:
+                return True
+            target = self.grid.apply(self.current, move)
+            promising = (
+                self.dataset.max_ndsi(target) > self.task.ndsi_threshold
+                and self._center_in_bbox(target)
+            )
+            unpromising_streak = 0 if promising else unpromising_streak + 1
+            self._record(move, target, AnalysisPhase.SENSEMAKING)
+            if unpromising_streak >= self.profile.patience:
+                return True
+            if (
+                not promising
+                and move in _REVERSE_PAN
+                and self.rng.random() < self.profile.compare_rate
+            ):
+                # Double-check against the previous tile before deciding
+                # (comparing neighbors is the essence of Sensemaking).
+                back = _REVERSE_PAN[move]
+                origin = self.grid.apply(self.current, back)
+                if origin is not None:
+                    self._record(back, origin, AnalysisPhase.SENSEMAKING)
+        return False
+
+    def _verify_zoom(self) -> None:
+        """Peek one level into the most interesting quadrant and return —
+        the small oscillations at detailed levels in the paper's
+        Figure 9."""
+        quadrants = self.dataset.quadrant_saliency(self.current, self.view_threshold)
+        (dx, dy), _ = max(quadrants.items(), key=lambda item: item[1])
+        parent = self.current
+        self._record(
+            zoom_in_move_for_quadrant(dx, dy),
+            self.current.child(dx, dy),
+            AnalysisPhase.SENSEMAKING,
+        )
+        if self._done():
+            return
+        self._record(Move.ZOOM_OUT, parent, AnalysisPhase.SENSEMAKING)
+
+    def _best_fresh_edge(self) -> float:
+        """Strongest remembered snow on a not-yet-visited neighbor."""
+        best = 0.0
+        for direction, (dx, dy) in _PAN_DIRECTIONS.items():
+            move = pan_move_for_offset(dx, dy)
+            target = self.grid.apply(self.current, move)
+            if target is None or target in self.visited_targets:
+                continue
+            if not self._center_in_bbox(target):
+                continue
+            best = max(best, self.dataset.saliency(target, self.view_threshold))
+        return best
+
+    def _choose_sensemaking_pan(self) -> Move | None:
+        """Pan to the most interesting unexamined neighbor.
+
+        During the descent the user saw this whole area at the coarser
+        level, so she carries a mental map of roughly which neighbors
+        hold snow — her pans chase *content*, not momentum.  (This is
+        what makes Sensemaking the Signature-Based model's phase: the
+        next tile is whichever neighbor looks most like the region of
+        interest, not whichever continues the current direction.)
+        """
+        edge = self.dataset.edge_saliency(self.current, self.view_threshold)
+        scored: list[tuple[float, Move]] = []
+        for direction, (dx, dy) in _PAN_DIRECTIONS.items():
+            move = pan_move_for_offset(dx, dy)
+            target = self.grid.apply(self.current, move)
+            if target is None:
+                continue
+            # What she remembers of the target plus what the current
+            # tile's edge shows of it.
+            score = (
+                0.75 * self.dataset.saliency(target, self.view_threshold)
+                + 0.25 * edge[direction]
+            )
+            if target in self.visited_targets:
+                score -= 0.5
+            if not self._center_in_bbox(target):
+                # Leaving the task region: visibly off-task.
+                score -= 0.6
+            if self.last_pan is not None and move is self.last_pan:
+                score += 0.05 * self.profile.persistence
+            scored.append((score, move))
+        if not scored:
+            return None
+        scored.sort(key=lambda item: -item[0])
+        best_score, best_move = scored[0]
+        if best_score <= 0.02:
+            # Nothing worth panning to: area exhausted.
+            return None
+        if len(scored) > 1 and self.rng.random() > self.profile.attention:
+            return scored[1][1]
+        return best_move
+
+    def _retreat(self, exhaust: bool = True) -> None:
+        """Navigation: zoom back out toward the scanning level.
+
+        ``exhaust`` marks the patch as a dead end; diversification
+        retreats leave it available for a later return.
+        """
+        if exhaust:
+            self._mark_exhausted(self.current)
+        retreat_to = max(
+            self.forage_level, self.current.level - self.profile.retreat_depth
+        )
+        while self.current.level > retreat_to and not self._done():
+            self._record(
+                Move.ZOOM_OUT, self.current.parent, AnalysisPhase.NAVIGATION
+            )
+        if not self._done() and self.current.level > self.forage_level:
+            # Often the user keeps zooming out to the scanning level.
+            while self.current.level > self.forage_level and not self._done():
+                if self.rng.random() < 0.5:
+                    break
+                self._record(
+                    Move.ZOOM_OUT, self.current.parent, AnalysisPhase.NAVIGATION
+                )

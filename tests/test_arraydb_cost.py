@@ -1,0 +1,73 @@
+"""Unit tests for the cost model and virtual clock."""
+
+import pytest
+
+from repro.arraydb.cost import CostModel, QueryStats, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now() == 5.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+
+class TestCostModel:
+    def test_query_cost_components(self):
+        model = CostModel(
+            per_query_overhead=1.0,
+            per_chunk_overhead=0.1,
+            per_cell_scanned=0.01,
+            per_cell_computed=0.001,
+        )
+        cost = model.query_cost(chunks_read=2, cells_scanned=10, cells_computed=100)
+        assert cost == pytest.approx(1.0 + 0.2 + 0.1 + 0.1)
+
+    def test_calibrated_hits_target(self):
+        model = CostModel.calibrated(tile_cells=1024, miss_seconds=0.9645)
+        cost = model.query_cost(chunks_read=1, cells_scanned=1024, cells_computed=0)
+        assert cost == pytest.approx(0.9645)
+
+    def test_calibrated_overhead_fraction(self):
+        model = CostModel.calibrated(
+            tile_cells=100, miss_seconds=1.0, query_overhead_fraction=0.5
+        )
+        assert model.per_query_overhead == pytest.approx(0.5)
+
+    def test_calibrated_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            CostModel.calibrated(tile_cells=0)
+        with pytest.raises(ValueError):
+            CostModel.calibrated(tile_cells=10, query_overhead_fraction=1.0)
+
+    def test_bigger_reads_cost_more(self):
+        model = CostModel.calibrated(tile_cells=1024)
+        small = model.query_cost(1, 1024, 0)
+        large = model.query_cost(4, 4096, 0)
+        assert large > small
+
+
+class TestQueryStats:
+    def test_merge_read(self):
+        stats = QueryStats()
+        stats.merge_read(2, 100)
+        stats.merge_read(1, 50)
+        assert stats.chunks_read == 3
+        assert stats.cells_scanned == 150
+
+    def test_merge_compute(self):
+        stats = QueryStats()
+        stats.merge_compute(10)
+        stats.merge_compute(5)
+        assert stats.cells_computed == 15

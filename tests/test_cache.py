@@ -1,0 +1,178 @@
+"""Unit tests for the LRU, tile cache, and cache manager."""
+
+import numpy as np
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.cache.manager import CacheManager
+from repro.cache.tile_cache import TileCache
+from repro.tiles.key import TileKey
+from repro.tiles.tile import DataTile
+
+
+def tile(key: TileKey) -> DataTile:
+    return DataTile(key=key, attributes={"v": np.zeros((2, 2))})
+
+
+A, B, C, D = (TileKey(2, i, 0) for i in range(4))
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = LRUCache(2)
+        assert cache.get("missing") is None
+        assert cache.misses == 1
+
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        evicted = cache.put("c", 3)
+        assert evicted == "a"
+        assert "a" not in cache
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        evicted = cache.put("c", 3)
+        assert evicted == "b"
+
+    def test_peek_does_not_refresh(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")
+        evicted = cache.put("c", 3)
+        assert evicted == "a"
+
+    def test_overwrite_no_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.put("a", 3) is None
+        assert cache.get("a") == 3
+
+    def test_keys_order(self):
+        cache = LRUCache(3)
+        for key in "abc":
+            cache.put(key, key)
+        cache.get("a")
+        assert cache.keys() == ["b", "c", "a"]
+
+    def test_hit_rate(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestTileCache:
+    def test_lookup_both_regions(self):
+        cache = TileCache(recent_capacity=2, prefetch_capacity=2)
+        cache.record_request(tile(A))
+        cache.store_prefetched(tile(B), "m")
+        assert cache.lookup(A) is not None
+        assert cache.lookup(B) is not None
+        assert cache.lookup(C) is None
+
+    def test_prefetch_capacity_enforced(self):
+        cache = TileCache(prefetch_capacity=2)
+        assert cache.store_prefetched(tile(A), "m")
+        assert cache.store_prefetched(tile(B), "m")
+        assert not cache.store_prefetched(tile(C), "m")
+        assert C not in cache
+
+    def test_begin_cycle_clears_prefetch_only(self):
+        cache = TileCache(recent_capacity=2, prefetch_capacity=2)
+        cache.record_request(tile(A))
+        cache.store_prefetched(tile(B), "m")
+        cache.begin_prefetch_cycle()
+        assert cache.lookup(B) is None
+        assert cache.lookup(A) is not None
+
+    def test_attribution(self):
+        cache = TileCache()
+        cache.store_prefetched(tile(A), "markov3")
+        cache.store_prefetched(tile(B), "sb:sift")
+        assert cache.attribution(A) == "markov3"
+        assert cache.model_usage() == {"markov3": 1, "sb:sift": 1}
+
+    def test_nbytes_counts_both_regions(self):
+        cache = TileCache()
+        cache.record_request(tile(A))
+        cache.store_prefetched(tile(B), "m")
+        assert cache.nbytes() == 2 * tile(A).nbytes
+
+    def test_clear(self):
+        cache = TileCache()
+        cache.record_request(tile(A))
+        cache.store_prefetched(tile(B), "m")
+        cache.clear()
+        assert cache.lookup(A) is None
+        assert cache.lookup(B) is None
+
+    def test_rejects_zero_prefetch(self):
+        with pytest.raises(ValueError):
+            TileCache(prefetch_capacity=0)
+
+
+class TestCacheManager:
+    @pytest.fixture
+    def manager(self, small_dataset):
+        return CacheManager(small_dataset.pyramid, TileCache())
+
+    def test_first_fetch_misses(self, manager):
+        outcome = manager.fetch(TileKey(0, 0, 0))
+        assert not outcome.hit
+        assert outcome.backend_seconds > 0
+        assert manager.hit_rate == 0.0
+
+    def test_repeat_fetch_hits_recent(self, manager):
+        key = TileKey(1, 0, 0)
+        manager.fetch(key)
+        outcome = manager.fetch(key)
+        assert outcome.hit
+        assert outcome.backend_seconds == 0.0
+        assert manager.hit_rate == pytest.approx(0.5)
+
+    def test_prefetched_tile_hits(self, manager):
+        key = TileKey(1, 1, 0)
+        queries = manager.prefetch([(key, "m")])
+        assert queries == 1
+        outcome = manager.fetch(key)
+        assert outcome.hit
+
+    def test_prefetch_skips_resident(self, manager):
+        key = TileKey(1, 1, 1)
+        manager.fetch(key)  # now in recent region
+        queries = manager.prefetch([(key, "m")])
+        assert queries == 0
+        # Still claims a prefetch slot for bookkeeping.
+        assert key in manager.cache.prefetched_keys
+
+    def test_prefetch_respects_capacity(self, small_dataset):
+        manager = CacheManager(
+            small_dataset.pyramid, TileCache(prefetch_capacity=2)
+        )
+        keys = [(TileKey(2, i, 0), "m") for i in range(4)]
+        manager.prefetch(keys)
+        assert len(manager.cache.prefetched_keys) == 2
+
+    def test_reset_stats(self, manager):
+        manager.fetch(TileKey(0, 0, 0))
+        manager.reset_stats()
+        assert manager.requests == 0
+        assert manager.hits == 0

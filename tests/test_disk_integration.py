@@ -1,0 +1,73 @@
+"""Integration tests: the pyramid on disk-backed storage, scaled tasks."""
+
+import numpy as np
+import pytest
+
+from repro.arraydb import ArraySchema, Attribute, Database, Dimension
+from repro.arraydb.storage import DiskChunkStore
+from repro.modis.regions import DEFAULT_TASKS, scaled_tasks
+from repro.tiles.key import TileKey
+from repro.tiles.pyramid import TilePyramid
+
+
+class TestDiskBackedPyramid:
+    def test_build_and_fetch_from_disk(self, tmp_path):
+        db = Database(store=DiskChunkStore(tmp_path / "chunks"))
+        schema = ArraySchema(
+            "S",
+            attributes=(Attribute("v"),),
+            dimensions=(Dimension("y", 0, 16, 16), Dimension("x", 0, 16, 16)),
+        )
+        db.create_array(schema)
+        data = np.random.default_rng(0).random((16, 16))
+        db.write("S", "v", data)
+        pyramid = TilePyramid.build(db, "S", tile_size=4)
+
+        tile = pyramid.fetch_tile(TileKey(2, 1, 1), charge=False)
+        np.testing.assert_array_equal(tile.attribute("v"), data[4:8, 4:8])
+
+    def test_chunks_survive_reopen(self, tmp_path):
+        store = DiskChunkStore(tmp_path / "chunks")
+        db = Database(store=store)
+        schema = ArraySchema(
+            "S",
+            attributes=(Attribute("v"),),
+            dimensions=(Dimension("y", 0, 8, 4), Dimension("x", 0, 8, 4)),
+        )
+        db.create_array(schema)
+        data = np.arange(64.0).reshape(8, 8)
+        db.write("S", "v", data)
+
+        # A second database over the same directory sees the chunks once
+        # the catalog entry is recreated.
+        reopened_store = DiskChunkStore(tmp_path / "chunks")
+        db2 = Database(store=reopened_store)
+        db2.create_array(schema)
+        np.testing.assert_array_equal(db2.read("S", "v"), data)
+
+
+class TestScaledTasks:
+    def test_full_scale_unchanged(self):
+        assert scaled_tasks(2048) == DEFAULT_TASKS
+        assert scaled_tasks(4096) == DEFAULT_TASKS
+
+    def test_half_scale_relaxed(self):
+        tasks = scaled_tasks(1024)
+        for scaled, original in zip(tasks, DEFAULT_TASKS):
+            assert scaled.min_fraction < original.min_fraction
+            assert scaled.ndsi_threshold <= original.ndsi_threshold
+            assert scaled.tiles_to_find <= original.tiles_to_find
+            # Geometry is untouched.
+            assert scaled.bbox == original.bbox
+            assert scaled.target_depth == original.target_depth
+
+    def test_quarter_scale_more_relaxed(self):
+        half = scaled_tasks(1024)
+        quarter = scaled_tasks(512)
+        for h, q in zip(half, quarter):
+            assert q.min_fraction <= h.min_fraction
+            assert q.ndsi_threshold <= h.ndsi_threshold
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            scaled_tasks(0)

@@ -1,0 +1,181 @@
+"""Unit tests for the evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import SingleModelStrategy
+from repro.core.engine import PredictionEngine
+from repro.experiments.accuracy import AccuracyResult, replay_engine
+from repro.experiments.crossval import (
+    classifier_cv_accuracy,
+    evaluate_engine_cv,
+    leave_one_user_out,
+)
+from repro.experiments.latency import (
+    LatencyPoint,
+    improvement_percent,
+    linear_fit,
+    replay_latency,
+)
+from repro.experiments.report import Comparison, Table
+from repro.middleware.server import ForeCacheServer
+from repro.phases.model import AnalysisPhase
+from repro.recommenders.momentum import MomentumRecommender
+
+P = AnalysisPhase
+
+
+class TestAccuracyResult:
+    def test_record_and_query(self):
+        result = AccuracyResult()
+        result.record(P.FORAGING, 1, True)
+        result.record(P.FORAGING, 1, False)
+        result.record(P.NAVIGATION, 1, True)
+        assert result.accuracy(1, P.FORAGING) == pytest.approx(0.5)
+        assert result.accuracy(1) == pytest.approx(2 / 3)
+
+    def test_empty_bucket_is_zero(self):
+        assert AccuracyResult().accuracy(5) == 0.0
+
+    def test_merge(self):
+        a, b = AccuracyResult(), AccuracyResult()
+        a.record(P.FORAGING, 1, True)
+        b.record(P.FORAGING, 1, False)
+        a.merge(b)
+        assert a.accuracy(1) == pytest.approx(0.5)
+        assert a.sample_count(1) == 2
+
+    def test_ks_and_phases(self):
+        result = AccuracyResult()
+        result.record(P.SENSEMAKING, 2, True)
+        result.record(P.FORAGING, 5, False)
+        assert result.ks() == [2, 5]
+        assert result.phases() == [P.FORAGING, P.SENSEMAKING]
+
+    def test_as_series(self):
+        result = AccuracyResult()
+        result.record(P.FORAGING, 1, True)
+        result.record(P.FORAGING, 2, False)
+        assert result.as_series() == {1: 1.0, 2: 0.0}
+
+
+class TestReplayEngine:
+    def _engine(self, small_dataset) -> PredictionEngine:
+        model = MomentumRecommender()
+        return PredictionEngine(
+            small_dataset.pyramid.grid,
+            {model.name: model},
+            SingleModelStrategy(model.name),
+        )
+
+    def test_counts_predictions(self, small_dataset, small_study):
+        engine = self._engine(small_dataset)
+        trace = small_study.traces[0]
+        result = replay_engine(engine, [trace], ks=(1,))
+        # One prediction per request except the last.
+        assert result.sample_count(1) == len(trace) - 1
+
+    def test_k9_is_perfect(self, small_dataset, small_study):
+        """At k=9 the prefetch covers every possible move (Section 5.2.2)."""
+        engine = self._engine(small_dataset)
+        result = replay_engine(engine, small_study.traces[:3], ks=(9,))
+        assert result.accuracy(9) == pytest.approx(1.0)
+
+    def test_accuracy_monotone_in_k(self, small_dataset, small_study):
+        engine = self._engine(small_dataset)
+        result = replay_engine(engine, small_study.traces[:3], ks=(1, 3, 5, 8))
+        series = [result.accuracy(k) for k in (1, 3, 5, 8)]
+        assert series == sorted(series)
+
+
+class TestCrossValidation:
+    def test_folds_partition_users(self, small_study):
+        folds = list(leave_one_user_out(small_study))
+        assert len(folds) == len(small_study.user_ids)
+        for user_id, train, test in folds:
+            assert all(t.user_id != user_id for t in train)
+            assert all(t.user_id == user_id for t in test)
+            assert len(train) + len(test) == len(small_study)
+
+    def test_evaluate_engine_cv(self, small_dataset, small_study):
+        def factory(train):
+            model = MomentumRecommender()
+            return PredictionEngine(
+                small_dataset.pyramid.grid,
+                {model.name: model},
+                SingleModelStrategy(model.name),
+            )
+
+        result = evaluate_engine_cv(small_study, factory, ks=(1, 9))
+        assert result.accuracy(9) == pytest.approx(1.0)
+        total = small_study.total_requests() - len(small_study)
+        assert result.sample_count(1) == total
+
+    def test_classifier_cv(self, small_study):
+        overall, per_user = classifier_cv_accuracy(small_study)
+        assert set(per_user) == set(small_study.user_ids)
+        assert 0.0 <= overall <= 1.0
+        # Must beat random guessing over 3 phases.
+        assert overall > 1 / 3
+
+
+class TestLatencyHarness:
+    def test_replay_latency(self, small_dataset, small_study):
+        def server_factory():
+            model = MomentumRecommender()
+            engine = PredictionEngine(
+                small_dataset.pyramid.grid,
+                {model.name: model},
+                SingleModelStrategy(model.name),
+            )
+            return ForeCacheServer(small_dataset.pyramid, engine, prefetch_k=5)
+
+        recorder = replay_latency(server_factory, small_study.traces[:2])
+        assert recorder.count == sum(len(t) for t in small_study.traces[:2])
+        assert 0.0 < recorder.average_seconds < 1.0
+
+    def test_linear_fit_recovers_line(self):
+        points = [
+            LatencyPoint("m", k, acc, (0.984 - 0.9645 * acc))
+            for k, acc in enumerate([0.1, 0.3, 0.5, 0.7, 0.9], start=1)
+        ]
+        slope, intercept, r2 = linear_fit(points)
+        assert intercept == pytest.approx(984.0, abs=1e-6)
+        assert slope == pytest.approx(-964.5, abs=1e-6)
+        assert r2 == pytest.approx(1.0)
+
+    def test_linear_fit_needs_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([LatencyPoint("m", 1, 0.5, 0.5)] * 2)
+
+    def test_improvement_percent(self):
+        assert improvement_percent(984.0, 185.0) == pytest.approx(431.9, abs=0.1)
+        with pytest.raises(ValueError):
+            improvement_percent(100.0, 0.0)
+
+
+class TestReport:
+    def test_table_rendering(self):
+        table = Table(["a", "b"], title="T")
+        table.add_row(1, 0.12345)
+        text = str(table)
+        assert "T" in text
+        assert "0.123" in text
+
+    def test_table_row_length_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_table_markdown(self):
+        table = Table(["a"], title="T")
+        table.add_row("x")
+        md = table.to_markdown()
+        assert "| a |" in md
+        assert "| x |" in md
+
+    def test_comparison(self):
+        comparison = Comparison("exp")
+        comparison.add("metric", 0.82, 0.815)
+        text = str(comparison)
+        assert "0.820" in text and "0.815" in text

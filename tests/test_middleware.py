@@ -1,0 +1,189 @@
+"""Integration-style tests for the middleware server and client."""
+
+import pytest
+
+from repro.cache.manager import CacheManager
+from repro.cache.tile_cache import TileCache
+from repro.core.allocation import SingleModelStrategy
+from repro.core.engine import PredictionEngine
+from repro.middleware.client import BrowsingSession
+from repro.middleware.latency import (
+    HIT_SECONDS,
+    LatencyModel,
+    LatencyRecorder,
+    MISS_SECONDS,
+)
+from repro.middleware.server import ForeCacheServer
+from repro.recommenders.momentum import MomentumRecommender
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+
+
+@pytest.fixture
+def server(small_dataset):
+    model = MomentumRecommender()
+    engine = PredictionEngine(
+        small_dataset.pyramid.grid,
+        {model.name: model},
+        SingleModelStrategy(model.name),
+    )
+    return ForeCacheServer(small_dataset.pyramid, engine, prefetch_k=5)
+
+
+class TestLatencyModel:
+    def test_hit_latency(self):
+        assert LatencyModel().response_seconds(True, 0.0) == HIT_SECONDS
+
+    def test_miss_latency_includes_backend(self):
+        latency = LatencyModel().response_seconds(False, 0.9645)
+        assert latency == pytest.approx(MISS_SECONDS)
+
+    def test_recorder_average(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.1, True)
+        recorder.record(0.3, False)
+        assert recorder.average_seconds == pytest.approx(0.2)
+        assert recorder.hit_rate == pytest.approx(0.5)
+
+    def test_recorder_merge(self):
+        a, b = LatencyRecorder(), LatencyRecorder()
+        a.record(0.1, True)
+        b.record(0.2, False)
+        a.merge(b)
+        assert a.count == 2
+        assert a.hits == 1
+
+
+class TestServer:
+    def test_first_request_misses(self, server):
+        response = server.handle_request(None, TileKey(0, 0, 0))
+        assert not response.hit
+        assert response.latency_seconds == pytest.approx(MISS_SECONDS, rel=0.05)
+        assert len(response.prefetched) == 4  # root has only 4 moves
+
+    def test_predicted_request_hits(self, server):
+        first = server.handle_request(None, TileKey(2, 1, 1))
+        # Momentum with no history ranks candidates deterministically;
+        # follow one of the prefetched tiles.
+        target = first.prefetched[0]
+        move = TileKey(2, 1, 1).move_to(target)
+        response = server.handle_request(move, target)
+        assert response.hit
+        assert response.latency_seconds == pytest.approx(HIT_SECONDS)
+
+    def test_unpredicted_request_misses(self, server):
+        first = server.handle_request(None, TileKey(2, 1, 1))
+        candidates = server.pyramid.grid.candidates(TileKey(2, 1, 1))
+        not_prefetched = [t for t in candidates if t not in first.prefetched]
+        assert not_prefetched
+        target = not_prefetched[-1]
+        move = TileKey(2, 1, 1).move_to(target)
+        response = server.handle_request(move, target)
+        assert not response.hit
+
+    def test_prefetch_disabled(self, small_dataset):
+        model = MomentumRecommender()
+        engine = PredictionEngine(
+            small_dataset.pyramid.grid,
+            {model.name: model},
+            SingleModelStrategy(model.name),
+        )
+        server = ForeCacheServer(
+            small_dataset.pyramid, engine, prefetch_enabled=False
+        )
+        server.handle_request(None, TileKey(2, 1, 1))
+        response = server.handle_request(Move.PAN_RIGHT, TileKey(2, 2, 1))
+        assert not response.hit
+        assert response.prefetched == ()
+
+    def test_recorder_accumulates(self, server):
+        server.handle_request(None, TileKey(1, 0, 0))
+        server.handle_request(Move.ZOOM_IN_NW, TileKey(2, 0, 0))
+        assert server.recorder.count == 2
+
+    def test_reset_session(self, server):
+        server.handle_request(None, TileKey(1, 0, 0))
+        server.reset_session()
+        assert server.recorder.count == 0
+        assert server.engine.history.current is None
+
+    def test_rejects_bad_k(self, small_dataset, server):
+        with pytest.raises(ValueError):
+            ForeCacheServer(small_dataset.pyramid, server.engine, prefetch_k=0)
+
+
+class TestBrowsingSession:
+    def test_start_at_root(self, server):
+        session = BrowsingSession(server)
+        response = session.start()
+        assert response.tile.key == TileKey(0, 0, 0)
+        assert session.current == TileKey(0, 0, 0)
+
+    def test_start_twice_rejected(self, server):
+        session = BrowsingSession(server)
+        session.start()
+        with pytest.raises(RuntimeError):
+            session.start()
+
+    def test_move_updates_position(self, server):
+        session = BrowsingSession(server)
+        session.start()
+        response = session.move(Move.ZOOM_IN_SE)
+        assert response.tile.key == TileKey(1, 1, 1)
+        assert session.current == TileKey(1, 1, 1)
+
+    def test_illegal_move_rejected(self, server):
+        session = BrowsingSession(server)
+        session.start()
+        with pytest.raises(ValueError):
+            session.move(Move.ZOOM_OUT)
+
+    def test_move_before_start_rejected(self, server):
+        with pytest.raises(RuntimeError):
+            BrowsingSession(server).move(Move.PAN_LEFT)
+
+    def test_available_moves(self, server):
+        session = BrowsingSession(server)
+        assert session.available_moves == []
+        session.start()
+        assert all(m.is_zoom_in for m in session.available_moves)
+
+    def test_replay_trace(self, server, small_study):
+        session = BrowsingSession(server)
+        trace = small_study.traces[0]
+        responses = session.replay(trace)
+        assert len(responses) == len(trace)
+
+    def test_replay_requires_fresh_session(self, server, small_study):
+        session = BrowsingSession(server)
+        session.start()
+        with pytest.raises(RuntimeError):
+            session.replay(small_study.traces[0])
+
+    def test_prefetching_reduces_latency(self, small_dataset, small_study):
+        """End to end: prefetching must beat no-prefetching on latency."""
+
+        def build_server(enabled: bool) -> ForeCacheServer:
+            model = MomentumRecommender()
+            engine = PredictionEngine(
+                small_dataset.pyramid.grid,
+                {model.name: model},
+                SingleModelStrategy(model.name),
+            )
+            return ForeCacheServer(
+                small_dataset.pyramid,
+                engine,
+                cache_manager=CacheManager(small_dataset.pyramid, TileCache()),
+                prefetch_k=5,
+                prefetch_enabled=enabled,
+            )
+
+        trace = max(small_study.traces, key=len)
+        with_prefetch = build_server(True)
+        BrowsingSession(with_prefetch).replay(trace)
+        without_prefetch = build_server(False)
+        BrowsingSession(without_prefetch).replay(trace)
+        assert (
+            with_prefetch.recorder.average_seconds
+            < without_prefetch.recorder.average_seconds
+        )

@@ -1,0 +1,259 @@
+"""Unit tests for the synthetic MODIS world, NDSI pipeline, and dataset."""
+
+import numpy as np
+import pytest
+
+from repro.arraydb import ArraySchema, Attribute, Database, Dimension
+from repro.modis.dataset import MODISDataset, NDSI_ATTRIBUTES, _cluster_mass
+from repro.modis.ndsi import ndsi_func, register_ndsi, run_ndsi_query
+from repro.modis.regions import DEFAULT_TASKS, MountainRange, TaskSpec
+from repro.modis.synth import SyntheticWorld, ValueNoise
+from repro.tiles.key import TileKey
+
+
+class TestValueNoise:
+    def test_range(self):
+        field = ValueNoise(seed=1).sample(64)
+        assert field.min() >= 0.0
+        assert field.max() <= 1.0
+
+    def test_deterministic(self):
+        a = ValueNoise(seed=3, octaves=3).sample(32)
+        b = ValueNoise(seed=3, octaves=3).sample(32)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        a = ValueNoise(seed=1).sample(32)
+        b = ValueNoise(seed=2).sample(32)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ValueNoise(seed=1, octaves=0)
+        with pytest.raises(ValueError):
+            ValueNoise(seed=1, base_frequency=0)
+        with pytest.raises(ValueError):
+            ValueNoise(seed=1).sample(0)
+
+
+class TestSyntheticWorld:
+    def test_elevation_peaks_on_ranges(self):
+        world = SyntheticWorld(seed=7)
+        elev = world.elevation(256)
+        # Sample the Alps area vs open Pacific.
+        alps = elev[int(0.28 * 256), int(0.53 * 256)]
+        ocean = elev[int(0.5 * 256), int(0.02 * 256)]
+        assert alps > ocean + 0.3
+
+    def test_land_mask_binary(self):
+        world = SyntheticWorld(seed=7)
+        mask = world.land_mask(128)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+
+    def test_no_snow_on_ocean(self):
+        world = SyntheticWorld(seed=7)
+        snow = world.snow_fraction(128)
+        land = world.land_mask(128)
+        assert np.all(snow[land == 0.0] == 0.0)
+
+    def test_terrain_cached(self):
+        world = SyntheticWorld(seed=7)
+        a = world.elevation(64)
+        b = world.elevation(64)
+        assert a is b
+
+    def test_days_differ_but_terrain_holds(self):
+        world = SyntheticWorld(seed=7)
+        day0 = world.snow_fraction(128, day=0)
+        day1 = world.snow_fraction(128, day=1)
+        assert not np.array_equal(day0, day1)
+        # Same mountains: snowy regions overlap heavily.
+        overlap = ((day0 > 0.5) & (day1 > 0.5)).sum()
+        assert overlap > 0.5 * min((day0 > 0.5).sum(), (day1 > 0.5).sum())
+
+    def test_bands_anticorrelated_on_snow(self):
+        world = SyntheticWorld(seed=7)
+        vis, swir = world.bands(128)
+        snow = world.snow_fraction(128)
+        snowy = snow > 0.8
+        if snowy.any():
+            assert vis[snowy].mean() > swir[snowy].mean()
+
+
+class TestNDSI:
+    def test_ndsi_range(self):
+        rng = np.random.default_rng(0)
+        vis = rng.random((8, 8)) + 0.01
+        swir = rng.random((8, 8)) + 0.01
+        out = ndsi_func(vis, swir)
+        assert np.all(out <= 1.0)
+        assert np.all(out >= -1.0)
+
+    def test_ndsi_snow_positive(self):
+        assert ndsi_func(np.asarray([0.8]), np.asarray([0.1]))[0] > 0.7
+
+    def test_ndsi_zero_bands(self):
+        assert ndsi_func(np.asarray([0.0]), np.asarray([0.0]))[0] == 0.0
+
+    def test_register_idempotent(self):
+        from repro.arraydb.functions import FunctionRegistry
+
+        registry = FunctionRegistry()
+        register_ndsi(registry)
+        register_ndsi(registry)
+        assert "ndsi_func" in registry
+
+    def test_query1_pipeline(self, db):
+        """The paper's Query 1: store(apply(join(VIS, SWIR), ndsi...))."""
+        side = 8
+        for name in ("S_VIS", "S_SWIR"):
+            schema = ArraySchema(
+                name,
+                attributes=(Attribute("reflectance"),),
+                dimensions=(
+                    Dimension("y", 0, side, side),
+                    Dimension("x", 0, side, side),
+                ),
+            )
+            db.create_array(schema)
+        vis = np.full((side, side), 0.8)
+        swir = np.full((side, side), 0.2)
+        db.write("S_VIS", "reflectance", vis)
+        db.write("S_SWIR", "reflectance", swir)
+        out = run_ndsi_query(db, "S_VIS", "S_SWIR", "NDSI")
+        result = db.read(out, "ndsi")
+        np.testing.assert_allclose(result, np.full((side, side), 0.6))
+
+
+class TestTaskSpec:
+    def test_target_level(self):
+        task = TaskSpec(1, "t", (0.1, 0.1, 0.2, 0.2), target_depth=1, ndsi_threshold=0.5)
+        assert task.target_level(7) == 5
+
+    def test_target_level_too_shallow(self):
+        task = TaskSpec(1, "t", (0.1, 0.1, 0.2, 0.2), target_depth=5, ndsi_threshold=0.5)
+        with pytest.raises(ValueError):
+            task.target_level(3)
+
+    def test_contains(self):
+        task = TaskSpec(1, "t", (0.1, 0.1, 0.3, 0.4), target_depth=0, ndsi_threshold=0.5)
+        assert task.contains(0.2, 0.2)
+        assert not task.contains(0.5, 0.2)
+
+    def test_rejects_bad_bbox(self):
+        with pytest.raises(ValueError):
+            TaskSpec(1, "t", (0.5, 0.1, 0.3, 0.4), target_depth=0, ndsi_threshold=0.5)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            TaskSpec(
+                1, "t", (0.1, 0.1, 0.3, 0.4),
+                target_depth=0, ndsi_threshold=0.5, min_fraction=0.0,
+            )
+
+    def test_default_tasks_match_paper(self):
+        assert [t.task_id for t in DEFAULT_TASKS] == [1, 2, 3]
+        assert DEFAULT_TASKS[1].ndsi_threshold == pytest.approx(0.50)
+        assert DEFAULT_TASKS[2].ndsi_threshold == pytest.approx(0.25)
+
+
+class TestMountainRange:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            MountainRange("r", 0, 0, 1, 1, width=0.0, height=1.0)
+        with pytest.raises(ValueError):
+            MountainRange("r", 0, 0, 1, 1, width=0.1, height=0.0)
+
+
+class TestClusterMass:
+    def test_empty_mask(self):
+        assert _cluster_mass(np.zeros((8, 8), dtype=bool)) == 0.0
+
+    def test_single_large_cluster(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[2:6, 2:6] = True
+        assert _cluster_mass(mask) == pytest.approx(16 / 64)
+
+    def test_speckle_ignored(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0, 0] = True
+        mask[4, 4] = True
+        mask[7, 7] = True
+        assert _cluster_mass(mask) == 0.0
+
+
+class TestMODISDataset:
+    def test_attributes(self, tiny_dataset):
+        assert tiny_dataset.pyramid.attributes == NDSI_ATTRIBUTES
+
+    def test_levels(self, tiny_dataset):
+        assert tiny_dataset.num_levels == 3
+
+    def test_ndsi_bounds(self, tiny_dataset):
+        tile = tiny_dataset.pyramid.fetch_tile(TileKey(0, 0, 0), charge=False)
+        ndsi = tile.attribute("ndsi_avg")
+        assert ndsi.min() >= -1.0
+        assert ndsi.max() <= 1.0
+
+    def test_min_below_max(self, small_dataset):
+        tile = small_dataset.pyramid.fetch_tile(TileKey(2, 1, 1), charge=False)
+        assert np.all(
+            tile.attribute("ndsi_min") <= tile.attribute("ndsi_max") + 1e-12
+        )
+
+    def test_task_lookup(self, tiny_dataset):
+        assert tiny_dataset.task(2).name == "europe_snow"
+        with pytest.raises(KeyError):
+            tiny_dataset.task(9)
+
+    def test_tiles_overlapping_full_bbox(self, tiny_dataset):
+        keys = tiny_dataset.tiles_overlapping((0.0, 0.0, 1.0, 1.0), 2)
+        assert len(keys) == 16
+
+    def test_tiles_overlapping_clipped(self, tiny_dataset):
+        keys = tiny_dataset.tiles_overlapping((0.0, 0.0, 0.49, 0.49), 1)
+        assert keys == [TileKey(1, 0, 0)]
+
+    def test_each_task_is_satisfiable(self, small_dataset):
+        """Every task must have at least tiles_to_find qualifying tiles."""
+        for task in small_dataset.tasks:
+            level = task.target_level(small_dataset.num_levels)
+            keys = small_dataset.tiles_overlapping(task.bbox, level)
+            satisfying = [
+                k for k in keys if small_dataset.satisfies_task(k, task)
+            ]
+            assert len(satisfying) >= task.tiles_to_find, task.name
+
+    def test_satisfies_requires_target_level(self, small_dataset):
+        task = small_dataset.task(1)
+        level = task.target_level(small_dataset.num_levels)
+        keys = small_dataset.tiles_overlapping(task.bbox, level)
+        satisfying = [k for k in keys if small_dataset.satisfies_task(k, task)]
+        parent = satisfying[0].parent
+        assert not small_dataset.satisfies_task(parent, task)
+
+    def test_quadrant_snow_keys(self, tiny_dataset):
+        quadrants = tiny_dataset.quadrant_snow(TileKey(0, 0, 0), 0.0)
+        assert set(quadrants) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+        assert all(0.0 <= v <= 1.0 for v in quadrants.values())
+
+    def test_edge_snow_keys(self, tiny_dataset):
+        edges = tiny_dataset.edge_snow(TileKey(0, 0, 0), 0.0)
+        assert set(edges) == {"left", "right", "up", "down"}
+
+    def test_saliency_bounded(self, small_dataset):
+        for key in [TileKey(0, 0, 0), TileKey(2, 1, 1)]:
+            assert 0.0 <= small_dataset.saliency(key, 0.3) <= 1.0
+
+    def test_snow_fraction_monotone_in_threshold(self, small_dataset):
+        key = TileKey(2, 1, 1)
+        low = small_dataset.snow_fraction(key, 0.0)
+        high = small_dataset.snow_fraction(key, 0.5)
+        assert high <= low
+
+    def test_deterministic_build(self):
+        a = MODISDataset.build(size=128, tile_size=32, days=1, seed=3)
+        b = MODISDataset.build(size=128, tile_size=32, days=1, seed=3)
+        ta = a.pyramid.fetch_tile(TileKey(1, 1, 0), charge=False)
+        tb = b.pyramid.fetch_tile(TileKey(1, 1, 0), charge=False)
+        assert ta == tb

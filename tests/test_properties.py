@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUCache
+from repro.core.roi import ROITracker
+from repro.recommenders.smoothing import KneserNeyEstimator
+from repro.signatures.distance import chi_squared_distance, weighted_l2
+from repro.signatures.histogram import HistogramSignature
+from repro.tiles.key import TileKey
+from repro.tiles.moves import ALL_MOVES, Move
+from repro.tiles.pyramid import TileGrid
+from repro.tiles.tile import DataTile
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+MAX_LEVEL = 5
+
+
+@st.composite
+def tile_keys(draw, max_level: int = MAX_LEVEL):
+    level = draw(st.integers(0, max_level))
+    n = 2**level
+    x = draw(st.integers(0, n - 1))
+    y = draw(st.integers(0, n - 1))
+    return TileKey(level, x, y)
+
+
+moves = st.sampled_from(ALL_MOVES)
+histograms = st.lists(
+    st.floats(0.0, 1.0, allow_nan=False), min_size=2, max_size=16
+).map(np.asarray)
+
+
+# ----------------------------------------------------------------------
+# tile geometry invariants
+# ----------------------------------------------------------------------
+class TestKeyProperties:
+    @given(tile_keys())
+    def test_children_roundtrip_through_parent(self, key):
+        for child in key.children():
+            assert child.parent == key
+            assert key.contains(child)
+
+    @given(tile_keys(max_level=4), moves)
+    def test_moves_are_invertible(self, key, move):
+        grid = TileGrid(6)
+        target = grid.apply(key, move)
+        if target is not None:
+            back = target.move_to(key)
+            assert back is not None
+            assert grid.apply(target, back) == key
+
+    @given(tile_keys(), tile_keys())
+    def test_manhattan_symmetric_nonnegative(self, a, b):
+        assert a.manhattan_distance(b) == b.manhattan_distance(a)
+        assert a.manhattan_distance(b) >= 0
+        assert a.manhattan_distance(a) == 0
+
+    @given(tile_keys())
+    def test_serialization_roundtrip(self, key):
+        assert TileKey.from_string(key.to_string()) == key
+
+    @given(tile_keys())
+    def test_normalized_bounds_contain_center(self, key):
+        x0, y0, x1, y1 = key.normalized_bounds()
+        cx, cy = key.normalized_center()
+        assert x0 < cx < x1
+        assert y0 < cy < y1
+        assert 0.0 <= x0 < x1 <= 1.0
+
+    @given(tile_keys(max_level=4))
+    def test_candidate_set_bounded_by_nine(self, key):
+        grid = TileGrid(6)
+        candidates = grid.candidates(key, 1)
+        assert 1 <= len(candidates) <= 9
+        assert key not in candidates
+        # Every candidate is exactly one legal move away.
+        for candidate in candidates:
+            assert key.move_to(candidate) is not None
+
+    @given(tile_keys(max_level=3), st.integers(1, 3))
+    def test_candidates_monotone_in_distance(self, key, d):
+        grid = TileGrid(5)
+        smaller = set(grid.candidates(key, d))
+        larger = set(grid.candidates(key, d + 1))
+        assert smaller <= larger
+
+
+# ----------------------------------------------------------------------
+# distance invariants
+# ----------------------------------------------------------------------
+class TestDistanceProperties:
+    @given(histograms)
+    def test_chi_squared_identity(self, vec):
+        assert chi_squared_distance(vec, vec) == 0.0
+
+    @given(st.integers(2, 16), st.data())
+    def test_chi_squared_symmetry(self, size, data):
+        a = np.asarray(
+            data.draw(st.lists(st.floats(0, 1), min_size=size, max_size=size))
+        )
+        b = np.asarray(
+            data.draw(st.lists(st.floats(0, 1), min_size=size, max_size=size))
+        )
+        assert chi_squared_distance(a, b) == chi_squared_distance(b, a)
+        assert chi_squared_distance(a, b) >= 0.0
+
+    @given(st.lists(st.floats(0, 10), min_size=1, max_size=8))
+    def test_weighted_l2_nonnegative(self, distances):
+        assert weighted_l2(distances) >= 0.0
+
+    @given(st.lists(st.floats(0.0, 5.0), min_size=1, max_size=8))
+    def test_weighted_l2_absolutely_homogeneous(self, distances):
+        doubled = [2.0 * d for d in distances]
+        np.testing.assert_allclose(
+            weighted_l2(doubled), 2.0 * weighted_l2(distances), rtol=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# signature invariants
+# ----------------------------------------------------------------------
+class TestSignatureProperties:
+    @given(
+        st.lists(
+            st.floats(-1.0, 1.0, allow_nan=False), min_size=16, max_size=16
+        )
+    )
+    def test_histogram_mass_and_bounds(self, values):
+        tile = DataTile(
+            key=TileKey(0, 0, 0),
+            attributes={"v": np.asarray(values).reshape(4, 4)},
+        )
+        vec = HistogramSignature(bins=8).compute(tile, "v")
+        assert vec.min() >= 0.0
+        assert vec.sum() == 1.0 or abs(vec.sum() - 1.0) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Kneser-Ney invariants
+# ----------------------------------------------------------------------
+class TestSmoothingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.sampled_from("abc"), min_size=2, max_size=12),
+            min_size=1,
+            max_size=5,
+        ),
+        st.lists(st.sampled_from("abc"), min_size=0, max_size=4),
+    )
+    def test_distribution_is_probability(self, sequences, context):
+        estimator = KneserNeyEstimator(order=2, vocabulary=("a", "b", "c"))
+        estimator.fit(sequences)
+        dist = estimator.distribution(tuple(context))
+        total = sum(dist.values())
+        assert abs(total - 1.0) < 1e-9
+        assert all(p > 0.0 for p in dist.values())
+
+
+# ----------------------------------------------------------------------
+# ROI tracker invariants (Algorithm 1)
+# ----------------------------------------------------------------------
+class TestROIProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(moves, min_size=0, max_size=40), st.randoms(use_true_random=False))
+    def test_roi_only_changes_on_zoom_out(self, move_list, rng):
+        """The committed ROI changes only when a zoom-out commits it."""
+        grid = TileGrid(5)
+        tracker = ROITracker()
+        current = TileKey(2, 1, 1)
+        previous_roi = tracker.roi
+        for move in move_list:
+            target = grid.apply(current, move)
+            if target is None:
+                continue
+            current = target
+            roi = tracker.update(move, current)
+            if move.is_zoom_out:
+                previous_roi = roi
+            else:
+                assert roi == previous_roi
+        # ROI tiles, if any, were actually visited while collecting.
+        assert len(set(tracker.roi)) == len(tracker.roi)
+
+
+# ----------------------------------------------------------------------
+# LRU invariants
+# ----------------------------------------------------------------------
+class TestLRUProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 8),
+        st.lists(st.tuples(st.sampled_from("abcdefgh"), st.booleans()), max_size=60),
+    )
+    def test_capacity_never_exceeded(self, capacity, operations):
+        cache = LRUCache(capacity)
+        for key, is_put in operations:
+            if is_put:
+                cache.put(key, key)
+            else:
+                cache.get(key)
+            assert len(cache) <= capacity
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=30))
+    def test_most_recent_put_always_present(self, keys):
+        cache = LRUCache(2)
+        for key in keys:
+            cache.put(key, key)
+            assert key in cache

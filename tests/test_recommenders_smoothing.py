@@ -1,0 +1,109 @@
+"""Unit tests for Kneser–Ney smoothing."""
+
+import pytest
+
+from repro.recommenders.smoothing import KneserNeyEstimator
+
+VOCAB = ("a", "b", "c")
+
+
+class TestFitting:
+    def test_requires_fit(self):
+        estimator = KneserNeyEstimator(order=2, vocabulary=VOCAB)
+        with pytest.raises(RuntimeError):
+            estimator.probability("a", ("a", "b"))
+
+    def test_rejects_unknown_symbols(self):
+        estimator = KneserNeyEstimator(order=1, vocabulary=VOCAB)
+        with pytest.raises(ValueError):
+            estimator.fit([["a", "z"]])
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            KneserNeyEstimator(order=0, vocabulary=VOCAB)
+        with pytest.raises(ValueError):
+            KneserNeyEstimator(order=1, vocabulary=VOCAB, discount=1.0)
+        with pytest.raises(ValueError):
+            KneserNeyEstimator(order=1, vocabulary=())
+
+    def test_duplicate_vocabulary_collapsed(self):
+        estimator = KneserNeyEstimator(order=1, vocabulary=("a", "a", "b"))
+        assert estimator.vocabulary == ("a", "b")
+
+
+class TestProbabilities:
+    def _fitted(self, order=2):
+        estimator = KneserNeyEstimator(order=order, vocabulary=VOCAB)
+        estimator.fit([
+            ["a", "b", "a", "b", "a", "b", "c"],
+            ["a", "b", "a", "b"],
+        ])
+        return estimator
+
+    def test_distribution_sums_to_one(self):
+        estimator = self._fitted()
+        for context in [("a", "b"), ("b", "a"), ("c", "c"), ()]:
+            total = sum(estimator.distribution(context).values())
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_all_probabilities_positive(self):
+        estimator = self._fitted()
+        for symbol in VOCAB:
+            assert estimator.probability(symbol, ("c", "c")) > 0.0
+
+    def test_frequent_transition_dominates(self):
+        estimator = self._fitted()
+        dist = estimator.distribution(("b", "a"))
+        # "a b" is nearly always followed by... after (b, a) comes b.
+        assert dist["b"] == max(dist.values())
+
+    def test_unseen_context_backs_off(self):
+        """An unseen context must fall through to the lower order."""
+        estimator = self._fitted()
+        for symbol in VOCAB:
+            assert estimator.probability(symbol, ("c", "b")) == pytest.approx(
+                estimator.probability(symbol, ("b",))
+            )
+
+    def test_long_context_truncated(self):
+        estimator = self._fitted(order=2)
+        long_ctx = ("a", "a", "a", "b", "a")
+        short_ctx = ("b", "a")
+        assert estimator.probability("b", long_ctx) == pytest.approx(
+            estimator.probability("b", short_ctx)
+        )
+
+    def test_short_context_supported(self):
+        estimator = self._fitted(order=3)
+        assert estimator.probability("a", ("b",)) > 0.0
+
+    def test_empty_training_gives_uniform(self):
+        estimator = KneserNeyEstimator(order=2, vocabulary=VOCAB)
+        estimator.fit([])
+        dist = estimator.distribution(("a", "b"))
+        for value in dist.values():
+            assert value == pytest.approx(1.0 / 3.0)
+
+    def test_continuation_counting(self):
+        """Kneser–Ney's hallmark: a symbol seen often but after only one
+        context gets less backoff mass than one seen after many."""
+        estimator = KneserNeyEstimator(
+            order=1, vocabulary=("a", "b", "c", "d", "x", "y")
+        )
+        # "x" always follows "a" (one continuation context, many times);
+        # "y" follows "b", "c", and "d" (three contexts, once each).
+        estimator.fit([
+            ["a", "x"] * 8,
+            ["b", "y", "c", "y", "d", "y"],
+        ])
+        # Neither x nor y ever followed "x": pure backoff territory.
+        dist = estimator.distribution(("x",))
+        assert dist["y"] > dist["x"]
+
+    def test_higher_discount_flattens(self):
+        gentle = KneserNeyEstimator(order=1, vocabulary=VOCAB, discount=0.1)
+        harsh = KneserNeyEstimator(order=1, vocabulary=VOCAB, discount=0.9)
+        data = [["a", "b"] * 10]
+        gentle.fit(data)
+        harsh.fit(data)
+        assert gentle.probability("b", ("a",)) > harsh.probability("b", ("a",))

@@ -1,0 +1,99 @@
+"""Smoke tests for the experiment runner at miniature scale.
+
+The benchmarks exercise these at full scale with shape assertions; here
+we verify the machinery itself (every generator runs, produces sane
+tables, and the CLI wiring holds) on a tiny world.
+"""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    HYBRID_SIGNATURE,
+    hybrid_factory,
+    run_figure8,
+    run_figure9,
+    run_figure10a,
+    run_history_ablation,
+    run_phase_classifier,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_context():
+    return ExperimentContext.build(size=256, num_users=3, days=1, num_words=8)
+
+
+class TestRunnerFunctions:
+    def test_table1(self, tiny_context):
+        table, comparison = run_table1(tiny_context)
+        assert len(table.rows) == 6
+        assert len(comparison.rows) == 6
+        for _, paper, measured in comparison.rows:
+            assert 0.0 <= float(measured) <= 1.0
+
+    def test_phase_classifier(self, tiny_context):
+        comparison = run_phase_classifier(tiny_context)
+        assert 0.0 <= float(comparison.rows[0][2]) <= 1.0
+
+    def test_figure8(self, tiny_context):
+        move_table, phase_table, user_table = run_figure8(tiny_context)
+        assert len(move_table.rows) == 3
+        # Move shares sum to ~1 per task (cells are rounded to 3 dp).
+        for row in move_table.rows:
+            assert sum(float(v) for v in row[1:4]) == pytest.approx(1.0, abs=2e-3)
+        for row in phase_table.rows:
+            assert sum(float(v) for v in row[1:4]) == pytest.approx(1.0, abs=2e-3)
+        assert len(user_table.rows) == 9
+
+    def test_figure9(self, tiny_context):
+        table, comparison = run_figure9(tiny_context)
+        assert table.rows[0][1] == "0"  # starts at the overview
+        assert len(comparison.rows) == 2
+
+    def test_figure10a(self, tiny_context):
+        tables = run_figure10a(tiny_context, ks=(1, 9))
+        overall = next(t for t in tables if t.title.endswith("overall"))
+        series = {r[0]: [float(v) for v in r[1:]] for r in overall.rows}
+        # k=9 covers the full move vocabulary for every model.
+        for name, values in series.items():
+            assert values[-1] == pytest.approx(1.0), name
+
+    def test_history_ablation(self, tiny_context):
+        table = run_history_ablation(tiny_context, orders=(2, 3), ks=(9,))
+        series = {int(r[0]): float(r[1]) for r in table.rows}
+        assert series[2] == pytest.approx(1.0)
+        assert series[3] == pytest.approx(1.0)
+
+    def test_hybrid_factory_uses_configured_signature(self, tiny_context):
+        engine = hybrid_factory(tiny_context)(tiny_context.study.traces)
+        assert f"sb:{HYBRID_SIGNATURE}" in engine.recommenders
+        assert "markov3" in engine.recommenders
+        assert engine.phase_predictor is not None
+
+    def test_experiment_registry_complete(self):
+        expected = {
+            "table1", "phase", "fig8", "fig9", "fig10a", "fig10b", "fig10c",
+            "fig11", "fig12", "fig13", "ablation-history",
+            "ablation-allocation", "ablation-distance",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+
+class TestContext:
+    def test_context_memoized(self, tiny_context):
+        again = ExperimentContext.build(size=256, num_users=3, days=1, num_words=8)
+        assert again is tiny_context
+
+    def test_single_model_engines(self, tiny_context):
+        study = tiny_context.study
+        for engine in (
+            tiny_context.momentum_engine(study.traces),
+            tiny_context.hotspot_engine(study.traces),
+            tiny_context.markov_engine(study.traces, 2),
+            tiny_context.sb_engine("histogram"),
+        ):
+            engine.observe(None, tiny_context.grid.root)
+            assert engine.predict(2).tiles

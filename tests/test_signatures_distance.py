@@ -1,0 +1,175 @@
+"""Unit tests for distances and Algorithm 3 candidate scoring."""
+
+import numpy as np
+import pytest
+
+from repro.signatures.distance import (
+    chi_squared_distance,
+    rank_by_score,
+    score_candidates,
+    weighted_l2,
+)
+from repro.tiles.key import TileKey
+
+
+class TestChiSquared:
+    def test_identical_is_zero(self):
+        vec = np.asarray([0.25, 0.5, 0.25])
+        assert chi_squared_distance(vec, vec) == 0.0
+
+    def test_disjoint_histograms(self):
+        a = np.asarray([1.0, 0.0])
+        b = np.asarray([0.0, 1.0])
+        assert chi_squared_distance(a, b) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random(8), rng.random(8)
+        assert chi_squared_distance(a, b) == pytest.approx(chi_squared_distance(b, a))
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            a, b = rng.random(5), rng.random(5)
+            assert chi_squared_distance(a, b) >= 0.0
+
+    def test_zero_bins_ignored(self):
+        a = np.asarray([0.0, 1.0, 0.0])
+        b = np.asarray([0.0, 1.0, 0.0])
+        assert chi_squared_distance(a, b) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            chi_squared_distance(np.ones(3), np.ones(4))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            chi_squared_distance(np.asarray([-0.1, 1.0]), np.ones(2))
+
+
+class TestWeightedL2:
+    def test_default_weights(self):
+        assert weighted_l2([3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_custom_weights(self):
+        assert weighted_l2([3.0, 4.0], [1.0, 0.0]) == pytest.approx(3.0)
+
+    def test_zero_weights_zero(self):
+        assert weighted_l2([3.0, 4.0], [0.0, 0.0]) == 0.0
+
+    def test_weight_count_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_l2([1.0], [1.0, 2.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_l2([1.0], [-1.0])
+
+
+class TestScoreCandidates:
+    """Algorithm 3 on a synthetic signature table."""
+
+    def _setup(self):
+        roi = [TileKey(2, 0, 0)]
+        similar = TileKey(2, 1, 0)  # adjacent, same vector
+        different = TileKey(2, 0, 1)  # adjacent, orthogonal vector
+        vectors = {
+            (roi[0], "sig"): np.asarray([1.0, 0.0]),
+            (similar, "sig"): np.asarray([1.0, 0.0]),
+            (different, "sig"): np.asarray([0.0, 1.0]),
+        }
+        return roi, similar, different, vectors
+
+    def test_similar_candidate_scores_lower(self):
+        roi, similar, different, vectors = self._setup()
+        scores = score_candidates(
+            [similar, different],
+            roi,
+            ["sig"],
+            lambda key, name: vectors[(key, name)],
+            {"sig": chi_squared_distance},
+        )
+        assert scores[similar] < scores[different]
+
+    def test_physical_distance_penalty(self):
+        roi = [TileKey(3, 0, 0)]
+        near = TileKey(3, 1, 0)
+        far = TileKey(3, 5, 0)
+        vec = np.asarray([0.5, 0.5])
+        noise = np.asarray([0.6, 0.4])
+        vectors = {
+            (roi[0], "sig"): vec,
+            (near, "sig"): noise,
+            (far, "sig"): noise,
+        }
+        scores = score_candidates(
+            [near, far],
+            roi,
+            ["sig"],
+            lambda key, name: vectors[(key, name)],
+            {"sig": chi_squared_distance},
+        )
+        assert scores[near] < scores[far]
+
+    def test_multiple_roi_tiles_summed(self):
+        roi = [TileKey(2, 0, 0), TileKey(2, 1, 0)]
+        candidate = TileKey(2, 2, 0)
+        vectors = {
+            (roi[0], "sig"): np.asarray([1.0, 0.0]),
+            (roi[1], "sig"): np.asarray([1.0, 0.0]),
+            (candidate, "sig"): np.asarray([1.0, 0.0]),
+        }
+        scores = score_candidates(
+            [candidate],
+            roi,
+            ["sig"],
+            lambda key, name: vectors[(key, name)],
+            {"sig": chi_squared_distance},
+        )
+        assert candidate in scores
+
+    def test_empty_candidates(self):
+        assert (
+            score_candidates([], [TileKey(0, 0, 0)], ["sig"], None, {"sig": None})
+            == {}
+        )
+
+    def test_requires_roi(self):
+        with pytest.raises(ValueError):
+            score_candidates(
+                [TileKey(0, 0, 0)], [], ["sig"], None, {"sig": None}
+            )
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            score_candidates(
+                [TileKey(1, 0, 0)],
+                [TileKey(1, 1, 1)],
+                ["sig"],
+                lambda k, n: np.ones(2),
+                {"sig": chi_squared_distance},
+                weights=[1.0, 2.0],
+            )
+
+    def test_scores_normalized_bounded(self):
+        roi, similar, different, vectors = self._setup()
+        scores = score_candidates(
+            [similar, different],
+            roi,
+            ["sig"],
+            lambda key, name: vectors[(key, name)],
+            {"sig": chi_squared_distance},
+        )
+        assert all(s >= 0.0 for s in scores.values())
+
+
+class TestRankByScore:
+    def test_ascending_order(self):
+        a, b, c = TileKey(1, 0, 0), TileKey(1, 1, 0), TileKey(1, 0, 1)
+        ranked = rank_by_score({a: 0.5, b: 0.1, c: 0.9})
+        assert ranked == [b, a, c]
+
+    def test_ties_broken_by_key(self):
+        a, b = TileKey(1, 1, 0), TileKey(1, 0, 0)
+        ranked = rank_by_score({a: 0.5, b: 0.5})
+        assert ranked == [b, a]

@@ -1,0 +1,71 @@
+"""Unit tests for the signature provider and selection."""
+
+import numpy as np
+import pytest
+
+from repro.signatures.base import SignatureRegistry
+from repro.signatures.histogram import HistogramSignature
+from repro.signatures.provider import SignatureProvider
+from repro.signatures.selection import select_best_signature
+from repro.signatures.stats import NormalSignature
+from repro.tiles.key import TileKey
+from repro.tiles.metadata import MetadataStore
+
+
+@pytest.fixture
+def cheap_provider(small_dataset):
+    registry = SignatureRegistry((NormalSignature(), HistogramSignature()))
+    return SignatureProvider(
+        small_dataset.pyramid, registry, "ndsi_avg", MetadataStore()
+    )
+
+
+class TestProvider:
+    def test_vector_computed_and_cached(self, cheap_provider):
+        key = TileKey(1, 0, 0)
+        first = cheap_provider.vector(key, "histogram")
+        second = cheap_provider.vector(key, "histogram")
+        np.testing.assert_array_equal(first, second)
+        assert cheap_provider.store.compute_count == 1
+        assert cheap_provider.store.hit_count == 1
+
+    def test_unknown_signature(self, cheap_provider):
+        with pytest.raises(KeyError):
+            cheap_provider.vector(TileKey(0, 0, 0), "nope")
+
+    def test_unknown_attribute_rejected(self, small_dataset):
+        registry = SignatureRegistry((NormalSignature(),))
+        with pytest.raises(ValueError):
+            SignatureProvider(small_dataset.pyramid, registry, "nope")
+
+    def test_distance_fns(self, cheap_provider):
+        fns = cheap_provider.distance_fns()
+        assert set(fns) == {"histogram", "normal"}
+        assert fns["histogram"](np.ones(4), np.ones(4)) == 0.0
+
+    def test_precompute_level_zero(self, cheap_provider):
+        count = cheap_provider.precompute(
+            keys=[TileKey(0, 0, 0)], names=["histogram"]
+        )
+        assert count == 1
+        assert cheap_provider.store.has(TileKey(0, 0, 0), "histogram")
+
+
+class TestSelection:
+    def test_selects_a_registered_signature(self, cheap_provider, small_study):
+        result = select_best_signature(
+            cheap_provider, small_study.traces[:2], k=3
+        )
+        assert result.best in {"normal", "histogram"}
+        assert set(result.scores) == {"normal", "histogram"}
+        assert all(0.0 <= v <= 1.0 for v in result.scores.values())
+
+    def test_empty_traces_rejected(self, cheap_provider):
+        with pytest.raises(ValueError):
+            select_best_signature(cheap_provider, [])
+
+    def test_explicit_subset(self, cheap_provider, small_study):
+        result = select_best_signature(
+            cheap_provider, small_study.traces[:1], signature_names=["normal"], k=2
+        )
+        assert result.best == "normal"

@@ -1,0 +1,133 @@
+"""Unit tests for bounds-checked grid geometry."""
+
+import pytest
+
+from repro.tiles.key import TileKey
+from repro.tiles.moves import ALL_MOVES, Move
+from repro.tiles.pyramid import TileGrid
+
+
+class TestGeometry:
+    def test_tiles_per_dim(self):
+        grid = TileGrid(4)
+        assert [grid.tiles_per_dim(level) for level in range(4)] == [1, 2, 4, 8]
+
+    def test_tile_count(self):
+        grid = TileGrid(3)
+        assert grid.tile_count(2) == 16
+
+    def test_total_tiles(self):
+        assert TileGrid(3).total_tiles() == 1 + 4 + 16
+
+    def test_level_out_of_range(self):
+        with pytest.raises(ValueError):
+            TileGrid(3).tiles_per_dim(3)
+
+    def test_rejects_empty_pyramid(self):
+        with pytest.raises(ValueError):
+            TileGrid(0)
+
+    def test_valid(self):
+        grid = TileGrid(3)
+        assert grid.valid(TileKey(0, 0, 0))
+        assert grid.valid(TileKey(2, 3, 3))
+        assert not grid.valid(TileKey(2, 4, 0))
+        assert not grid.valid(TileKey(3, 0, 0))
+
+    def test_keys_at_level_row_major(self):
+        keys = list(TileGrid(2).keys_at_level(1))
+        assert keys == [
+            TileKey(1, 0, 0),
+            TileKey(1, 1, 0),
+            TileKey(1, 0, 1),
+            TileKey(1, 1, 1),
+        ]
+
+    def test_all_keys_counts(self):
+        grid = TileGrid(3)
+        assert len(list(grid.all_keys())) == grid.total_tiles()
+
+
+class TestMovement:
+    def test_root_moves_are_zoom_ins_only(self):
+        grid = TileGrid(3)
+        moves = [m for m, _ in grid.available_moves(grid.root)]
+        assert all(m.is_zoom_in for m in moves)
+        assert len(moves) == 4
+
+    def test_deepest_level_has_no_zoom_in(self):
+        grid = TileGrid(3)
+        moves = [m for m, _ in grid.available_moves(TileKey(2, 1, 1))]
+        assert not any(m.is_zoom_in for m in moves)
+
+    def test_interior_tile_move_count(self):
+        grid = TileGrid(4)
+        # Interior, mid-level: 4 pans + zoom out + 4 zoom ins.
+        assert len(grid.available_moves(TileKey(2, 1, 1))) == 9
+
+    def test_corner_loses_two_pans(self):
+        grid = TileGrid(4)
+        moves = [m for m, _ in grid.available_moves(TileKey(2, 0, 0))]
+        assert Move.PAN_LEFT not in moves
+        assert Move.PAN_UP not in moves
+        assert Move.PAN_RIGHT in moves
+
+    def test_apply_off_edge_is_none(self):
+        grid = TileGrid(3)
+        assert grid.apply(TileKey(1, 0, 0), Move.PAN_LEFT) is None
+
+    def test_apply_zoom_out_at_root_is_none(self):
+        grid = TileGrid(3)
+        assert grid.apply(grid.root, Move.ZOOM_OUT) is None
+
+    def test_apply_invalid_key_raises(self):
+        grid = TileGrid(2)
+        with pytest.raises(ValueError):
+            grid.apply(TileKey(5, 0, 0), Move.PAN_LEFT)
+
+    def test_apply_matches_available_moves(self):
+        grid = TileGrid(3)
+        for key in grid.all_keys():
+            available = dict(grid.available_moves(key))
+            for move in ALL_MOVES:
+                target = grid.apply(key, move)
+                if move in available:
+                    assert target == available[move]
+                else:
+                    assert target is None
+
+
+class TestCandidates:
+    def test_interior_candidates_are_nine(self):
+        grid = TileGrid(4)
+        assert len(grid.candidates(TileKey(2, 1, 1))) == 9
+
+    def test_candidates_exclude_self(self):
+        grid = TileGrid(3)
+        key = TileKey(1, 0, 0)
+        assert key not in grid.candidates(key)
+
+    def test_candidates_d1_are_one_move_away(self):
+        grid = TileGrid(4)
+        key = TileKey(2, 1, 1)
+        neighbors = set(grid.neighbors(key))
+        assert set(grid.candidates(key, d=1)) == neighbors
+
+    def test_candidates_d2_superset_of_d1(self):
+        grid = TileGrid(4)
+        key = TileKey(2, 1, 1)
+        d1 = set(grid.candidates(key, 1))
+        d2 = set(grid.candidates(key, 2))
+        assert d1 < d2
+
+    def test_candidates_breadth_first(self):
+        grid = TileGrid(4)
+        key = TileKey(2, 1, 1)
+        d1 = grid.candidates(key, 1)
+        d2 = grid.candidates(key, 2)
+        assert d2[: len(d1)] == d1
+
+    def test_candidates_bad_distance(self):
+        grid = TileGrid(2)
+        with pytest.raises(ValueError):
+            grid.candidates(TileKey(0, 0, 0), 0)

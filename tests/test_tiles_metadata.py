@@ -1,0 +1,139 @@
+"""Unit tests for the shared metadata store and the build pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.arraydb import ArraySchema, Attribute, Database, Dimension
+from repro.tiles.builder import build_tiles
+from repro.tiles.key import TileKey
+from repro.tiles.metadata import MetadataStore
+
+KEY = TileKey(2, 1, 3)
+
+
+class TestMetadataStore:
+    def test_put_get(self):
+        store = MetadataStore()
+        store.put(KEY, "histogram", np.asarray([0.5, 0.5]))
+        np.testing.assert_array_equal(store.get(KEY, "histogram"), [0.5, 0.5])
+
+    def test_get_missing_is_none(self):
+        assert MetadataStore().get(KEY, "histogram") is None
+
+    def test_has(self):
+        store = MetadataStore()
+        assert not store.has(KEY, "x")
+        store.put(KEY, "x", np.zeros(2))
+        assert store.has(KEY, "x")
+
+    def test_get_or_compute_computes_once(self):
+        store = MetadataStore()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return np.ones(3)
+
+        first = store.get_or_compute(KEY, "sig", compute)
+        second = store.get_or_compute(KEY, "sig", compute)
+        np.testing.assert_array_equal(first, second)
+        assert len(calls) == 1
+        assert store.compute_count == 1
+        assert store.hit_count == 1
+
+    def test_signature_names(self):
+        store = MetadataStore()
+        store.put(KEY, "a", np.zeros(1))
+        store.put(KEY, "b", np.zeros(1))
+        assert store.signature_names() == {"a", "b"}
+
+    def test_len_and_clear(self):
+        store = MetadataStore()
+        store.put(KEY, "a", np.zeros(1))
+        assert len(store) == 1
+        store.clear()
+        assert len(store) == 0
+        assert store.compute_count == 0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = MetadataStore()
+        store.put(KEY, "a", np.asarray([1.0, 2.0]))
+        store.put(TileKey(0, 0, 0), "b", np.asarray([3.0]))
+        path = tmp_path / "meta.npz"
+        store.save(path)
+        loaded = MetadataStore.load(path)
+        assert len(loaded) == 2
+        np.testing.assert_array_equal(loaded.get(KEY, "a"), [1.0, 2.0])
+
+    def test_vectors_stored_as_float64(self):
+        store = MetadataStore()
+        store.put(KEY, "a", np.asarray([1, 2], dtype="int32"))
+        assert store.get(KEY, "a").dtype == np.dtype("float64")
+
+
+class TestBuildTiles:
+    def _db_with_source(self) -> Database:
+        db = Database()
+        schema = ArraySchema(
+            "S",
+            attributes=(Attribute("v"),),
+            dimensions=(Dimension("y", 0, 16, 16), Dimension("x", 0, 16, 16)),
+        )
+        db.create_array(schema)
+        db.write("S", "v", np.random.default_rng(1).random((16, 16)))
+        return db
+
+    def test_builds_pyramid_and_report(self):
+        db = self._db_with_source()
+        pyramid, store, report = build_tiles(db, "S", tile_size=4)
+        assert report.num_levels == 3
+        assert report.total_tiles == 21
+        assert report.tile_size == 4
+        assert report.bytes_per_tile == 16 * 8
+        assert report.total_bytes == 21 * 16 * 8
+
+    def test_metadata_computed_for_all_tiles(self):
+        db = self._db_with_source()
+        _, store, report = build_tiles(
+            db,
+            "S",
+            tile_size=4,
+            metadata={"mean": lambda block: np.asarray([block.mean()])},
+        )
+        assert len(store) == 21
+        assert report.metadata_vectors == 21
+
+    def test_metadata_restricted_levels(self):
+        db = self._db_with_source()
+        _, store, _ = build_tiles(
+            db,
+            "S",
+            tile_size=4,
+            metadata={"mean": lambda block: np.asarray([block.mean()])},
+            metadata_levels=[0, 1],
+        )
+        assert len(store) == 5
+
+    def test_metadata_values_correct(self):
+        db = self._db_with_source()
+        pyramid, store, _ = build_tiles(
+            db,
+            "S",
+            tile_size=4,
+            metadata={"mean": lambda block: np.asarray([block.mean()])},
+        )
+        key = TileKey(2, 0, 0)
+        tile = pyramid.fetch_tile(key, charge=False)
+        assert store.get(key, "mean")[0] == pytest.approx(tile.attribute("v").mean())
+
+    def test_external_store_reused(self):
+        db = self._db_with_source()
+        external = MetadataStore()
+        _, store, _ = build_tiles(
+            db,
+            "S",
+            tile_size=4,
+            metadata={"mean": lambda block: np.asarray([block.mean()])},
+            store=external,
+        )
+        assert store is external
