@@ -10,6 +10,10 @@ from conftest import print_report
 
 from repro.experiments.runner import run_allocation_ablation
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_ablation_allocation(context, benchmark):
     table = benchmark.pedantic(

@@ -8,6 +8,10 @@ from conftest import print_report
 
 from repro.experiments.runner import run_history_ablation
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_ablation_history_length(context, benchmark):
     table = benchmark.pedantic(

@@ -10,6 +10,10 @@ from conftest import print_report
 
 from repro.experiments.runner import run_prefetch_distance_ablation
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_ablation_prefetch_distance(context, benchmark):
     table = benchmark.pedantic(

@@ -11,6 +11,10 @@ from conftest import print_report
 from repro.experiments.report import Table
 from repro.modis.dataset import MODISDataset, NDSI_ATTRIBUTES
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_ablation_tile_size(benchmark):
     size = 256

@@ -8,7 +8,10 @@ from conftest import print_report
 
 from repro.experiments.accuracy import replay_engine
 from repro.experiments.runner import run_figure10a
-from repro.phases.model import AnalysisPhase
+
+import pytest
+
+pytestmark = pytest.mark.bench
 
 
 def test_figure10a_ab_vs_existing(context, benchmark):

@@ -12,6 +12,10 @@ from conftest import print_report
 from repro.experiments.accuracy import replay_engine
 from repro.experiments.runner import run_figure10b
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_figure10b_sb_signatures(context, benchmark):
     tables = run_figure10b(context)

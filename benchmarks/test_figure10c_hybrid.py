@@ -9,6 +9,10 @@ from conftest import print_report
 
 from repro.experiments.runner import HYBRID_SIGNATURE, run_figure10c
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_figure10c_hybrid_vs_components(context, benchmark):
     def compute():

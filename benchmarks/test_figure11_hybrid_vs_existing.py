@@ -9,6 +9,10 @@ from conftest import print_report
 
 from repro.experiments.runner import run_figure11
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_figure11_hybrid_vs_existing(context, benchmark):
     def compute():

@@ -10,6 +10,10 @@ from conftest import print_report
 from repro.experiments.latency import linear_fit
 from repro.experiments.report import Comparison, Table
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_figure12_latency_regression(context, latency_points, benchmark):
     points, _ = latency_points

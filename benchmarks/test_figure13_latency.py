@@ -13,6 +13,10 @@ from repro.experiments.latency import improvement_percent
 from repro.experiments.report import Comparison, Table
 from repro.middleware.latency import MISS_SECONDS
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_figure13_latency(context, latency_points, benchmark):
     points, _ = latency_points

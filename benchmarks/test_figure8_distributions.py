@@ -10,6 +10,10 @@ from conftest import is_full_scale, print_report
 from repro.experiments.runner import run_figure8
 from repro.users.study import run_study
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_figure8_distributions(context, benchmark):
     move_table, phase_table, user_table = run_figure8(context)

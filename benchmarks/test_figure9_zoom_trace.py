@@ -11,6 +11,10 @@ from conftest import is_full_scale, print_report
 from repro.experiments.runner import run_figure9
 from repro.phases.labeler import model_fit_fraction
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def test_figure9_zoom_trace(context, benchmark):
     table, comparison = run_figure9(context)

@@ -3,10 +3,13 @@ with some users above 90%."""
 
 from conftest import print_report
 
-from repro.experiments.crossval import classifier_cv_accuracy
 from repro.experiments.runner import run_phase_classifier
 from repro.phases.classifier import PhaseClassifier
 from repro.phases.features import trace_features
+
+import pytest
+
+pytestmark = pytest.mark.bench
 
 
 def test_phase_classifier_accuracy(context, benchmark):

@@ -13,6 +13,8 @@ from repro.signatures.sift import extract_sift_descriptors
 from repro.signatures.gradients import normalize_tile_values
 from repro.tiles.key import TileKey
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.fixture(scope="module")
 def trained_hybrid(context):

@@ -9,7 +9,10 @@ from conftest import print_report
 
 from repro.experiments.crossval import classifier_cv_accuracy
 from repro.experiments.runner import run_table1
-from repro.phases.features import FEATURE_NAMES
+
+import pytest
+
+pytestmark = pytest.mark.bench
 
 
 def test_table1_feature_accuracy(context, benchmark):

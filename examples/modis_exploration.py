@@ -13,9 +13,8 @@ and 13.
 
 import argparse
 
-from repro.experiments.accuracy import replay_engine
 from repro.experiments.context import ExperimentContext
-from repro.experiments.crossval import evaluate_engine_cv, leave_one_user_out
+from repro.experiments.crossval import evaluate_engine_cv
 from repro.experiments.report import Table
 from repro.experiments.runner import hybrid_factory, replay_model_latency
 from repro.phases.model import ALL_PHASES

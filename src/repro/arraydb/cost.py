@@ -13,25 +13,33 @@ rather than the idiosyncrasies of our host machine.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
 class VirtualClock:
-    """A monotonically advancing simulated clock (seconds)."""
+    """A monotonically advancing simulated clock (seconds).
+
+    Thread-safe: background prefetch workers and the request path may
+    charge queries concurrently without losing advances.
+    """
 
     def __init__(self, start: float = 0.0) -> None:
+        self._lock = threading.Lock()
         self._now = float(start)
 
     def now(self) -> float:
         """Current virtual time in seconds."""
-        return self._now
+        with self._lock:
+            return self._now
 
     def advance(self, seconds: float) -> float:
         """Advance the clock; negative advances are rejected."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds} seconds")
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
 
 @dataclass(frozen=True)

@@ -1,7 +1,13 @@
-"""A small least-recently-used cache with hit/miss accounting."""
+"""A small least-recently-used cache with hit/miss accounting.
+
+The cache is lock-guarded: every operation holds an internal
+:class:`threading.RLock`, so one instance may be shared by the request
+path and the background prefetch workers without external coordination.
+"""
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Hashable
 from typing import Generic, TypeVar
@@ -12,57 +18,66 @@ V = TypeVar("V")
 
 class LRUCache(Generic[K, V]):
     """Fixed-capacity LRU: reads refresh recency, inserts evict the
-    least recently used entry."""
+    least recently used entry.  Thread-safe."""
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self._lock = threading.RLock()
         self._entries: OrderedDict[K, V] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: K) -> V | None:
         """Fetch and refresh an entry; None (and a counted miss) if absent."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
 
     def peek(self, key: K) -> V | None:
         """Fetch without touching recency or counters."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: K, value: V) -> K | None:
         """Insert/overwrite; returns the evicted key, if any."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return None
             self._entries[key] = value
+            if len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                return evicted
             return None
-        self._entries[key] = value
-        if len(self._entries) > self.capacity:
-            evicted, _ = self._entries.popitem(last=False)
-            return evicted
-        return None
 
     def __contains__(self, key: K) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def keys(self) -> list[K]:
         """Keys from least to most recently used."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
         """Drop all entries (counters persist)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def hit_rate(self) -> float:
         """Fraction of ``get`` calls served from cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0

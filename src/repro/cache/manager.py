@@ -4,12 +4,22 @@ On a request, the manager answers from the middleware cache when it can
 (a *hit*, main-memory speed) and falls back to a real DBMS query
 otherwise (a *miss*, ~50x slower on the paper's testbed).  After the
 prediction engine produces its ordered prefetch list, the manager pulls
-those tiles from the DBMS into the prefetch region during the user's
-think time.
+those tiles from the DBMS into the prefetch region — synchronously via
+:meth:`prefetch` (the paper's single-user loop), or one tile at a time
+via :meth:`prefetch_one` when a background scheduler drives the work.
+
+The manager is thread-safe and **coalesces** backend traffic: every
+backend load goes through an in-flight futures table, so concurrent
+misses on the same :class:`~repro.tiles.key.TileKey` — two user sessions
+landing on the same tile, or a request racing a prefetch job — trigger
+exactly one DBMS query whose result all callers share.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from concurrent.futures import Future
 from dataclasses import dataclass
 
 from repro.cache.tile_cache import TileCache
@@ -26,32 +36,72 @@ class FetchOutcome:
     hit: bool
     #: Virtual seconds the backend query took (0.0 on a hit).
     backend_seconds: float
+    #: True when this miss piggybacked on another caller's in-flight
+    #: query instead of issuing its own.
+    coalesced: bool = False
 
 
 class CacheManager:
     """Owns the tile cache and all traffic to the backend DBMS."""
 
-    def __init__(self, pyramid: TilePyramid, cache: TileCache | None = None) -> None:
+    def __init__(
+        self,
+        pyramid: TilePyramid,
+        cache: TileCache | None = None,
+        backend_delay_seconds: float = 0.0,
+    ) -> None:
+        if backend_delay_seconds < 0:
+            raise ValueError(
+                f"backend delay must be >= 0, got {backend_delay_seconds}"
+            )
         self.pyramid = pyramid
         self.cache = cache if cache is not None else TileCache()
+        #: Real wall-clock seconds each backend query sleeps, emulating a
+        #: slow DBMS in real time (the virtual clock charges cost either
+        #: way; this knob makes throughput benchmarks physical).
+        self.backend_delay_seconds = backend_delay_seconds
+        self._lock = threading.Lock()
+        # Serializes whole synchronous prefetch cycles: without it, two
+        # threads' begin_prefetch_cycle/store_prefetched interleave and
+        # trample the shared region mid-refill.
+        self._cycle_lock = threading.Lock()
+        self._inflight: dict[TileKey, Future] = {}
         self.requests = 0
         self.hits = 0
+        self.coalesced = 0
         self.prefetch_queries = 0
 
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
     def fetch(self, key: TileKey) -> FetchOutcome:
-        """Serve one user request, from cache if possible."""
-        self.requests += 1
+        """Serve one user request, from cache if possible.
+
+        Safe to call from many threads: a miss that finds another
+        caller's query already in flight for the same key waits on that
+        query instead of issuing its own.
+        """
+        with self._lock:
+            self.requests += 1
         cached = self.cache.lookup(key)
         if cached is not None:
-            self.hits += 1
+            with self._lock:
+                self.hits += 1
             self.cache.record_request(cached)
             return FetchOutcome(tile=cached, hit=True, backend_seconds=0.0)
-        tile, backend_seconds = self._query_backend(key)
+        tile, backend_seconds, owner = self._load(
+            key, publish=self.cache.record_request
+        )
+        if not owner:
+            with self._lock:
+                self.coalesced += 1
         self.cache.record_request(tile)
-        return FetchOutcome(tile=tile, hit=False, backend_seconds=backend_seconds)
+        return FetchOutcome(
+            tile=tile,
+            hit=False,
+            backend_seconds=backend_seconds,
+            coalesced=not owner,
+        )
 
     # ------------------------------------------------------------------
     # prefetch path
@@ -59,10 +109,16 @@ class CacheManager:
     def prefetch(self, predictions: list[tuple[TileKey, str]]) -> int:
         """Fill the prefetch region with (tile, predicting model) pairs.
 
+        The synchronous cycle: the region is cleared and refilled in
+        prediction order, atomically with respect to other cycles.
         Tiles already resident (either region) only claim their slot;
         they are not re-queried.  Returns the number of backend queries
         issued.
         """
+        with self._cycle_lock:
+            return self._run_prefetch_cycle(predictions)
+
+    def _run_prefetch_cycle(self, predictions: list[tuple[TileKey, str]]) -> int:
         self.cache.begin_prefetch_cycle()
         queries = 0
         for key, model in predictions:
@@ -71,20 +127,90 @@ class CacheManager:
                 if not self.cache.store_prefetched(resident, model):
                     break
                 continue
-            tile, _ = self._query_backend(key)
-            queries += 1
+            # Publish inside _load so a racing fetch() never finds a gap
+            # between the in-flight entry and residency; the second store
+            # below is idempotent and detects a full region.
+            tile, _, owner = self._load(
+                key,
+                publish=lambda fetched, m=model: self.cache.store_prefetched(
+                    fetched, m
+                ),
+            )
+            if owner:
+                queries += 1
             if not self.cache.store_prefetched(tile, model):
                 break
-        self.prefetch_queries += queries
+        with self._lock:
+            self.prefetch_queries += queries
         return queries
+
+    def prefetch_one(self, key: TileKey, model: str) -> DataTile:
+        """Pull one predicted tile into the prefetch region (background path).
+
+        Coalesces with any in-flight load of the same key; a tile
+        already resident is returned without a query.  Unlike the
+        synchronous cycle, a full prefetch region evicts its oldest
+        entry rather than dropping the new tile.
+        """
+        resident = self.cache.lookup(key)
+        if resident is not None:
+            return resident
+        tile, _, owner = self._load(
+            key, publish=lambda fetched: self.cache.admit_prefetched(fetched, model)
+        )
+        if owner:
+            with self._lock:
+                self.prefetch_queries += 1
+        else:
+            self.cache.admit_prefetched(tile, model)
+        return tile
+
+    # ------------------------------------------------------------------
+    # coalesced backend loads
+    # ------------------------------------------------------------------
+    def _load(self, key: TileKey, publish=None) -> tuple[DataTile, float, bool]:
+        """Load ``key`` from the backend, coalescing concurrent callers.
+
+        Returns ``(tile, backend_seconds, owner)`` where ``owner`` is
+        True for the single caller that actually ran the DBMS query.
+        The owner calls ``publish(tile)`` (when given) to make the tile
+        cache-resident *before* the in-flight entry is removed, so a
+        late arrival always sees either the in-flight future or the
+        cached tile — never a gap that would trigger a duplicate query.
+        """
+        with self._lock:
+            resident = self.cache.lookup(key)
+            if resident is not None:
+                return resident, 0.0, False
+            future = self._inflight.get(key)
+            if future is None:
+                future = Future()
+                self._inflight[key] = future
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            tile, backend_seconds = future.result()
+            return tile, backend_seconds, False
+        try:
+            tile, backend_seconds = self._query_backend(key)
+            if publish is not None:
+                publish(tile)
+        except BaseException as exc:
+            future.set_exception(exc)
+            with self._lock:
+                self._inflight.pop(key, None)
+            raise
+        future.set_result((tile, backend_seconds))
+        with self._lock:
+            self._inflight.pop(key, None)
+        return tile, backend_seconds, True
 
     def _query_backend(self, key: TileKey) -> tuple[DataTile, float]:
         """A real (charged) DBMS query for one tile."""
-        clock = self.pyramid.db.clock
-        before = clock.now() if clock is not None else 0.0
-        tile = self.pyramid.fetch_tile(key, charge=True)
-        after = clock.now() if clock is not None else 0.0
-        return tile, after - before
+        if self.backend_delay_seconds > 0:
+            time.sleep(self.backend_delay_seconds)
+        return self.pyramid.fetch_tile_timed(key)
 
     # ------------------------------------------------------------------
     # stats
@@ -92,10 +218,13 @@ class CacheManager:
     @property
     def hit_rate(self) -> float:
         """Fraction of user requests served from the middleware cache."""
-        return self.hits / self.requests if self.requests else 0.0
+        with self._lock:
+            return self.hits / self.requests if self.requests else 0.0
 
     def reset_stats(self) -> None:
         """Zero the counters (cache contents are untouched)."""
-        self.requests = 0
-        self.hits = 0
-        self.prefetch_queries = 0
+        with self._lock:
+            self.requests = 0
+            self.hits = 0
+            self.coalesced = 0
+            self.prefetch_queries = 0

@@ -7,9 +7,20 @@ Two regions (Section 3, "Tile Cache Manager"):
 - a **prefetch** region refilled after every request with the
   prediction engine's tiles, tracked per recommendation model so the
   allocation strategy's quotas are observable.
+
+The cache is thread-safe: all region mutations happen under one
+re-entrant lock, so the synchronous request path and the background
+prefetch workers can share an instance.  Synchronous prefetching uses
+the cycle API (:meth:`begin_prefetch_cycle` + :meth:`store_prefetched`);
+background prefetching uses :meth:`admit_prefetched`, which evicts the
+oldest prefetched tile instead of rejecting new work, because background
+jobs from several sessions interleave rather than arriving in clean
+per-request cycles.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.cache.lru import LRUCache
 from repro.tiles.key import TileKey
@@ -25,6 +36,7 @@ class TileCache:
                 f"prefetch capacity must be >= 1, got {prefetch_capacity}"
             )
         self.prefetch_capacity = prefetch_capacity
+        self._lock = threading.RLock()
         self._recent: LRUCache[TileKey, DataTile] = LRUCache(recent_capacity)
         self._prefetched: dict[TileKey, DataTile] = {}
         self._attribution: dict[TileKey, str] = {}
@@ -34,20 +46,23 @@ class TileCache:
     # ------------------------------------------------------------------
     def lookup(self, key: TileKey) -> DataTile | None:
         """Find a tile in either region (None on full miss)."""
-        tile = self._prefetched.get(key)
-        if tile is not None:
-            return tile
-        return self._recent.peek(key)
+        with self._lock:
+            tile = self._prefetched.get(key)
+            if tile is not None:
+                return tile
+            return self._recent.peek(key)
 
     def __contains__(self, key: TileKey) -> bool:
-        return key in self._prefetched or key in self._recent
+        with self._lock:
+            return key in self._prefetched or key in self._recent
 
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
     def record_request(self, tile: DataTile) -> None:
         """A tile the user actually requested enters the recent region."""
-        self._recent.put(tile.key, tile)
+        with self._lock:
+            self._recent.put(tile.key, tile)
 
     def begin_prefetch_cycle(self) -> None:
         """Clear the prefetch region for the next round of predictions.
@@ -55,19 +70,46 @@ class TileCache:
         The paper re-evaluates allocations after every request; tiles
         prefetched for the previous request are superseded (any still
         relevant will be re-predicted)."""
-        self._prefetched.clear()
-        self._attribution.clear()
+        with self._lock:
+            self._prefetched.clear()
+            self._attribution.clear()
 
     def store_prefetched(self, tile: DataTile, model: str) -> bool:
         """Add a predicted tile on behalf of ``model``.
 
-        Returns False (and stores nothing) once the region is full.
+        Idempotent for tiles already in the region (their slot is
+        re-claimed); returns False (and stores nothing) once the region
+        is full.
         """
-        if len(self._prefetched) >= self.prefetch_capacity:
-            return False
-        self._prefetched[tile.key] = tile
-        self._attribution[tile.key] = model
-        return True
+        with self._lock:
+            if tile.key not in self._prefetched and (
+                len(self._prefetched) >= self.prefetch_capacity
+            ):
+                return False
+            self._prefetched[tile.key] = tile
+            self._attribution[tile.key] = model
+            return True
+
+    def admit_prefetched(self, tile: DataTile, model: str) -> TileKey | None:
+        """Add a predicted tile, evicting the oldest if the region is full.
+
+        The background scheduler's admission path: unlike the cycle API,
+        a full region makes room rather than rejecting the tile, since
+        concurrent sessions' jobs arrive continuously.  Returns the
+        evicted key, if any.
+        """
+        with self._lock:
+            evicted: TileKey | None = None
+            if tile.key in self._prefetched:
+                # Refresh FIFO position: a re-predicted tile is fresh again.
+                del self._prefetched[tile.key]
+            elif len(self._prefetched) >= self.prefetch_capacity:
+                evicted = next(iter(self._prefetched))
+                del self._prefetched[evicted]
+                self._attribution.pop(evicted, None)
+            self._prefetched[tile.key] = tile
+            self._attribution[tile.key] = model
+            return evicted
 
     # ------------------------------------------------------------------
     # introspection
@@ -75,7 +117,8 @@ class TileCache:
     @property
     def prefetched_keys(self) -> list[TileKey]:
         """Keys currently in the prefetch region (insertion order)."""
-        return list(self._prefetched)
+        with self._lock:
+            return list(self._prefetched)
 
     @property
     def recent_keys(self) -> list[TileKey]:
@@ -84,27 +127,31 @@ class TileCache:
 
     def attribution(self, key: TileKey) -> str | None:
         """Which model's allocation paid for a prefetched tile."""
-        return self._attribution.get(key)
+        with self._lock:
+            return self._attribution.get(key)
 
     def model_usage(self) -> dict[str, int]:
         """Prefetched-tile counts per model."""
-        usage: dict[str, int] = {}
-        for model in self._attribution.values():
-            usage[model] = usage.get(model, 0) + 1
-        return usage
+        with self._lock:
+            usage: dict[str, int] = {}
+            for model in self._attribution.values():
+                usage[model] = usage.get(model, 0) + 1
+            return usage
 
     def nbytes(self) -> int:
         """Total payload bytes held across both regions."""
-        total = sum(tile.nbytes for tile in self._prefetched.values())
-        total += sum(
-            tile.nbytes
-            for key in self._recent.keys()
-            if (tile := self._recent.peek(key)) is not None
-        )
-        return total
+        with self._lock:
+            total = sum(tile.nbytes for tile in self._prefetched.values())
+            total += sum(
+                tile.nbytes
+                for key in self._recent.keys()
+                if (tile := self._recent.peek(key)) is not None
+            )
+            return total
 
     def clear(self) -> None:
         """Drop everything."""
-        self._recent.clear()
-        self._prefetched.clear()
-        self._attribution.clear()
+        with self._lock:
+            self._recent.clear()
+            self._prefetched.clear()
+            self._attribution.clear()

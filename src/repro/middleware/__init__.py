@@ -2,7 +2,9 @@
 
 :class:`ForeCacheServer` wires the prediction engine, the cache manager,
 and the backend DBMS together; :class:`BrowsingSession` is the
-lightweight client the user (or a trace replay) drives.
+lightweight client the user (or a trace replay) drives;
+:class:`PrefetchScheduler` runs prefetch lists on a background worker
+pool so think-time overlap is physical, not just simulated.
 """
 
 from repro.middleware.client import BrowsingSession
@@ -13,6 +15,7 @@ from repro.middleware.latency import (
     MISS_SECONDS,
 )
 from repro.middleware.multiuser import MultiUserResponse, MultiUserServer
+from repro.middleware.scheduler import PrefetchJob, PrefetchScheduler
 from repro.middleware.server import ForeCacheServer, TileResponse
 
 __all__ = [
@@ -24,5 +27,7 @@ __all__ = [
     "MISS_SECONDS",
     "MultiUserResponse",
     "MultiUserServer",
+    "PrefetchJob",
+    "PrefetchScheduler",
     "TileResponse",
 ]

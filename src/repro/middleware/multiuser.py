@@ -3,26 +3,41 @@
 The paper notes its framework "does not currently take into account
 potential optimizations within a multi-user scheme" and plans
 coordinated predictions and caching across users.  This module
-implements the obvious first design:
+implements that design:
 
 - one shared :class:`~repro.cache.manager.CacheManager` (and therefore
   one shared middleware cache) for all users of a dataset, so a tile
   fetched for one user serves everyone,
 - one prediction engine *per user* (each session has its own history,
-  ROI, and phase), and
+  ROI, and phase), feeding a shared prefetch pipeline, and
 - a fair split of the prefetch budget: each user's predictions claim an
-  equal share of the shared prefetch region, with leftover slots
-  round-robined by prediction priority.
+  equal share of the shared prefetch region.
+
+Like the single-user server, two prefetch modes are offered.  In
+``"sync"`` mode every request refills the shared prefetch region inline
+with all users' pending predictions interleaved fairly (the seed
+behavior).  In ``"background"`` mode each request enqueues that user's
+share onto one shared :class:`~repro.middleware.scheduler.PrefetchScheduler`
+— their next request cancels whatever of it is still queued, and the
+cache manager's coalescing table dedupes tiles across users, so the
+request path never blocks on prefetch work.
+
+``handle_request`` is safe to call from many threads, one per user
+session: shared state is lock-guarded, and each session's engine is
+serialized by a per-session lock.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.cache.manager import CacheManager
 from repro.cache.tile_cache import TileCache
 from repro.core.engine import PredictionEngine
 from repro.middleware.latency import LatencyModel, LatencyRecorder
+from repro.middleware.scheduler import PrefetchScheduler
+from repro.middleware.server import PREFETCH_MODES
 from repro.phases.model import AnalysisPhase
 from repro.tiles.key import TileKey
 from repro.tiles.moves import Move
@@ -46,16 +61,16 @@ class _UserSession:
     engine: PredictionEngine
     recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
     pending: list[tuple[TileKey, str]] = field(default_factory=list)
+    lock: threading.RLock = field(default_factory=threading.RLock)
 
 
 class MultiUserServer:
     """Several concurrent users sharing one middleware cache.
 
-    Total prefetch budget is ``prefetch_k`` tiles; after every request
-    the predictions of *all* active users are interleaved fairly and the
-    shared prefetch region refilled.  Users therefore warm the cache for
-    each other — the cross-user sharing the paper's Section 6.2 calls
-    for.
+    Total prefetch budget is ``prefetch_k`` tiles, split evenly across
+    active users after every request.  Users therefore warm the cache
+    for each other — the cross-user sharing the paper's Section 6.2
+    calls for.
     """
 
     def __init__(
@@ -64,46 +79,85 @@ class MultiUserServer:
         prefetch_k: int = 9,
         recent_capacity: int = 10,
         latency_model: LatencyModel | None = None,
+        cache_manager: CacheManager | None = None,
+        prefetch_mode: str = "sync",
+        prefetch_workers: int = 2,
     ) -> None:
         if prefetch_k < 1:
             raise ValueError(f"prefetch_k must be >= 1, got {prefetch_k}")
+        if prefetch_mode not in PREFETCH_MODES:
+            raise ValueError(
+                f"prefetch_mode must be one of {PREFETCH_MODES}, got"
+                f" {prefetch_mode!r}"
+            )
         self.pyramid = pyramid
         self.prefetch_k = prefetch_k
-        self.cache_manager = CacheManager(
-            pyramid,
-            TileCache(
-                recent_capacity=recent_capacity, prefetch_capacity=prefetch_k
-            ),
+        self.prefetch_mode = prefetch_mode
+        if cache_manager is not None and (
+            cache_manager.cache.prefetch_capacity < prefetch_k
+        ):
+            raise ValueError(
+                f"cache prefetch capacity "
+                f"{cache_manager.cache.prefetch_capacity} cannot hold the "
+                f"prefetch budget k={prefetch_k}"
+            )
+        self.cache_manager = (
+            cache_manager
+            if cache_manager is not None
+            else CacheManager(
+                pyramid,
+                TileCache(
+                    recent_capacity=recent_capacity, prefetch_capacity=prefetch_k
+                ),
+            )
         )
         self.latency_model = (
             latency_model if latency_model is not None else LatencyModel()
         )
+        self.scheduler: PrefetchScheduler | None = None
+        if prefetch_mode == "background":
+            self.scheduler = PrefetchScheduler(
+                self.cache_manager, max_workers=prefetch_workers
+            )
+        self._lock = threading.Lock()
         self._sessions: dict[int, _UserSession] = {}
 
     # ------------------------------------------------------------------
     # session management
     # ------------------------------------------------------------------
     def register_user(self, user_id: int, engine: PredictionEngine) -> None:
-        """Attach a user with her own (trained) prediction engine."""
-        if user_id in self._sessions:
-            raise ValueError(f"user {user_id} is already registered")
-        engine.reset()
-        self._sessions[user_id] = _UserSession(engine=engine)
+        """Attach a user with their own (trained) prediction engine."""
+        with self._lock:
+            if user_id in self._sessions:
+                raise ValueError(f"user {user_id} is already registered")
+            engine.reset()
+            self._sessions[user_id] = _UserSession(engine=engine)
 
     def remove_user(self, user_id: int) -> None:
-        """Detach a user; her cache contributions stay shared."""
-        if user_id not in self._sessions:
-            raise KeyError(f"user {user_id} is not registered")
-        del self._sessions[user_id]
+        """Detach a user; their cache contributions stay shared."""
+        with self._lock:
+            if user_id not in self._sessions:
+                raise KeyError(f"user {user_id} is not registered")
+            del self._sessions[user_id]
+        if self.scheduler is not None:
+            self.scheduler.cancel_session(user_id)
 
     @property
     def user_ids(self) -> list[int]:
         """Registered users, sorted."""
-        return sorted(self._sessions)
+        with self._lock:
+            return sorted(self._sessions)
 
     def recorder(self, user_id: int) -> LatencyRecorder:
         """One user's latency log."""
-        return self._sessions[user_id].recorder
+        return self._session(user_id).recorder
+
+    def _session(self, user_id: int) -> _UserSession:
+        with self._lock:
+            session = self._sessions.get(user_id)
+        if session is None:
+            raise KeyError(f"user {user_id} is not registered")
+        return session
 
     # ------------------------------------------------------------------
     # request path
@@ -112,22 +166,30 @@ class MultiUserServer:
         self, user_id: int, move: Move | None, key: TileKey
     ) -> MultiUserResponse:
         """Serve one user's request and re-plan the shared prefetch."""
-        session = self._sessions.get(user_id)
-        if session is None:
-            raise KeyError(f"user {user_id} is not registered")
+        session = self._session(user_id)
 
         outcome = self.cache_manager.fetch(key)
         latency = self.latency_model.response_seconds(
             outcome.hit, outcome.backend_seconds
         )
-        session.recorder.record(latency, outcome.hit)
 
-        session.engine.observe(move, key)
-        per_user_budget = max(1, self.prefetch_k // max(1, len(self._sessions)))
-        result = session.engine.predict(per_user_budget)
-        session.pending = result.attributed_tiles()
+        with self._lock:
+            active = max(1, len(self._sessions))
+        per_user_budget = max(1, self.prefetch_k // active)
 
-        self.cache_manager.prefetch(self._merged_predictions())
+        with session.lock:
+            session.recorder.record(latency, outcome.hit)
+            session.engine.observe(move, key)
+            result = session.engine.predict(per_user_budget)
+            session.pending = result.attributed_tiles()
+            if self.scheduler is not None:
+                # Under the session lock so observe-order == schedule-
+                # order: the round reflecting the latest observation is
+                # the one that supersedes.
+                self.scheduler.schedule(session.pending, session_id=user_id)
+
+        if self.scheduler is None:
+            self.cache_manager.prefetch(self._merged_predictions())
         return MultiUserResponse(
             user_id=user_id,
             tile=outcome.tile,
@@ -143,11 +205,12 @@ class MultiUserServer:
         first, then every user's second, and so on — deduplicated, so a
         tile two users both want claims a single slot.
         """
-        queues = [
-            list(session.pending)
-            for _, session in sorted(self._sessions.items())
-            if session.pending
-        ]
+        with self._lock:
+            queues = [
+                list(session.pending)
+                for _, session in sorted(self._sessions.items())
+                if session.pending
+            ]
         merged: list[tuple[TileKey, str]] = []
         seen: set[TileKey] = set()
         rank = 0
@@ -164,3 +227,23 @@ class MultiUserServer:
                             break
             rank += 1
         return merged
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until the background scheduler has no queued jobs."""
+        if self.scheduler is None:
+            return True
+        return self.scheduler.wait_idle(timeout)
+
+    def close(self) -> None:
+        """Shut down the background worker pool, if any.  Idempotent."""
+        if self.scheduler is not None:
+            self.scheduler.shutdown()
+
+    def __enter__(self) -> "MultiUserServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,219 @@
+"""Background prefetch scheduling.
+
+The paper's central claim is that prefetching overlaps with the user's
+*think time*: the middleware fetches the prediction engine's ordered
+list ``P`` while the user studies the tile they just received, so
+prefetch work never counts toward response latency.  The synchronous
+server realizes that overlap only in virtual time; this module makes it
+physical.  A :class:`PrefetchScheduler` owns a small worker pool and
+runs prefetch jobs off the request path:
+
+- ``schedule()`` turns a prediction round into one :class:`PrefetchJob`
+  per tile and hands the jobs to the pool in priority order;
+- each call supersedes the session's previous round — that session's
+  generation counter is bumped, and workers drop any queued job from an
+  older generation before touching the DBMS (*stale cancellation*);
+- the actual tile loads go through
+  :meth:`~repro.cache.manager.CacheManager.prefetch_one`, so jobs
+  coalesce with concurrent user requests for the same tile and with
+  other sessions' jobs.
+
+Several sessions (a :class:`~repro.middleware.multiuser.MultiUserServer`)
+share one scheduler, one worker pool, and one cache: each session
+cancels only its own stale work, while the coalescing table dedupes
+across sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Hashable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.cache.manager import CacheManager
+from repro.tiles.key import TileKey
+from repro.tiles.tile import DataTile
+
+#: Job lifecycle states.
+PENDING = "pending"
+DONE = "done"
+CANCELLED = "cancelled"
+FAILED = "failed"
+
+
+@dataclass
+class PrefetchJob:
+    """One tile of one session's prefetch list, queued for a worker."""
+
+    key: TileKey
+    model: str
+    rank: int
+    session_id: Hashable
+    generation: int
+    state: str = PENDING
+    tile: DataTile | None = field(default=None, repr=False)
+    error: BaseException | None = field(default=None, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.state != PENDING
+
+
+class PrefetchScheduler:
+    """Runs prefetch lists on a worker pool, cancelling stale rounds.
+
+    One instance serves any number of sessions.  All public methods are
+    thread-safe.
+    """
+
+    def __init__(
+        self,
+        cache_manager: CacheManager,
+        max_workers: int = 2,
+        name: str = "prefetch",
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"worker pool needs >= 1 workers, got {max_workers}")
+        self.cache_manager = cache_manager
+        self.max_workers = max_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=name
+        )
+        self._lock = threading.Lock()
+        # Generations are drawn from one global counter: a session's
+        # entry maps to its latest round, and a popped entry (cancel)
+        # matches no job.  Global uniqueness means a cancelled-then-
+        # rescheduled session can never collide with its old jobs.
+        self._next_generation = 0
+        self._generation: dict[Hashable, int] = {}
+        self._pending = 0
+        self._idle = threading.Event()
+        self._idle.set()
+        self._closed = False
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+        self.jobs_cancelled = 0
+        self.jobs_failed = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        predictions,
+        session_id: Hashable = 0,
+    ) -> list[PrefetchJob]:
+        """Queue one session's new prefetch round, superseding its last.
+
+        ``predictions`` is a :class:`~repro.core.engine.PredictionResult`
+        (consumed via its ``ranked()`` triples) or a plain ordered
+        ``(tile, model)`` sequence.  The session's generation is bumped
+        first, so queued jobs from its previous round become stale and
+        are dropped by whichever worker picks them up.  Returns the
+        jobs, in priority order.
+        """
+        if hasattr(predictions, "ranked"):
+            ranked = predictions.ranked()
+        else:
+            ranked = [
+                (rank, key, model)
+                for rank, (key, model) in enumerate(predictions)
+            ]
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            self._next_generation += 1
+            generation = self._next_generation
+            self._generation[session_id] = generation
+            jobs = [
+                PrefetchJob(
+                    key=key,
+                    model=model,
+                    rank=rank,
+                    session_id=session_id,
+                    generation=generation,
+                )
+                for rank, key, model in ranked
+            ]
+            self.jobs_submitted += len(jobs)
+            self._pending += len(jobs)
+            if self._pending:
+                self._idle.clear()
+        for job in jobs:
+            try:
+                self._executor.submit(self._run, job)
+            except RuntimeError:
+                # Lost the race with shutdown(): the request was already
+                # served, so drop the job instead of failing the caller.
+                job.state = CANCELLED
+                with self._lock:
+                    self.jobs_cancelled += 1
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._idle.set()
+        return jobs
+
+    def cancel_session(self, session_id: Hashable) -> None:
+        """Drop a session's queued jobs and forget the session."""
+        with self._lock:
+            self._generation.pop(session_id, None)
+
+    # ------------------------------------------------------------------
+    # worker body
+    # ------------------------------------------------------------------
+    def _stale(self, job: PrefetchJob) -> bool:
+        with self._lock:
+            return self._generation.get(job.session_id) != job.generation
+
+    def _run(self, job: PrefetchJob) -> None:
+        try:
+            if self._stale(job):
+                job.state = CANCELLED
+                with self._lock:
+                    self.jobs_cancelled += 1
+                return
+            try:
+                job.tile = self.cache_manager.prefetch_one(job.key, job.model)
+            except BaseException as exc:
+                job.error = exc
+                job.state = FAILED
+                with self._lock:
+                    self.jobs_failed += 1
+                return
+            job.state = DONE
+            with self._lock:
+                self.jobs_completed += 1
+        finally:
+            with self._lock:
+                self._pending -= 1
+                if self._pending == 0:
+                    self._idle.set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until every queued job has run (or been dropped).
+
+        Returns False if ``timeout`` expired first.  Mainly for tests
+        and benchmarks — live servers never need to drain.
+        """
+        return self._idle.wait(timeout)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+        # Futures cancelled before running never decrement _pending;
+        # unblock any drainer.
+        self._idle.set()
+
+    def __enter__(self) -> "PrefetchScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -2,10 +2,25 @@
 
 Request lifecycle (Figure 5): the visualizer asks for a tile; the server
 answers from the cache manager (hit) or the DBMS (miss); the prediction
-engine then updates its state and emits an ordered prefetch list, which
-the cache manager executes during the user's think time.  Prefetch work
-therefore never counts toward response latency — exactly the overlap the
-paper's design exploits.
+engine then updates its state and emits an ordered prefetch list ``P``.
+
+Two prefetch modes decide who executes ``P``:
+
+- ``prefetch_mode="sync"`` (the seed behavior): the cache manager runs
+  the whole list inside the request call.  Think-time overlap is
+  accounted in *virtual* time only — the figure benchmarks reproduce the
+  paper's arithmetic on this path.
+- ``prefetch_mode="background"``: the list is handed to a
+  :class:`~repro.middleware.scheduler.PrefetchScheduler`, whose worker
+  pool fetches tiles during the user's real think time.  The next
+  request supersedes any of its still-queued jobs, and concurrent
+  misses on a tile already being prefetched coalesce onto that load.
+
+A server instance serializes one user session: callers must not issue
+two ``handle_request`` calls for the *same* server concurrently (the
+prediction engine is stateful).  Many servers — or the
+:class:`~repro.middleware.multiuser.MultiUserServer` — may share one
+cache manager and one scheduler across threads.
 """
 
 from __future__ import annotations
@@ -15,11 +30,14 @@ from dataclasses import dataclass, field
 from repro.cache.manager import CacheManager
 from repro.core.engine import PredictionEngine
 from repro.middleware.latency import LatencyModel, LatencyRecorder
+from repro.middleware.scheduler import PrefetchScheduler
 from repro.phases.model import AnalysisPhase
 from repro.tiles.key import TileKey
 from repro.tiles.moves import Move
 from repro.tiles.pyramid import TilePyramid
 from repro.tiles.tile import DataTile
+
+PREFETCH_MODES = ("sync", "background")
 
 
 @dataclass(frozen=True)
@@ -44,19 +62,50 @@ class ForeCacheServer:
         latency_model: LatencyModel | None = None,
         prefetch_k: int = 5,
         prefetch_enabled: bool = True,
+        prefetch_mode: str = "sync",
+        scheduler: PrefetchScheduler | None = None,
+        prefetch_workers: int = 2,
+        session_id: int | None = None,
     ) -> None:
         if prefetch_k < 1:
             raise ValueError(f"prefetch_k must be >= 1, got {prefetch_k}")
+        if prefetch_mode not in PREFETCH_MODES:
+            raise ValueError(
+                f"prefetch_mode must be one of {PREFETCH_MODES}, got"
+                f" {prefetch_mode!r}"
+            )
         self.pyramid = pyramid
         self.engine = engine
-        self.cache_manager = (
-            cache_manager if cache_manager is not None else CacheManager(pyramid)
-        )
+        if cache_manager is None:
+            # A provided scheduler's manager IS the serving cache; building
+            # a second one would silently prefetch into the wrong cache.
+            cache_manager = (
+                scheduler.cache_manager
+                if scheduler is not None
+                else CacheManager(pyramid)
+            )
+        elif scheduler is not None and scheduler.cache_manager is not cache_manager:
+            raise ValueError(
+                "scheduler and server must share one cache_manager; "
+                "prefetched tiles would land in a cache requests never read"
+            )
+        self.cache_manager = cache_manager
         self.latency_model = (
             latency_model if latency_model is not None else LatencyModel()
         )
         self.prefetch_k = prefetch_k
         self.prefetch_enabled = prefetch_enabled
+        self.prefetch_mode = prefetch_mode
+        # Each server defaults to a distinct scheduler session, so two
+        # servers sharing one scheduler supersede only their own rounds.
+        self.session_id = session_id if session_id is not None else id(self)
+        self._owns_scheduler = False
+        if prefetch_mode == "background" and scheduler is None:
+            scheduler = PrefetchScheduler(
+                self.cache_manager, max_workers=prefetch_workers
+            )
+            self._owns_scheduler = True
+        self.scheduler = scheduler
         self.recorder = LatencyRecorder()
 
     def handle_request(self, move: Move | None, key: TileKey) -> TileResponse:
@@ -73,7 +122,10 @@ class ForeCacheServer:
         if self.prefetch_enabled:
             result = self.engine.predict(self.prefetch_k)
             phase = result.phase
-            self.cache_manager.prefetch(result.attributed_tiles())
+            if self.prefetch_mode == "background":
+                self.scheduler.schedule(result, session_id=self.session_id)
+            else:
+                self.cache_manager.prefetch(result.attributed_tiles())
             prefetched = tuple(result.tiles)
         return TileResponse(
             tile=outcome.tile,
@@ -83,8 +135,49 @@ class ForeCacheServer:
             prefetched=prefetched,
         )
 
-    def reset_session(self) -> None:
-        """Start a fresh user session (engine state and cache cleared)."""
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for outstanding background prefetch work (tests/benchmarks).
+
+        Synchronous servers are always drained; returns False only if a
+        timeout expired with jobs still queued.
+        """
+        if self.scheduler is None:
+            return True
+        return self.scheduler.wait_idle(timeout)
+
+    def close(self) -> None:
+        """Release scheduler resources.  Idempotent.
+
+        On a shared scheduler, this server's queued jobs are cancelled
+        and its session entry dropped; a scheduler this server created
+        is shut down outright.
+        """
+        if self.scheduler is None:
+            return
+        if self._owns_scheduler:
+            self.scheduler.shutdown()
+        else:
+            self.scheduler.cancel_session(self.session_id)
+
+    def __enter__(self) -> "ForeCacheServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def reset_session(self, drain_timeout: float = 10.0) -> None:
+        """Start a fresh user session (engine state and cache cleared).
+
+        Queued background jobs for this session are cancelled.  The
+        worker pool is drained (bounded by ``drain_timeout``) only when
+        this server owns it — on a shared scheduler other sessions'
+        traffic keeps the pool busy indefinitely and their work is not
+        ours to wait on.
+        """
+        if self.scheduler is not None:
+            self.scheduler.cancel_session(self.session_id)
+            if self._owns_scheduler:
+                self.scheduler.wait_idle(drain_timeout)
         self.engine.reset()
         self.cache_manager.cache.clear()
         self.cache_manager.reset_stats()

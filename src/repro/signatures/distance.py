@@ -35,7 +35,14 @@ def chi_squared_distance(a: np.ndarray, b: np.ndarray) -> float:
 
 def weighted_l2(distances: Sequence[float], weights: Sequence[float] | None = None) -> float:
     """The paper's weighted ℓ2 combination over per-signature distances:
-    ``sqrt(sum_i w_i * d_i^2)``; weights default to all ones."""
+    ``sqrt(sum_i w_i * d_i^2)``; weights default to all ones.
+
+    Computed hypot-style — inputs are rescaled by their largest
+    magnitude before squaring — so tiny distances don't underflow to
+    subnormals and the norm stays absolutely homogeneous
+    (``f(c·d) == c·f(d)``), which naive ``sqrt(sum(d**2))`` violates
+    near the bottom of the float64 range.
+    """
     distances = np.asarray(distances, dtype="float64")
     if weights is None:
         weights = np.ones_like(distances)
@@ -47,7 +54,11 @@ def weighted_l2(distances: Sequence[float], weights: Sequence[float] | None = No
             )
         if weights.size and weights.min() < 0:
             raise ValueError("signature weights must be non-negative")
-    return float(np.sqrt(np.sum(weights * distances**2)))
+    scale = float(np.max(np.abs(distances))) if distances.size else 0.0
+    if scale == 0.0 or not np.isfinite(scale):
+        return float(np.sqrt(np.sum(weights * distances**2)))
+    scaled = distances / scale
+    return float(scale * np.sqrt(np.sum(weights * scaled**2)))
 
 
 def score_candidates(

@@ -268,13 +268,25 @@ class TilePyramid:
         ``charge=False`` the read bypasses the executor (used when
         precomputing metadata at build time).
         """
+        if charge:
+            tile, _ = self.fetch_tile_timed(key)
+            return tile
         region = self.tile_region(key)
         view = self.view_name(key.level)
-        if charge:
-            result = self.db.execute(Q.subarray(Q.scan(view), region))
-            attributes = {name: result.attribute(name) for name in self.attributes}
-        else:
-            attributes = {
-                name: self.db.read(view, name, region) for name in self.attributes
-            }
+        attributes = {
+            name: self.db.read(view, name, region) for name in self.attributes
+        }
         return DataTile(key=key, attributes=attributes)
+
+    def fetch_tile_timed(self, key: TileKey) -> tuple[DataTile, float]:
+        """Charged tile fetch returning ``(tile, virtual seconds charged)``.
+
+        The cost comes from the query's own stats ledger rather than
+        clock deltas, so concurrent fetches report their individual
+        costs even while a shared clock advances under them.
+        """
+        region = self.tile_region(key)
+        view = self.view_name(key.level)
+        result = self.db.execute(Q.subarray(Q.scan(view), region))
+        attributes = {name: result.attribute(name) for name in self.attributes}
+        return DataTile(key=key, attributes=attributes), result.stats.elapsed_seconds

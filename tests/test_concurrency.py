@@ -1,0 +1,439 @@
+"""Concurrency tests: coalescing, stale-job cancellation, shared-cache races.
+
+These exercise the serving subsystem the way a real deployment does —
+many threads hammering one cache manager and one scheduler — with
+backend queries gated or slowed just enough to force the interleavings
+the code must survive.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.cache.manager import CacheManager
+from repro.cache.tile_cache import TileCache
+from repro.core.allocation import SingleModelStrategy
+from repro.core.engine import PredictionEngine
+from repro.middleware.multiuser import MultiUserServer
+from repro.middleware.scheduler import (
+    CANCELLED,
+    DONE,
+    PrefetchScheduler,
+)
+from repro.middleware.server import ForeCacheServer
+from repro.recommenders.momentum import MomentumRecommender
+from repro.tiles.key import TileKey
+from repro.tiles.tile import DataTile
+
+
+def make_engine(grid) -> PredictionEngine:
+    model = MomentumRecommender()
+    return PredictionEngine(grid, {model.name: model}, SingleModelStrategy(model.name))
+
+
+def run_threads(workers) -> list[BaseException]:
+    """Run thunks on their own threads; return exceptions they raised."""
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+
+    def guard(fn):
+        def body():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - surfaced to the test
+                with lock:
+                    errors.append(exc)
+
+        return body
+
+    threads = [threading.Thread(target=guard(fn)) for fn in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not any(t.is_alive() for t in threads), "worker thread hung"
+    return errors
+
+
+class TestCoalescing:
+    def test_concurrent_same_tile_misses_coalesce(self, small_dataset):
+        manager = CacheManager(
+            small_dataset.pyramid, TileCache(), backend_delay_seconds=0.05
+        )
+        calls: list[TileKey] = []
+        original = manager._query_backend
+
+        def counting(key):
+            calls.append(key)
+            return original(key)
+
+        manager._query_backend = counting
+        key = TileKey(3, 2, 2)
+        barrier = threading.Barrier(8)
+        outcomes = []
+        outcome_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            outcome = manager.fetch(key)
+            with outcome_lock:
+                outcomes.append(outcome)
+
+        errors = run_threads([worker] * 8)
+        assert not errors
+        assert len(calls) == 1, "concurrent misses must trigger one DBMS query"
+        assert len(outcomes) == 8
+        assert all(o.tile.key == key for o in outcomes)
+        assert sum(1 for o in outcomes if not o.coalesced) == 1
+        assert manager.coalesced == 7
+        assert manager.requests == 8
+        assert manager.hits == 0
+
+    def test_distinct_tiles_do_not_coalesce(self, small_dataset):
+        manager = CacheManager(
+            small_dataset.pyramid, TileCache(), backend_delay_seconds=0.02
+        )
+        calls: list[TileKey] = []
+        original = manager._query_backend
+
+        def counting(key):
+            calls.append(key)
+            return original(key)
+
+        manager._query_backend = counting
+        keys = [TileKey(3, x, 0) for x in range(4)]
+        barrier = threading.Barrier(4)
+
+        def worker(key):
+            barrier.wait()
+            manager.fetch(key)
+
+        errors = run_threads([lambda k=k: worker(k) for k in keys])
+        assert not errors
+        assert sorted(calls) == sorted(keys)
+
+    def test_prefetch_job_coalesces_with_request(self, small_dataset):
+        """A request landing on a tile already being prefetched waits for
+        that load instead of issuing a second query."""
+        manager = CacheManager(small_dataset.pyramid, TileCache())
+        key = TileKey(3, 1, 1)
+        calls: list[TileKey] = []
+        started = threading.Event()
+        release = threading.Event()
+        original = manager._query_backend
+
+        def gated(query_key):
+            calls.append(query_key)
+            started.set()
+            assert release.wait(10)
+            return original(query_key)
+
+        manager._query_backend = gated
+        scheduler = PrefetchScheduler(manager, max_workers=1)
+        try:
+            scheduler.schedule([(key, "m")])
+            assert started.wait(10)
+
+            def requester():
+                outcome = manager.fetch(key)
+                assert outcome.coalesced
+
+            thread = threading.Thread(target=requester)
+            thread.start()
+            release.set()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+            assert scheduler.wait_idle(10)
+            assert len(calls) == 1
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+
+class TestStaleCancellation:
+    def test_new_round_cancels_queued_jobs(self, small_dataset):
+        manager = CacheManager(small_dataset.pyramid, TileCache())
+        started = threading.Event()
+        release = threading.Event()
+        original = manager._query_backend
+
+        def gated(key):
+            started.set()
+            assert release.wait(10)
+            return original(key)
+
+        manager._query_backend = gated
+        scheduler = PrefetchScheduler(manager, max_workers=1)
+        try:
+            first = scheduler.schedule(
+                [(TileKey(2, i, 0), "m") for i in range(4)], session_id=7
+            )
+            assert started.wait(10)  # worker is inside job 0's query
+            second = scheduler.schedule([(TileKey(2, 0, 1), "m")], session_id=7)
+            release.set()
+            assert scheduler.wait_idle(10)
+            # Job 0 was already past its staleness check; the rest of the
+            # superseded round never touched the backend.
+            assert [job.state for job in first] == [DONE] + [CANCELLED] * 3
+            assert all(job.state == DONE for job in second)
+            assert scheduler.jobs_cancelled == 3
+            assert scheduler.jobs_completed == 2
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+    def test_cancel_session_drops_queued_jobs(self, small_dataset):
+        manager = CacheManager(small_dataset.pyramid, TileCache())
+        started = threading.Event()
+        release = threading.Event()
+        original = manager._query_backend
+
+        def gated(key):
+            started.set()
+            assert release.wait(10)
+            return original(key)
+
+        manager._query_backend = gated
+        scheduler = PrefetchScheduler(manager, max_workers=1)
+        try:
+            jobs = scheduler.schedule(
+                [(TileKey(2, i, 0), "m") for i in range(3)], session_id=1
+            )
+            assert started.wait(10)
+            scheduler.cancel_session(1)
+            release.set()
+            assert scheduler.wait_idle(10)
+            assert [job.state for job in jobs] == [DONE, CANCELLED, CANCELLED]
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+    def test_sessions_cancel_independently(self, small_dataset):
+        manager = CacheManager(small_dataset.pyramid, TileCache())
+        scheduler = PrefetchScheduler(manager, max_workers=2)
+        try:
+            ours = scheduler.schedule([(TileKey(2, 0, 0), "m")], session_id="a")
+            scheduler.cancel_session("b")  # someone else's session
+            assert scheduler.wait_idle(10)
+            assert ours[0].state == DONE
+        finally:
+            scheduler.shutdown()
+
+    def test_schedule_after_shutdown_rejected(self, small_dataset):
+        manager = CacheManager(small_dataset.pyramid, TileCache())
+        scheduler = PrefetchScheduler(manager, max_workers=1)
+        scheduler.shutdown()
+        with pytest.raises(RuntimeError):
+            scheduler.schedule([(TileKey(0, 0, 0), "m")])
+
+
+class TestBackgroundServer:
+    def test_background_mode_serves_correct_tiles(self, small_dataset):
+        engine = make_engine(small_dataset.pyramid.grid)
+        with ForeCacheServer(
+            small_dataset.pyramid,
+            engine,
+            prefetch_k=5,
+            prefetch_mode="background",
+        ) as server:
+            rng = random.Random(11)
+            key = small_dataset.pyramid.grid.root
+            response = server.handle_request(None, key)
+            assert response.tile.key == key
+            for _ in range(20):
+                move, target = rng.choice(
+                    small_dataset.pyramid.grid.available_moves(key)
+                )
+                response = server.handle_request(move, target)
+                assert response.tile.key == target
+                key = target
+            assert server.drain(timeout=10)
+            assert server.recorder.count == 21
+            scheduler = server.scheduler
+            assert scheduler.jobs_submitted == (
+                scheduler.jobs_completed
+                + scheduler.jobs_cancelled
+                + scheduler.jobs_failed
+            )
+            assert scheduler.jobs_failed == 0
+
+    def test_background_prefetch_produces_hits(self, small_dataset):
+        """Once drained, the prefetched tiles serve the next request from
+        cache, same as the synchronous path."""
+        engine = make_engine(small_dataset.pyramid.grid)
+        with ForeCacheServer(
+            small_dataset.pyramid,
+            engine,
+            prefetch_k=5,
+            prefetch_mode="background",
+        ) as server:
+            first = server.handle_request(None, TileKey(2, 1, 1))
+            assert server.drain(timeout=10)
+            target = first.prefetched[0]
+            move = TileKey(2, 1, 1).move_to(target)
+            response = server.handle_request(move, target)
+            assert response.hit
+
+    def test_sync_mode_is_default_and_unscheduled(self, small_dataset):
+        engine = make_engine(small_dataset.pyramid.grid)
+        server = ForeCacheServer(small_dataset.pyramid, engine)
+        assert server.prefetch_mode == "sync"
+        assert server.scheduler is None
+
+    def test_rejects_unknown_mode(self, small_dataset):
+        engine = make_engine(small_dataset.pyramid.grid)
+        with pytest.raises(ValueError):
+            ForeCacheServer(
+                small_dataset.pyramid, engine, prefetch_mode="eager"
+            )
+
+    def test_servers_sharing_a_scheduler_get_distinct_sessions(
+        self, small_dataset
+    ):
+        """Two servers on one scheduler must not cancel each other's
+        prefetch rounds via a colliding default session id."""
+        manager = CacheManager(small_dataset.pyramid, TileCache())
+        scheduler = PrefetchScheduler(manager, max_workers=2)
+        try:
+            servers = [
+                ForeCacheServer(
+                    small_dataset.pyramid,
+                    make_engine(small_dataset.pyramid.grid),
+                    cache_manager=manager,
+                    prefetch_mode="background",
+                    scheduler=scheduler,
+                )
+                for _ in range(2)
+            ]
+            assert servers[0].session_id != servers[1].session_id
+            for server in servers:
+                server.handle_request(None, small_dataset.pyramid.grid.root)
+            assert scheduler.wait_idle(10)
+            # Neither server's round was superseded by the other's.
+            assert scheduler.jobs_cancelled == 0
+        finally:
+            scheduler.shutdown()
+
+
+class TestMultiUserStress:
+    @pytest.mark.parametrize("mode", ["sync", "background"])
+    def test_shared_cache_race_free_under_load(self, small_dataset, mode):
+        """Four user sessions on four threads share one cache and one
+        scheduler; every response must carry the tile its user asked for
+        and the shared counters must reconcile."""
+        pyramid = small_dataset.pyramid
+        steps = 25
+        with MultiUserServer(
+            pyramid,
+            prefetch_k=8,
+            recent_capacity=16,
+            prefetch_mode=mode,
+            prefetch_workers=3,
+        ) as server:
+            user_ids = [1, 2, 3, 4]
+            for user_id in user_ids:
+                server.register_user(user_id, make_engine(pyramid.grid))
+
+            def drive(user_id):
+                rng = random.Random(100 + user_id)
+                key = pyramid.grid.root
+                response = server.handle_request(user_id, None, key)
+                assert response.tile.key == key
+                for _ in range(steps):
+                    move, target = rng.choice(pyramid.grid.available_moves(key))
+                    response = server.handle_request(user_id, move, target)
+                    assert response.tile.key == target
+                    assert response.user_id == user_id
+                    key = target
+
+            errors = run_threads([lambda u=u: drive(u) for u in user_ids])
+            assert errors == []
+            assert server.drain(timeout=15)
+
+            total = len(user_ids) * (steps + 1)
+            manager = server.cache_manager
+            assert manager.requests == total
+            assert 0 <= manager.hits <= total
+            assert sum(server.recorder(u).count for u in user_ids) == total
+            if mode == "background":
+                scheduler = server.scheduler
+                assert scheduler.jobs_failed == 0
+                assert scheduler.jobs_submitted == (
+                    scheduler.jobs_completed + scheduler.jobs_cancelled
+                )
+
+    def test_one_users_fetch_warms_the_cache_for_another(self, small_dataset):
+        pyramid = small_dataset.pyramid
+        with MultiUserServer(
+            pyramid, prefetch_k=4, prefetch_mode="background"
+        ) as server:
+            server.register_user(1, make_engine(pyramid.grid))
+            server.register_user(2, make_engine(pyramid.grid))
+            key = TileKey(2, 1, 1)
+            first = server.handle_request(1, None, key)
+            assert not first.hit
+            second = server.handle_request(2, None, key)
+            assert second.hit
+
+
+class TestThreadSafeCaches:
+    def test_lru_bounded_under_concurrent_writes(self):
+        cache: LRUCache[int, int] = LRUCache(8)
+
+        def writer(seed):
+            rng = random.Random(seed)
+            for _ in range(500):
+                n = rng.randrange(64)
+                cache.put(n, n)
+                cache.get(rng.randrange(64))
+
+        errors = run_threads([lambda s=s: writer(s) for s in range(6)])
+        assert errors == []
+        assert len(cache) <= 8
+        for key in cache.keys():
+            assert cache.peek(key) == key
+
+    def test_admit_prefetched_evicts_oldest(self):
+        import numpy as np
+
+        def tile(key):
+            return DataTile(key=key, attributes={"v": np.zeros((2, 2))})
+
+        cache = TileCache(prefetch_capacity=2)
+        a, b, c = (TileKey(2, i, 0) for i in range(3))
+        assert cache.admit_prefetched(tile(a), "m") is None
+        assert cache.admit_prefetched(tile(b), "m") is None
+        assert cache.admit_prefetched(tile(c), "m") == a
+        assert cache.lookup(a) is None
+        assert cache.lookup(b) is not None
+        assert cache.attribution(c) == "m"
+
+    def test_tile_cache_concurrent_mixed_traffic(self):
+        import numpy as np
+
+        def tile(key):
+            return DataTile(key=key, attributes={"v": np.zeros((2, 2))})
+
+        cache = TileCache(recent_capacity=8, prefetch_capacity=4)
+        keys = [TileKey(3, x, y) for x in range(4) for y in range(4)]
+
+        def churn(seed):
+            rng = random.Random(seed)
+            for _ in range(300):
+                key = rng.choice(keys)
+                action = rng.randrange(3)
+                if action == 0:
+                    cache.record_request(tile(key))
+                elif action == 1:
+                    cache.admit_prefetched(tile(key), f"m{seed}")
+                else:
+                    found = cache.lookup(key)
+                    assert found is None or found.key == key
+
+        errors = run_threads([lambda s=s: churn(s) for s in range(6)])
+        assert errors == []
+        assert len(cache.prefetched_keys) <= 4

@@ -1,6 +1,5 @@
 """Unit tests for the evaluation harness."""
 
-import numpy as np
 import pytest
 
 from repro.core.allocation import SingleModelStrategy

@@ -9,7 +9,6 @@ from repro.middleware.latency import HIT_SECONDS
 from repro.middleware.multiuser import MultiUserServer
 from repro.recommenders.momentum import MomentumRecommender
 from repro.tiles.key import TileKey
-from repro.tiles.moves import Move
 from repro.tiles.render import render_ascii, render_ppm, snow_colormap
 from repro.tiles.tile import DataTile
 

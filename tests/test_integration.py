@@ -11,7 +11,6 @@ from repro.middleware.server import ForeCacheServer
 from repro.phases.classifier import PhaseClassifier
 from repro.recommenders.markov import MarkovRecommender
 from repro.recommenders.signature_based import SignatureBasedRecommender
-from repro.tiles.key import TileKey
 from repro.tiles.moves import Move
 
 

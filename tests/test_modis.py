@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.arraydb import ArraySchema, Attribute, Database, Dimension
+from repro.arraydb import ArraySchema, Attribute, Dimension
 from repro.modis.dataset import MODISDataset, NDSI_ATTRIBUTES, _cluster_mass
 from repro.modis.ndsi import ndsi_func, register_ndsi, run_ndsi_query
 from repro.modis.regions import DEFAULT_TASKS, MountainRange, TaskSpec

@@ -12,7 +12,7 @@ from repro.phases.labeler import (
     model_fit_fraction,
 )
 from repro.phases.model import ALL_PHASES, AnalysisPhase
-from repro.phases.svm import SMOTrainer, SVMModel, rbf_kernel
+from repro.phases.svm import SMOTrainer, rbf_kernel
 from repro.tiles.key import TileKey
 from repro.tiles.moves import Move
 from repro.users.session import Request, Trace

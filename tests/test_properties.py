@@ -10,7 +10,7 @@ from repro.recommenders.smoothing import KneserNeyEstimator
 from repro.signatures.distance import chi_squared_distance, weighted_l2
 from repro.signatures.histogram import HistogramSignature
 from repro.tiles.key import TileKey
-from repro.tiles.moves import ALL_MOVES, Move
+from repro.tiles.moves import ALL_MOVES
 from repro.tiles.pyramid import TileGrid
 from repro.tiles.tile import DataTile
 

@@ -13,7 +13,7 @@ from repro.recommenders.momentum import (
 )
 from repro.recommenders.signature_based import SignatureBasedRecommender
 from repro.tiles.key import TileKey
-from repro.tiles.moves import ALL_MOVES, Move
+from repro.tiles.moves import Move
 from repro.tiles.pyramid import TileGrid
 from repro.users.session import Request, Trace
 
