@@ -7,6 +7,11 @@ so tail latency drops.  Both modes replay identical seeded random walks
 over a shared cache with a real per-query backend delay; the benchmark
 reports wall-clock p50/p95 request latency and throughput per mode and
 asserts the background scheduler wins at the tail.
+
+The same driver loop runs against both serving front ends — the legacy
+``MultiUserServer`` adapter and the ``ForeCacheService`` facade's
+session handles — which must serve identical request counts (the
+adapter is a thin shim over the facade).
 """
 
 from __future__ import annotations
@@ -21,7 +26,10 @@ from repro.cache.manager import CacheManager
 from repro.cache.tile_cache import TileCache
 from repro.core.allocation import SingleModelStrategy
 from repro.core.engine import PredictionEngine
+from repro.middleware.config import PrefetchPolicy, ServiceConfig
+from repro.middleware.latency import nearest_rank_percentile as percentile
 from repro.middleware.multiuser import MultiUserServer
+from repro.middleware.service import ForeCacheService
 from repro.modis.dataset import MODISDataset
 from repro.recommenders.momentum import MomentumRecommender
 
@@ -33,12 +41,7 @@ STEPS_PER_USER = 30
 #: for the paper's ~1s SciDB miss, scaled down to keep the run short).
 BACKEND_DELAY = 0.004
 PREFETCH_K = 8
-
-
-def percentile(values: list[float], q: float) -> float:
-    ordered = sorted(values)
-    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
-    return ordered[index]
+FRONTENDS = ("legacy", "facade")
 
 
 def make_engine(grid) -> PredictionEngine:
@@ -46,7 +49,48 @@ def make_engine(grid) -> PredictionEngine:
     return PredictionEngine(grid, {model.name: model}, SingleModelStrategy(model.name))
 
 
-def run_mode(dataset: MODISDataset, mode: str) -> tuple[list[float], float]:
+def open_frontend(pyramid, manager, mode: str, frontend: str):
+    """Returns (request_fn(user_id, move, key), closeable front end)."""
+    if frontend == "legacy":
+        server = MultiUserServer(
+            pyramid,
+            prefetch_k=PREFETCH_K,
+            cache_manager=manager,
+            prefetch_mode=mode,
+            prefetch_workers=NUM_USERS,
+        )
+        for user_id in range(1, NUM_USERS + 1):
+            server.register_user(user_id, make_engine(pyramid.grid))
+        return server.handle_request, server
+    # No cache= here: the injected manager IS the cache, and the
+    # service validates the budget against its real capacity.
+    service = ForeCacheService(
+        pyramid,
+        ServiceConfig(
+            prefetch=PrefetchPolicy(
+                k=PREFETCH_K,
+                mode=mode,
+                workers=NUM_USERS,
+                share_budget=True,
+            ),
+        ),
+        cache_manager=manager,
+    )
+    handles = {
+        user_id: service.open_session(
+            make_engine(pyramid.grid), user_id, reset_engine=True
+        )
+        for user_id in range(1, NUM_USERS + 1)
+    }
+    return (
+        lambda user_id, move, key: handles[user_id].request(move, key),
+        service,
+    )
+
+
+def run_mode(
+    dataset: MODISDataset, mode: str, frontend: str
+) -> tuple[list[float], float]:
     """Drive NUM_USERS concurrent sessions; return (latencies, wall seconds)."""
     pyramid = dataset.pyramid
     manager = CacheManager(
@@ -56,16 +100,9 @@ def run_mode(dataset: MODISDataset, mode: str) -> tuple[list[float], float]:
     )
     latencies: list[float] = []
     lock = threading.Lock()
-    with MultiUserServer(
-        pyramid,
-        prefetch_k=PREFETCH_K,
-        cache_manager=manager,
-        prefetch_mode=mode,
-        prefetch_workers=NUM_USERS,
-    ) as server:
+    request, server = open_frontend(pyramid, manager, mode, frontend)
+    with server:
         user_ids = list(range(1, NUM_USERS + 1))
-        for user_id in user_ids:
-            server.register_user(user_id, make_engine(pyramid.grid))
 
         def drive(user_id: int) -> None:
             # Identical walks across modes: the seed depends only on the user.
@@ -78,7 +115,7 @@ def run_mode(dataset: MODISDataset, mode: str) -> tuple[list[float], float]:
             mine: list[float] = []
             for move, target in moves:
                 start = time.perf_counter()
-                server.handle_request(user_id, move, target)
+                request(user_id, move, target)
                 mine.append(time.perf_counter() - start)
             with lock:
                 latencies.extend(mine)
@@ -97,11 +134,12 @@ def run_mode(dataset: MODISDataset, mode: str) -> tuple[list[float], float]:
     return latencies, elapsed
 
 
-def test_background_prefetch_beats_inline_p95():
+@pytest.mark.parametrize("frontend", FRONTENDS)
+def test_background_prefetch_beats_inline_p95(frontend):
     dataset = MODISDataset.build(size=256, tile_size=32, days=1, seed=3)
     results = {}
     for mode in ("sync", "background"):
-        latencies, elapsed = run_mode(dataset, mode)
+        latencies, elapsed = run_mode(dataset, mode, frontend)
         results[mode] = {
             "p50": percentile(latencies, 0.50),
             "p95": percentile(latencies, 0.95),
@@ -112,12 +150,15 @@ def test_background_prefetch_beats_inline_p95():
     print()
     for mode, row in results.items():
         print(
-            f"{mode:>10}: p50 {row['p50'] * 1e3:7.2f} ms   "
+            f"{frontend:>7}/{mode:<10}: p50 {row['p50'] * 1e3:7.2f} ms   "
             f"p95 {row['p95'] * 1e3:7.2f} ms   "
             f"{row['rps']:7.1f} req/s   ({row['requests']} requests)"
         )
 
     assert results["sync"]["requests"] == results["background"]["requests"]
+    assert (
+        results["sync"]["requests"] == NUM_USERS * (STEPS_PER_USER + 1)
+    )
     # The headline: moving prefetch off the request path cuts tail latency.
     assert results["background"]["p95"] < results["sync"]["p95"]
     # Throughput follows (reported above); allow slack for CI timing noise.

@@ -3,27 +3,54 @@
 Run with::
 
     python examples/modis_exploration.py [--size 1024] [--users 8]
+        [--frontend server|service|async] [--models momentum,hybrid]
 
 Reproduces the paper's evaluation loop end to end: build the NDSI
 dataset, run a simulated user study over the three search tasks, train
 every model with leave-one-user-out cross validation, and print
 per-phase accuracy plus replayed latency — the content of Figures 11
 and 13.
+
+``--frontend`` chooses who serves the latency replay: the legacy
+``ForeCacheServer`` (default), the ``ForeCacheService`` facade, or its
+asyncio front end — all three must (and do) produce identical
+virtual-time numbers.  ``REPRO_SIZE`` / ``REPRO_USERS`` environment
+variables downscale the world (CI smoke runs use them).
 """
 
 import argparse
+import os
 
 from repro.experiments.context import ExperimentContext
 from repro.experiments.crossval import evaluate_engine_cv
 from repro.experiments.report import Table
-from repro.experiments.runner import hybrid_factory, replay_model_latency
+from repro.experiments.runner import (
+    REPLAY_FRONTENDS,
+    hybrid_factory,
+    replay_model_latency,
+)
 from repro.phases.model import ALL_PHASES
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--size", type=int, default=1024)
-    parser.add_argument("--users", type=int, default=8)
+    parser.add_argument(
+        "--size", type=int, default=int(os.environ.get("REPRO_SIZE", "1024"))
+    )
+    parser.add_argument(
+        "--users", type=int, default=int(os.environ.get("REPRO_USERS", "8"))
+    )
+    parser.add_argument(
+        "--frontend",
+        choices=REPLAY_FRONTENDS,
+        default="server",
+        help="serving front end for the latency replay",
+    )
+    parser.add_argument(
+        "--models",
+        default="momentum,hotspot,markov3,hybrid",
+        help="comma-separated subset of models to evaluate",
+    )
     args = parser.parse_args()
 
     print(f"building context: {args.size}px world, {args.users} users...")
@@ -32,12 +59,17 @@ def main() -> None:
     print(f"  {len(study)} traces, {study.total_requests()} requests")
 
     ks = (1, 3, 5, 8)
-    factories = {
+    all_factories = {
         "momentum": context.momentum_engine,
         "hotspot": context.hotspot_engine,
         "markov3": lambda tr: context.markov_engine(tr, 3),
         "hybrid": hybrid_factory(context),
     }
+    selected = [name.strip() for name in args.models.split(",") if name.strip()]
+    unknown = sorted(set(selected) - set(all_factories))
+    if unknown:
+        parser.error(f"unknown models {unknown}; choose from {sorted(all_factories)}")
+    factories = {name: all_factories[name] for name in selected}
 
     print("\nevaluating models (leave-one-user-out)...")
     results = {}
@@ -61,10 +93,15 @@ def main() -> None:
             phase_table.add_row(name, *(result.accuracy(k, phase) for k in ks))
         print(phase_table)
 
-    print("\nreplaying latency at k=5 (virtual clock)...")
+    print(
+        f"\nreplaying latency at k=5 (virtual clock, "
+        f"{args.frontend} front end)..."
+    )
     latency_table = Table(["model", "avg_latency_ms"], title="")
     for name, factory in factories.items():
-        recorder = replay_model_latency(context, factory, k=5)
+        recorder = replay_model_latency(
+            context, factory, k=5, frontend=args.frontend
+        )
         latency_table.add_row(name, recorder.average_seconds * 1000.0)
     latency_table.add_row("(no prefetching)", 984.0)
     print(latency_table)

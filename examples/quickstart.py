@@ -13,7 +13,8 @@ every request, whether the middleware already had the tile waiting.
 from repro.core.allocation import PaperFinalStrategy
 from repro.core.engine import PredictionEngine
 from repro.middleware.client import BrowsingSession
-from repro.middleware.server import ForeCacheServer
+from repro.middleware.config import PrefetchPolicy, ServiceConfig
+from repro.middleware.service import ForeCacheService
 from repro.modis.dataset import MODISDataset
 from repro.phases.classifier import PhaseClassifier
 from repro.recommenders.markov import MarkovRecommender
@@ -51,9 +52,12 @@ def main() -> None:
         phase_predictor=classifier.predict,
     )
 
-    # 4. Serve tiles with prefetching.
-    server = ForeCacheServer(dataset.pyramid, engine, prefetch_k=5)
-    session = BrowsingSession(server)
+    # 4. Serve tiles with prefetching: one facade, one open session.
+    service = ForeCacheService(
+        dataset.pyramid, ServiceConfig(prefetch=PrefetchPolicy(k=5))
+    )
+    handle = service.open_session(engine)
+    session = BrowsingSession(handle)
 
     print("\nbrowsing: zoom toward the Rockies, pan along the range\n")
     response = session.start()
@@ -83,7 +87,7 @@ def main() -> None:
             f"{response.latency_seconds * 1000:>7.1f}ms  {source}"
         )
 
-    recorder = server.recorder
+    recorder = handle.recorder
     print(
         f"\n{recorder.count} requests, hit rate "
         f"{recorder.hit_rate:.0%}, average latency "

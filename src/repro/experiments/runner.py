@@ -355,7 +355,15 @@ def latency_points(
     return points, accuracy
 
 
-def replay_model_latency(context: ExperimentContext, factory, k: int):
+#: Serving front ends the latency replay can drive.  All three produce
+#: identical virtual-time numbers (the facade is the single code path);
+#: "server" is the default so the figure benchmarks are untouched.
+REPLAY_FRONTENDS = ("server", "service", "async")
+
+
+def replay_model_latency(
+    context: ExperimentContext, factory, k: int, frontend: str = "server"
+):
     """LOO latency replay for one model and fetch size.
 
     The cache is configured as in Section 5.2.2's equivalence ("measuring
@@ -363,27 +371,103 @@ def replay_model_latency(context: ExperimentContext, factory, k: int):
     our tile cache"): only the k-tile prefetch region is active, so
     latency is a pure function of prediction accuracy (Figure 12's
     near-perfect line).
+
+    ``frontend`` selects who serves the replay: the legacy
+    ``ForeCacheServer`` ("server"), the ``ForeCacheService`` facade
+    ("service"), or the asyncio front end ("async").
     """
-    from repro.cache.manager import CacheManager
-    from repro.cache.tile_cache import TileCache
     from repro.middleware.latency import LatencyRecorder
 
+    if frontend not in REPLAY_FRONTENDS:
+        raise ValueError(
+            f"frontend must be one of {REPLAY_FRONTENDS}, got {frontend!r}"
+        )
+    if frontend == "async":
+        return _replay_async_frontend(context, factory, k)
     recorder = LatencyRecorder()
     for _, train, test in leave_one_user_out(context.study):
         engine = factory(train)
+        if frontend == "server":
 
-        def server_factory(engine=engine):
-            engine.reset()
-            cache = TileCache(recent_capacity=1, prefetch_capacity=k)
-            return ForeCacheServer(
-                context.pyramid,
-                engine,
-                cache_manager=CacheManager(context.pyramid, cache),
-                prefetch_k=k,
-            )
+            def server_factory(engine=engine):
+                engine.reset()
+                return _figure12_server(context, engine, k)
 
-        recorder.merge(replay_latency(server_factory, test))
+            recorder.merge(replay_latency(server_factory, test))
+        else:
+            for trace in test:
+                recorder.merge(_replay_service_trace(context, engine, trace, k))
     return recorder
+
+
+def _figure12_config(k: int):
+    """Section 5.2.2 cache shape: the k-tile prefetch region only."""
+    from repro.middleware.config import (
+        CacheConfig,
+        PrefetchPolicy,
+        ServiceConfig,
+    )
+
+    return ServiceConfig(
+        prefetch=PrefetchPolicy(k=k),
+        cache=CacheConfig(recent_capacity=1, prefetch_capacity=k),
+    )
+
+
+def _figure12_server(context, engine, k: int) -> ForeCacheServer:
+    """A cold legacy server in the Section 5.2.2 cache shape."""
+    from repro.cache.manager import CacheManager
+    from repro.cache.tile_cache import TileCache
+
+    cache = TileCache(recent_capacity=1, prefetch_capacity=k)
+    return ForeCacheServer(
+        context.pyramid,
+        engine,
+        cache_manager=CacheManager(context.pyramid, cache),
+        prefetch_k=k,
+    )
+
+
+def _replay_service_trace(context, engine, trace, k: int):
+    """One trace through a cold facade session (sync front end)."""
+    from repro.middleware.client import BrowsingSession
+    from repro.middleware.service import ForeCacheService
+
+    engine.reset()
+    with ForeCacheService(context.pyramid, _figure12_config(k)) as service:
+        handle = service.open_session(engine)
+        BrowsingSession(handle).replay(trace)
+        return handle.recorder
+
+
+def _replay_async_frontend(context, factory, k: int):
+    """The whole LOO replay on one event loop.
+
+    Only the *service* (cache + session) must be cold per trace, so the
+    loop is hoisted out of the per-trace churn; each trace gets a
+    single-thread bridge (the replay is sequential).
+    """
+    import asyncio
+
+    from repro.middleware.aio import AsyncForeCacheService
+    from repro.middleware.client import AsyncBrowsingSession
+    from repro.middleware.latency import LatencyRecorder
+
+    async def replay_all():
+        recorder = LatencyRecorder()
+        for _, train, test in leave_one_user_out(context.study):
+            engine = factory(train)
+            for trace in test:
+                engine.reset()
+                async with AsyncForeCacheService.build(
+                    context.pyramid, _figure12_config(k), max_workers=1
+                ) as service:
+                    session = await service.open_session(engine)
+                    await AsyncBrowsingSession(session).replay(trace)
+                    recorder.merge(session.recorder)
+        return recorder
+
+    return asyncio.run(replay_all())
 
 
 def run_figure12(

@@ -1,13 +1,26 @@
 """The ForeCache middleware: client/server glue (Section 3).
 
-:class:`ForeCacheServer` wires the prediction engine, the cache manager,
-and the backend DBMS together; :class:`BrowsingSession` is the
-lightweight client the user (or a trace replay) drives;
-:class:`PrefetchScheduler` runs prefetch lists on a background worker
-pool so think-time overlap is physical, not just simulated.
+:class:`ForeCacheService` is the serving facade — sessions are
+first-class (``open_session() -> SessionHandle``), construction is via
+frozen configs (:class:`ServiceConfig`, :class:`PrefetchPolicy`,
+:class:`CacheConfig`), and requests/responses have a typed,
+JSON-serializable wire form (:mod:`repro.middleware.protocol`).
+:class:`AsyncForeCacheService` is the asyncio front end;
+:class:`InProcessTransport` runs the wire protocol without a network.
+:class:`BrowsingSession` / :class:`AsyncBrowsingSession` are the
+lightweight clients the user (or a trace replay) drives, against any
+front end.  The legacy kwargs-constructed :class:`ForeCacheServer` and
+:class:`MultiUserServer` remain as thin adapters over the facade.
 """
 
-from repro.middleware.client import BrowsingSession
+from repro.middleware.aio import AsyncForeCacheService, AsyncSessionHandle
+from repro.middleware.client import AsyncBrowsingSession, BrowsingSession
+from repro.middleware.config import (
+    PREFETCH_MODES,
+    CacheConfig,
+    PrefetchPolicy,
+    ServiceConfig,
+)
 from repro.middleware.latency import (
     HIT_SECONDS,
     LatencyModel,
@@ -15,19 +28,57 @@ from repro.middleware.latency import (
     MISS_SECONDS,
 )
 from repro.middleware.multiuser import MultiUserResponse, MultiUserServer
+# The wire messages (protocol.TileRequest, protocol.TileResponse, ...)
+# deliberately stay namespaced under ``repro.middleware.protocol``: the
+# package root's ``TileResponse`` is the *in-process* response, and
+# exporting a same-named wire twin (or its request half alone) here
+# would invite wrong-class imports.
+from repro.middleware.protocol import (
+    DuplicateSessionError,
+    ErrorInfo,
+    InvalidRequestError,
+    ProtocolError,
+    SessionClosedError,
+    SessionInfo,
+    SessionNotFoundError,
+)
 from repro.middleware.scheduler import PrefetchJob, PrefetchScheduler
-from repro.middleware.server import ForeCacheServer, TileResponse
+from repro.middleware.server import ForeCacheServer
+from repro.middleware.service import (
+    ForeCacheService,
+    SessionHandle,
+    TileResponse,
+)
+from repro.middleware.transport import InProcessTransport, WireSessionClient
 
 __all__ = [
+    "AsyncBrowsingSession",
+    "AsyncForeCacheService",
+    "AsyncSessionHandle",
     "BrowsingSession",
+    "CacheConfig",
+    "DuplicateSessionError",
+    "ErrorInfo",
     "ForeCacheServer",
+    "ForeCacheService",
     "HIT_SECONDS",
+    "InProcessTransport",
+    "InvalidRequestError",
     "LatencyModel",
     "LatencyRecorder",
     "MISS_SECONDS",
     "MultiUserResponse",
     "MultiUserServer",
+    "PREFETCH_MODES",
     "PrefetchJob",
+    "PrefetchPolicy",
     "PrefetchScheduler",
+    "ProtocolError",
+    "SessionClosedError",
+    "SessionHandle",
+    "SessionInfo",
+    "SessionNotFoundError",
+    "ServiceConfig",
     "TileResponse",
+    "WireSessionClient",
 ]

@@ -1,0 +1,190 @@
+"""Asyncio front end over the serving facade.
+
+The cache manager and prefetch scheduler are thread-based; this module
+wraps them for event-loop callers via ``loop.run_in_executor``:
+
+    async with AsyncForeCacheService.build(pyramid, config) as service:
+        session = await service.open_session(engine)
+        response = await session.request(move, key)
+
+Each blocking facade call runs on a small dedicated thread pool, so an
+asyncio server (or many concurrent coroutines) never blocks its loop on
+a DBMS query.  Per-session ordering still holds: the facade serializes a
+session's requests on its session lock, and background prefetch work
+keeps flowing on the scheduler's own pool.
+
+Cancellation follows asyncio rules: cancelling a task blocked on
+``await session.request(...)`` raises ``CancelledError`` in the task
+immediately; the underlying cache/DBMS work runs to completion on its
+worker thread (populating the cache for later requests), and the
+session remains usable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from collections.abc import Hashable
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.engine import PredictionEngine
+from repro.middleware.config import ServiceConfig
+from repro.middleware.latency import LatencyRecorder
+from repro.middleware.protocol import SessionInfo
+from repro.middleware.service import (
+    ForeCacheService,
+    SessionHandle,
+    TileResponse,
+)
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.tiles.pyramid import TilePyramid
+
+
+class AsyncSessionHandle:
+    """Awaitable face of one open session."""
+
+    def __init__(
+        self, service: "AsyncForeCacheService", handle: SessionHandle
+    ) -> None:
+        self._service = service
+        self._handle = handle
+
+    @property
+    def session_id(self) -> Hashable:
+        return self._handle.session_id
+
+    @property
+    def recorder(self) -> LatencyRecorder:
+        return self._handle.recorder
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    @property
+    def pyramid(self) -> TilePyramid:
+        return self._handle.pyramid
+
+    async def request(self, move: Move | None, key: TileKey) -> TileResponse:
+        """Serve one tile request without blocking the event loop."""
+        return await self._service._call(self._handle.request, move, key)
+
+    async def info(self) -> SessionInfo:
+        return await self._service._call(self._handle.info)
+
+    async def close(self) -> None:
+        await self._service._call(self._handle.close)
+
+    async def __aenter__(self) -> "AsyncSessionHandle":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class AsyncForeCacheService:
+    """``ForeCacheService`` for event-loop callers."""
+
+    def __init__(
+        self, service: ForeCacheService, *, max_workers: int = 8
+    ) -> None:
+        self.service = service
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="forecache-aio"
+        )
+        self._closed = False
+
+    @classmethod
+    def build(
+        cls,
+        pyramid: TilePyramid,
+        config: ServiceConfig | None = None,
+        *,
+        max_workers: int = 8,
+        **service_kwargs,
+    ) -> "AsyncForeCacheService":
+        """Construct the facade and its async front end in one call."""
+        return cls(
+            ForeCacheService(pyramid, config, **service_kwargs),
+            max_workers=max_workers,
+        )
+
+    @property
+    def pyramid(self) -> TilePyramid:
+        return self.service.pyramid
+
+    @property
+    def config(self) -> ServiceConfig:
+        return self.service.config
+
+    async def _call(self, fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(fn, *args)
+        )
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    async def open_session(
+        self,
+        engine: PredictionEngine | None = None,
+        session_id: Hashable | None = None,
+        *,
+        reset_engine: bool = False,
+    ) -> AsyncSessionHandle:
+        handle = await self._call(
+            functools.partial(
+                self.service.open_session,
+                engine,
+                session_id,
+                reset_engine=reset_engine,
+            )
+        )
+        return AsyncSessionHandle(self, handle)
+
+    async def close_session(self, session_id: Hashable) -> None:
+        await self._call(self.service.close_session, session_id)
+
+    async def request(
+        self, session_id: Hashable, move: Move | None, key: TileKey
+    ) -> TileResponse:
+        return await self._call(self.service.request, session_id, move, key)
+
+    async def info(self, session_id: Hashable) -> SessionInfo:
+        return await self._call(self.service.info, session_id)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait for outstanding background prefetch work."""
+        return await self._call(self.service.drain, timeout)
+
+    async def aclose(self) -> None:
+        """Close the facade and stop the bridge thread pool.  Idempotent.
+
+        The closed flag is only set once both the facade and the bridge
+        pool are down, so a cancelled ``aclose`` (e.g. under
+        ``asyncio.wait_for``) can be retried instead of silently leaking
+        the worker threads.  Both steps run on the loop's *default*
+        executor — idempotent, and safe to re-run even after the bridge
+        pool itself is already shut — and off-loop, so joining worker
+        threads never stalls the event loop behind a slow in-flight
+        backend query.
+        """
+        if self._closed:
+            return
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.service.close)
+        await loop.run_in_executor(
+            None, functools.partial(self._executor.shutdown, True)
+        )
+        self._closed = True
+
+    async def __aenter__(self) -> "AsyncForeCacheService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

@@ -3,44 +3,53 @@
 The front-end visualizer only ever talks to the back-end through tile
 requests (Section 3).  :class:`BrowsingSession` models one user session:
 it tracks the current tile, validates moves against the pyramid, and
-forwards requests to the server.  It can also replay a recorded trace —
-the workhorse of the latency experiments.
+forwards requests to a *connection* — anything exposing ``.pyramid`` and
+``.handle_request(move, key)``.  That contract is satisfied by the
+legacy :class:`~repro.middleware.server.ForeCacheServer`, a facade
+:class:`~repro.middleware.service.SessionHandle`, and a wire-speaking
+:class:`~repro.middleware.transport.WireSessionClient`, so the same
+client code drives every front end.  :class:`AsyncBrowsingSession` is
+the identical client for the asyncio front end
+(:class:`~repro.middleware.aio.AsyncSessionHandle`).
+
+Both can replay a recorded trace — the workhorse of the latency
+experiments.
 """
 
 from __future__ import annotations
 
-from repro.middleware.server import ForeCacheServer, TileResponse
+from repro.middleware.service import TileResponse
 from repro.tiles.key import TileKey
 from repro.tiles.moves import Move
 from repro.users.session import Trace
 
 
-class BrowsingSession:
-    """One user's live session against a ForeCache server."""
+class _BrowsingState:
+    """Position tracking and move validation shared by both clients."""
 
-    def __init__(self, server: ForeCacheServer) -> None:
-        self.server = server
+    def __init__(self, pyramid) -> None:
+        self.pyramid = pyramid
         self.current: TileKey | None = None
 
-    def start(self, at: TileKey | None = None) -> TileResponse:
-        """Open the session at a tile (default: the root overview)."""
+    def _start_key(self, at: TileKey | None) -> TileKey:
         if self.current is not None:
             raise RuntimeError("session already started")
-        key = at if at is not None else self.server.pyramid.grid.root
-        if not self.server.pyramid.grid.valid(key):
+        key = at if at is not None else self.pyramid.grid.root
+        if not self.pyramid.grid.valid(key):
             raise ValueError(f"tile {key} is not in the pyramid")
-        self.current = key
-        return self.server.handle_request(None, key)
+        return key
 
-    def move(self, move: Move) -> TileResponse:
-        """Apply one interface move and request the resulting tile."""
+    def _move_target(self, move: Move) -> TileKey:
         if self.current is None:
             raise RuntimeError("session not started; call start() first")
-        target = self.server.pyramid.grid.apply(self.current, move)
+        target = self.pyramid.grid.apply(self.current, move)
         if target is None:
             raise ValueError(f"move {move} is not legal from {self.current}")
-        self.current = target
-        return self.server.handle_request(move, target)
+        return target
+
+    def _check_fresh_for_replay(self) -> None:
+        if self.current is not None:
+            raise RuntimeError("replay requires a fresh session")
 
     @property
     def available_moves(self) -> list[Move]:
@@ -48,19 +57,83 @@ class BrowsingSession:
         if self.current is None:
             return []
         return [
-            move
-            for move, _ in self.server.pyramid.grid.available_moves(self.current)
+            move for move, _ in self.pyramid.grid.available_moves(self.current)
         ]
+
+
+class BrowsingSession(_BrowsingState):
+    """One user's live session against any synchronous front end."""
+
+    def __init__(self, server) -> None:
+        super().__init__(server.pyramid)
+        self.server = server
+
+    def start(self, at: TileKey | None = None) -> TileResponse:
+        """Open the session at a tile (default: the root overview)."""
+        key = self._start_key(at)
+        self.current = key
+        return self.server.handle_request(None, key)
+
+    def move(self, move: Move) -> TileResponse:
+        """Apply one interface move and request the resulting tile."""
+        target = self._move_target(move)
+        self.current = target
+        return self.server.handle_request(move, target)
 
     def replay(self, trace: Trace) -> list[TileResponse]:
         """Replay a recorded trace through the server, returning every
         response.  The session must be fresh."""
-        if self.current is not None:
-            raise RuntimeError("replay requires a fresh session")
+        self._check_fresh_for_replay()
         responses = []
         for request in trace.requests:
             self.current = request.tile
             responses.append(
                 self.server.handle_request(request.move, request.tile)
             )
+        return responses
+
+
+class AsyncBrowsingSession(_BrowsingState):
+    """The same client, for awaitable connections (asyncio front end).
+
+    The connection must expose ``.pyramid`` and an awaitable
+    ``.request(move, key)`` — an
+    :class:`~repro.middleware.aio.AsyncSessionHandle` does.
+    """
+
+    def __init__(self, session) -> None:
+        super().__init__(session.pyramid)
+        self.session = session
+
+    async def start(self, at: TileKey | None = None) -> TileResponse:
+        """Open the session at a tile (default: the root overview)."""
+        key = self._start_key(at)
+        # Position advances only once the request succeeds, so a cancel
+        # that lands before the request ran leaves the client fully
+        # fresh and retryable.  A cancel *mid-flight* is weaker: the
+        # worker thread finishes the request server-side (engine
+        # observes it, the recorder logs it) while the client stays
+        # put — callers who cancel mid-flight and care about exact
+        # engine history should resync via the session's recorder/info
+        # rather than blindly retrying the same move.
+        response = await self.session.request(None, key)
+        self.current = key
+        return response
+
+    async def move(self, move: Move) -> TileResponse:
+        """Apply one interface move and request the resulting tile."""
+        target = self._move_target(move)
+        response = await self.session.request(move, target)
+        self.current = target
+        return response
+
+    async def replay(self, trace: Trace) -> list[TileResponse]:
+        """Replay a recorded trace, returning every response."""
+        self._check_fresh_for_replay()
+        responses = []
+        for request in trace.requests:
+            responses.append(
+                await self.session.request(request.move, request.tile)
+            )
+            self.current = request.tile
         return responses

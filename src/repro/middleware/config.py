@@ -1,0 +1,125 @@
+"""Frozen configuration for the serving layer.
+
+The facade (:class:`~repro.middleware.service.ForeCacheService`) is
+constructed from three small value objects instead of the ~10 positional
+kwargs the original servers grew:
+
+- :class:`CacheConfig` — shape of the two-region middleware cache and
+  the emulated backend delay,
+- :class:`PrefetchPolicy` — how the prediction engine's list ``P`` is
+  executed (budget, sync vs. background, worker pool, fair sharing),
+- :class:`ServiceConfig` — the two above plus the latency model's
+  transfer overhead.
+
+All three are frozen dataclasses: validation happens once, at
+construction, and a config can be shared between services, logged, or
+serialized without defensive copying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.manager import CacheManager
+from repro.cache.tile_cache import TileCache
+from repro.middleware.latency import HIT_SECONDS, LatencyModel
+from repro.tiles.pyramid import TilePyramid
+
+#: Who executes the prefetch list: the request call itself ("sync", the
+#: paper's virtual-time arithmetic) or a background worker pool
+#: ("background", physical think-time overlap).
+PREFETCH_MODES = ("sync", "background")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Shape of the middleware tile cache (Section 3)."""
+
+    #: LRU slots for tiles the user actually requested.
+    recent_capacity: int = 10
+    #: Slots refilled from the prediction engine's list ``P``.
+    prefetch_capacity: int = 9
+    #: Real seconds each backend query sleeps (throughput benchmarks).
+    backend_delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.recent_capacity < 1:
+            raise ValueError(
+                f"recent_capacity must be >= 1, got {self.recent_capacity}"
+            )
+        if self.prefetch_capacity < 1:
+            raise ValueError(
+                f"prefetch_capacity must be >= 1, got {self.prefetch_capacity}"
+            )
+        if self.backend_delay_seconds < 0:
+            raise ValueError(
+                "backend_delay_seconds must be >= 0, got"
+                f" {self.backend_delay_seconds}"
+            )
+
+    def build_cache_manager(self, pyramid: TilePyramid) -> CacheManager:
+        """Materialize a cache manager of this shape over ``pyramid``."""
+        return CacheManager(
+            pyramid,
+            TileCache(
+                recent_capacity=self.recent_capacity,
+                prefetch_capacity=self.prefetch_capacity,
+            ),
+            backend_delay_seconds=self.backend_delay_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class PrefetchPolicy:
+    """How prefetching behaves for every session of a service."""
+
+    #: Total prefetch budget ``k`` (tiles per prediction round).
+    k: int = 5
+    #: Master switch; a disabled policy observes but never predicts.
+    enabled: bool = True
+    #: "sync" or "background" (:data:`PREFETCH_MODES`).
+    mode: str = "sync"
+    #: Worker threads when ``mode == "background"``.
+    workers: int = 2
+    #: Split ``k`` fairly across open sessions (the multi-user scheme of
+    #: Section 6.2) instead of granting each session the full budget.
+    share_budget: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"prefetch_k must be >= 1, got {self.k}")
+        if self.mode not in PREFETCH_MODES:
+            raise ValueError(
+                f"prefetch_mode must be one of {PREFETCH_MODES}, got"
+                f" {self.mode!r}"
+            )
+        if self.workers < 1:
+            raise ValueError(
+                f"prefetch_workers must be >= 1, got {self.workers}"
+            )
+
+    @property
+    def background(self) -> bool:
+        return self.mode == "background"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`ForeCacheService` needs beyond the pyramid."""
+
+    prefetch: PrefetchPolicy = field(default_factory=PrefetchPolicy)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    #: Fixed middleware/transfer overhead every response pays.
+    transfer_seconds: float = HIT_SECONDS
+
+    def __post_init__(self) -> None:
+        # Capacity-vs-budget fit is NOT checked here: the serving cache
+        # may be an injected manager rather than one built from
+        # ``cache``, so the service validates the cache actually in use.
+        if self.transfer_seconds < 0:
+            raise ValueError(
+                f"transfer_seconds must be >= 0, got {self.transfer_seconds}"
+            )
+
+    def build_latency_model(self) -> LatencyModel:
+        return LatencyModel(transfer_seconds=self.transfer_seconds)

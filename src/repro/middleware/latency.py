@@ -9,12 +9,31 @@ middleware/transfer overhead that every response pays.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, field
 
 #: Average response time for a middleware cache hit (paper: 19.5 ms).
 HIT_SECONDS = 0.0195
 #: Average response time for a cache miss (paper: 984.0 ms).
 MISS_SECONDS = 0.984
+
+
+def nearest_rank_percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``values``, ``q`` in [0, 1].
+
+    The textbook definition — the smallest value with at least ``q`` of
+    the sample at or below it (``ceil(q * n)``-th order statistic) — and
+    the one definition shared by the recorder and the throughput
+    benchmarks, so reported tails can never drift apart.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = max(0, math.ceil(q * len(ordered)) - 1)
+    return ordered[index]
 
 
 @dataclass(frozen=True)
@@ -66,3 +85,46 @@ class LatencyRecorder:
         """Fold another recorder's measurements into this one."""
         self.latencies.extend(other.latencies)
         self.hits += other.hits
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank latency percentile, ``q`` in [0, 1]."""
+        return nearest_rank_percentile(self.latencies, q)
+
+    # ------------------------------------------------------------------
+    # serialization (per-session stats cross the protocol boundary)
+    # ------------------------------------------------------------------
+    def to_dict(self, include_latencies: bool = True) -> dict:
+        """A JSON-ready summary (plus raw samples unless opted out)."""
+        data = {
+            "count": self.count,
+            "hits": self.hits,
+            "hit_rate": self.hit_rate,
+            "average_seconds": self.average_seconds,
+            "p50_seconds": self.percentile(0.50),
+            "p95_seconds": self.percentile(0.95),
+        }
+        if include_latencies:
+            data["latencies"] = list(self.latencies)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyRecorder":
+        """Rebuild a recorder from :meth:`to_dict` output.
+
+        Requires the raw samples; a summary-only dict cannot round-trip.
+        """
+        if "latencies" not in data:
+            raise ValueError(
+                "cannot rebuild a LatencyRecorder from a summary-only "
+                "dict (serialize with include_latencies=True)"
+            )
+        return cls(latencies=list(data["latencies"]), hits=int(data["hits"]))
+
+    def to_json(self, include_latencies: bool = True) -> str:
+        """:meth:`to_dict`, serialized."""
+        return json.dumps(self.to_dict(include_latencies=include_latencies))
+
+    @classmethod
+    def from_json(cls, data: str) -> "LatencyRecorder":
+        """Inverse of :meth:`to_json` (with samples included)."""
+        return cls.from_dict(json.loads(data))

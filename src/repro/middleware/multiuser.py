@@ -1,9 +1,12 @@
-"""Multi-user ForeCache (Section 6.2, future work).
+"""Multi-user ForeCache (Section 6.2), now a thin facade adapter.
 
-The paper notes its framework "does not currently take into account
-potential optimizations within a multi-user scheme" and plans
-coordinated predictions and caching across users.  This module
-implements that design:
+.. deprecated::
+    ``MultiUserServer(**kwargs)`` is the PR-1 API, kept working for the
+    throughput benchmarks.  New code should build a
+    :class:`~repro.middleware.service.ForeCacheService` with
+    ``PrefetchPolicy(share_budget=True)`` and open one session per user.
+
+The semantics are unchanged:
 
 - one shared :class:`~repro.cache.manager.CacheManager` (and therefore
   one shared middleware cache) for all users of a dataset, so a tile
@@ -13,14 +16,11 @@ implements that design:
 - a fair split of the prefetch budget: each user's predictions claim an
   equal share of the shared prefetch region.
 
-Like the single-user server, two prefetch modes are offered.  In
-``"sync"`` mode every request refills the shared prefetch region inline
-with all users' pending predictions interleaved fairly (the seed
-behavior).  In ``"background"`` mode each request enqueues that user's
-share onto one shared :class:`~repro.middleware.scheduler.PrefetchScheduler`
-— their next request cancels whatever of it is still queued, and the
-cache manager's coalescing table dedupes tiles across users, so the
-request path never blocks on prefetch work.
+In ``"sync"`` mode every request refills the shared prefetch region
+inline with all users' pending predictions interleaved fairly; in
+``"background"`` mode each request enqueues that user's share onto one
+shared scheduler, superseded by their next request, with the cache
+manager's coalescing table deduping tiles across users.
 
 ``handle_request`` is safe to call from many threads, one per user
 session: shared state is lock-guarded, and each session's engine is
@@ -29,15 +29,14 @@ serialized by a per-session lock.
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cache.manager import CacheManager
-from repro.cache.tile_cache import TileCache
 from repro.core.engine import PredictionEngine
+from repro.middleware.config import CacheConfig, PrefetchPolicy, ServiceConfig
 from repro.middleware.latency import LatencyModel, LatencyRecorder
 from repro.middleware.scheduler import PrefetchScheduler
-from repro.middleware.server import PREFETCH_MODES
+from repro.middleware.service import ForeCacheService
 from repro.phases.model import AnalysisPhase
 from repro.tiles.key import TileKey
 from repro.tiles.moves import Move
@@ -54,14 +53,6 @@ class MultiUserResponse:
     latency_seconds: float
     hit: bool
     phase: AnalysisPhase | None
-
-
-@dataclass
-class _UserSession:
-    engine: PredictionEngine
-    recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
-    pending: list[tuple[TileKey, str]] = field(default_factory=list)
-    lock: threading.RLock = field(default_factory=threading.RLock)
 
 
 class MultiUserServer:
@@ -83,81 +74,79 @@ class MultiUserServer:
         prefetch_mode: str = "sync",
         prefetch_workers: int = 2,
     ) -> None:
-        if prefetch_k < 1:
-            raise ValueError(f"prefetch_k must be >= 1, got {prefetch_k}")
-        if prefetch_mode not in PREFETCH_MODES:
-            raise ValueError(
-                f"prefetch_mode must be one of {PREFETCH_MODES}, got"
-                f" {prefetch_mode!r}"
-            )
-        self.pyramid = pyramid
-        self.prefetch_k = prefetch_k
-        self.prefetch_mode = prefetch_mode
-        if cache_manager is not None and (
-            cache_manager.cache.prefetch_capacity < prefetch_k
-        ):
-            raise ValueError(
-                f"cache prefetch capacity "
-                f"{cache_manager.cache.prefetch_capacity} cannot hold the "
-                f"prefetch budget k={prefetch_k}"
-            )
-        self.cache_manager = (
-            cache_manager
-            if cache_manager is not None
-            else CacheManager(
-                pyramid,
-                TileCache(
-                    recent_capacity=recent_capacity, prefetch_capacity=prefetch_k
-                ),
-            )
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(
+                k=prefetch_k,
+                mode=prefetch_mode,
+                workers=prefetch_workers,
+                share_budget=True,
+            ),
+            cache=CacheConfig(
+                recent_capacity=recent_capacity, prefetch_capacity=prefetch_k
+            ),
         )
-        self.latency_model = (
-            latency_model if latency_model is not None else LatencyModel()
+        self._service = ForeCacheService(
+            pyramid,
+            config,
+            cache_manager=cache_manager,
+            latency_model=latency_model,
         )
-        self.scheduler: PrefetchScheduler | None = None
-        if prefetch_mode == "background":
-            self.scheduler = PrefetchScheduler(
-                self.cache_manager, max_workers=prefetch_workers
-            )
-        self._lock = threading.Lock()
-        self._sessions: dict[int, _UserSession] = {}
+
+    # ------------------------------------------------------------------
+    # legacy surface, delegated
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> ForeCacheService:
+        """The facade this server adapts (one session per user)."""
+        return self._service
+
+    @property
+    def pyramid(self) -> TilePyramid:
+        return self._service.pyramid
+
+    @property
+    def cache_manager(self) -> CacheManager:
+        return self._service.cache_manager
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._service.latency_model
+
+    @property
+    def scheduler(self) -> PrefetchScheduler | None:
+        return self._service.scheduler
+
+    @property
+    def prefetch_k(self) -> int:
+        return self._service.config.prefetch.k
+
+    @property
+    def prefetch_mode(self) -> str:
+        return self._service.config.prefetch.mode
 
     # ------------------------------------------------------------------
     # session management
     # ------------------------------------------------------------------
     def register_user(self, user_id: int, engine: PredictionEngine) -> None:
-        """Attach a user with their own (trained) prediction engine."""
-        with self._lock:
-            if user_id in self._sessions:
-                raise ValueError(f"user {user_id} is already registered")
-            engine.reset()
-            self._sessions[user_id] = _UserSession(engine=engine)
+        """Attach a user with their own (trained) prediction engine.
+
+        A duplicate ``user_id`` is rejected (DuplicateSessionError, a
+        ValueError): two live users must never share engine state.
+        """
+        self._service.open_session(engine, user_id, reset_engine=True)
 
     def remove_user(self, user_id: int) -> None:
         """Detach a user; their cache contributions stay shared."""
-        with self._lock:
-            if user_id not in self._sessions:
-                raise KeyError(f"user {user_id} is not registered")
-            del self._sessions[user_id]
-        if self.scheduler is not None:
-            self.scheduler.cancel_session(user_id)
+        self._service.close_session(user_id)
 
     @property
     def user_ids(self) -> list[int]:
         """Registered users, sorted."""
-        with self._lock:
-            return sorted(self._sessions)
+        return self._service.session_ids
 
     def recorder(self, user_id: int) -> LatencyRecorder:
         """One user's latency log."""
-        return self._session(user_id).recorder
-
-    def _session(self, user_id: int) -> _UserSession:
-        with self._lock:
-            session = self._sessions.get(user_id)
-        if session is None:
-            raise KeyError(f"user {user_id} is not registered")
-        return session
+        return self._service.session(user_id).recorder
 
     # ------------------------------------------------------------------
     # request path
@@ -166,81 +155,30 @@ class MultiUserServer:
         self, user_id: int, move: Move | None, key: TileKey
     ) -> MultiUserResponse:
         """Serve one user's request and re-plan the shared prefetch."""
-        session = self._session(user_id)
-
-        outcome = self.cache_manager.fetch(key)
-        latency = self.latency_model.response_seconds(
-            outcome.hit, outcome.backend_seconds
-        )
-
-        with self._lock:
-            active = max(1, len(self._sessions))
-        per_user_budget = max(1, self.prefetch_k // active)
-
-        with session.lock:
-            session.recorder.record(latency, outcome.hit)
-            session.engine.observe(move, key)
-            result = session.engine.predict(per_user_budget)
-            session.pending = result.attributed_tiles()
-            if self.scheduler is not None:
-                # Under the session lock so observe-order == schedule-
-                # order: the round reflecting the latest observation is
-                # the one that supersedes.
-                self.scheduler.schedule(session.pending, session_id=user_id)
-
-        if self.scheduler is None:
-            self.cache_manager.prefetch(self._merged_predictions())
+        response = self._service.request(user_id, move, key)
         return MultiUserResponse(
             user_id=user_id,
-            tile=outcome.tile,
-            latency_seconds=latency,
-            hit=outcome.hit,
-            phase=result.phase,
+            tile=response.tile,
+            latency_seconds=response.latency_seconds,
+            hit=response.hit,
+            phase=response.phase,
         )
-
-    def _merged_predictions(self) -> list[tuple[TileKey, str]]:
-        """Interleave all users' pending predictions, fairly.
-
-        Round-robin by prediction rank: every user's best prediction
-        first, then every user's second, and so on — deduplicated, so a
-        tile two users both want claims a single slot.
-        """
-        with self._lock:
-            queues = [
-                list(session.pending)
-                for _, session in sorted(self._sessions.items())
-                if session.pending
-            ]
-        merged: list[tuple[TileKey, str]] = []
-        seen: set[TileKey] = set()
-        rank = 0
-        while len(merged) < self.prefetch_k and any(
-            rank < len(queue) for queue in queues
-        ):
-            for queue in queues:
-                if rank < len(queue):
-                    tile, model = queue[rank]
-                    if tile not in seen:
-                        seen.add(tile)
-                        merged.append((tile, model))
-                        if len(merged) >= self.prefetch_k:
-                            break
-            rank += 1
-        return merged
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def drain(self, timeout: float | None = None) -> bool:
         """Wait until the background scheduler has no queued jobs."""
-        if self.scheduler is None:
-            return True
-        return self.scheduler.wait_idle(timeout)
+        return self._service.drain(timeout)
 
     def close(self) -> None:
-        """Shut down the background worker pool, if any.  Idempotent."""
-        if self.scheduler is not None:
-            self.scheduler.shutdown()
+        """Shut down the background worker pool, if any.  Idempotent.
+
+        (Legacy semantics: registered users stay requestable in sync
+        mode — the facade's ``close()`` is stricter.)
+        """
+        if self._service.scheduler is not None:
+            self._service.scheduler.shutdown()
 
     def __enter__(self) -> "MultiUserServer":
         return self

@@ -1,0 +1,394 @@
+"""The typed, JSON-serializable request/response protocol.
+
+Everything that crosses the client/server boundary is one of the wire
+messages defined here — plain frozen dataclasses whose fields are JSON
+scalars, lists, or further wire messages, so any transport that can move
+strings can carry the protocol.  The in-process objects (``DataTile``,
+``Move``, ``AnalysisPhase``) stay server-side; the wire speaks tile
+*references* (``level, x, y``), move names, and phase names, plus an
+optional dense payload encoding for transports that ship tile data.
+
+Messages are tagged with a ``type`` field by :func:`encode`;
+:func:`decode` dispatches back to the right class.  Failures travel as
+:class:`ErrorInfo`, which maps 1:1 onto the typed exception hierarchy
+(:class:`SessionNotFoundError`, :class:`DuplicateSessionError`,
+:class:`SessionClosedError`, :class:`InvalidRequestError`) so a client
+can re-raise exactly what the server threw.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.phases.model import AnalysisPhase
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.tiles.tile import DataTile
+
+
+# ----------------------------------------------------------------------
+# error variants
+# ----------------------------------------------------------------------
+class ProtocolError(Exception):
+    """Base of every typed serving-protocol failure."""
+
+    code = "error"
+
+    def __init__(self, message: str, session_id: str | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.session_id = session_id
+
+    # KeyError subclasses would otherwise render str(exc) as
+    # repr(message), double-quoting every log line and match= pattern.
+    __str__ = Exception.__str__
+
+
+class SessionNotFoundError(ProtocolError, KeyError):
+    """The request named a session the service does not know."""
+
+    code = "session_not_found"
+
+
+class DuplicateSessionError(ProtocolError, ValueError):
+    """``open_session`` asked for an id that is already live."""
+
+    code = "duplicate_session"
+
+
+class SessionClosedError(ProtocolError, RuntimeError):
+    """The request arrived after the session (or service) closed."""
+
+    code = "session_closed"
+
+
+class InvalidRequestError(ProtocolError, ValueError):
+    """The request was malformed or not legal for the pyramid."""
+
+    code = "invalid_request"
+
+
+ERROR_TYPES: dict[str, type[ProtocolError]] = {
+    cls.code: cls
+    for cls in (
+        ProtocolError,
+        SessionNotFoundError,
+        DuplicateSessionError,
+        SessionClosedError,
+        InvalidRequestError,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# wire building blocks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TileRef:
+    """A tile address on the wire: ``[level, x, y]``."""
+
+    level: int
+    x: int
+    y: int
+
+    @classmethod
+    def from_key(cls, key: TileKey) -> "TileRef":
+        return cls(level=key.level, x=key.x, y=key.y)
+
+    def to_key(self) -> TileKey:
+        return TileKey(self.level, self.x, self.y)
+
+    def to_list(self) -> list[int]:
+        return [self.level, self.x, self.y]
+
+    @classmethod
+    def from_list(cls, data) -> "TileRef":
+        level, x, y = data
+        return cls(level=int(level), x=int(x), y=int(y))
+
+
+@dataclass(frozen=True)
+class AttributeBlock:
+    """One attribute's dense block, flattened for JSON."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    values: tuple
+
+    @classmethod
+    def from_array(cls, name: str, array: np.ndarray) -> "AttributeBlock":
+        return cls(
+            name=name,
+            dtype=str(array.dtype),
+            shape=tuple(array.shape),
+            values=tuple(array.ravel().tolist()),
+        )
+
+    def to_array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=self.dtype).reshape(self.shape)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AttributeBlock":
+        return cls(
+            name=data["name"],
+            dtype=data["dtype"],
+            shape=tuple(int(n) for n in data["shape"]),
+            values=tuple(data["values"]),
+        )
+
+
+@dataclass(frozen=True)
+class TilePayload:
+    """A full tile on the wire: its address plus every attribute block."""
+
+    tile: TileRef
+    attributes: tuple[AttributeBlock, ...]
+
+    @classmethod
+    def from_tile(cls, tile: DataTile) -> "TilePayload":
+        return cls(
+            tile=TileRef.from_key(tile.key),
+            attributes=tuple(
+                AttributeBlock.from_array(name, array)
+                for name, array in sorted(tile.attributes.items())
+            ),
+        )
+
+    def to_tile(self) -> DataTile:
+        return DataTile(
+            key=self.tile.to_key(),
+            attributes={
+                block.name: block.to_array() for block in self.attributes
+            },
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "tile": self.tile.to_list(),
+            "attributes": [block.to_dict() for block in self.attributes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TilePayload":
+        return cls(
+            tile=TileRef.from_list(data["tile"]),
+            attributes=tuple(
+                AttributeBlock.from_dict(block) for block in data["attributes"]
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TileRequest:
+    """One client request: session, the move taken, the target tile."""
+
+    session_id: str
+    tile: TileRef
+    #: The interface move that led here (``Move.value``), or None for
+    #: the session-opening request.
+    move: str | None = None
+
+    def to_move(self) -> Move | None:
+        if self.move is None:
+            return None
+        try:
+            return Move(self.move)
+        except ValueError:
+            raise InvalidRequestError(
+                f"unknown move {self.move!r}", session_id=self.session_id
+            ) from None
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "tile": self.tile.to_list(),
+            "move": self.move,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TileRequest":
+        return cls(
+            session_id=data["session_id"],
+            tile=TileRef.from_list(data["tile"]),
+            move=data.get("move"),
+        )
+
+
+@dataclass(frozen=True)
+class TileResponse:
+    """One server response on the wire.
+
+    ``payload`` carries the tile's dense data when the transport ships
+    tiles; metadata-only transports leave it None and resolve the
+    ``tile`` reference out of band.
+    """
+
+    session_id: str
+    tile: TileRef
+    latency_seconds: float
+    hit: bool
+    phase: str | None = None
+    prefetched: tuple[TileRef, ...] = field(default_factory=tuple)
+    payload: TilePayload | None = None
+
+    @classmethod
+    def from_result(
+        cls, session_id: str, result, include_payload: bool = True
+    ) -> "TileResponse":
+        """Build the wire form of an in-process ``TileResponse``."""
+        return cls(
+            session_id=session_id,
+            tile=TileRef.from_key(result.tile.key),
+            latency_seconds=result.latency_seconds,
+            hit=result.hit,
+            phase=result.phase.value if result.phase is not None else None,
+            prefetched=tuple(TileRef.from_key(k) for k in result.prefetched),
+            payload=(
+                TilePayload.from_tile(result.tile) if include_payload else None
+            ),
+        )
+
+    def to_phase(self) -> AnalysisPhase | None:
+        return AnalysisPhase.from_string(self.phase) if self.phase else None
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "tile": self.tile.to_list(),
+            "latency_seconds": self.latency_seconds,
+            "hit": self.hit,
+            "phase": self.phase,
+            "prefetched": [ref.to_list() for ref in self.prefetched],
+            "payload": self.payload.to_dict() if self.payload else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TileResponse":
+        payload = data.get("payload")
+        return cls(
+            session_id=data["session_id"],
+            tile=TileRef.from_list(data["tile"]),
+            latency_seconds=data["latency_seconds"],
+            hit=data["hit"],
+            phase=data.get("phase"),
+            prefetched=tuple(
+                TileRef.from_list(ref) for ref in data.get("prefetched", [])
+            ),
+            payload=TilePayload.from_dict(payload) if payload else None,
+        )
+
+
+@dataclass(frozen=True)
+class SessionInfo:
+    """A session's externally visible state and latency statistics."""
+
+    session_id: str
+    open: bool
+    prefetch_mode: str
+    requests: int
+    hits: int
+    hit_rate: float
+    average_latency_seconds: float
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "open": self.open,
+            "prefetch_mode": self.prefetch_mode,
+            "requests": self.requests,
+            "hits": self.hits,
+            "hit_rate": self.hit_rate,
+            "average_latency_seconds": self.average_latency_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionInfo":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """A failure on the wire; re-raisable via :meth:`to_exception`."""
+
+    code: str
+    message: str
+    session_id: str | None = None
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ErrorInfo":
+        if isinstance(exc, ProtocolError):
+            return cls(
+                code=exc.code, message=exc.message, session_id=exc.session_id
+            )
+        return cls(code=ProtocolError.code, message=str(exc))
+
+    def to_exception(self) -> ProtocolError:
+        return ERROR_TYPES.get(self.code, ProtocolError)(
+            self.message, session_id=self.session_id
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "session_id": self.session_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ErrorInfo":
+        return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# envelope
+# ----------------------------------------------------------------------
+MESSAGE_TYPES: dict[str, type] = {
+    "tile_request": TileRequest,
+    "tile_response": TileResponse,
+    "session_info": SessionInfo,
+    "error": ErrorInfo,
+}
+_TYPE_NAMES = {cls: name for name, cls in MESSAGE_TYPES.items()}
+
+
+def encode(message) -> str:
+    """Serialize any wire message to a tagged JSON string."""
+    name = _TYPE_NAMES.get(type(message))
+    if name is None:
+        raise TypeError(f"{type(message).__name__} is not a wire message")
+    return json.dumps({"type": name, **message.to_dict()})
+
+
+def decode(data: str):
+    """Parse a tagged JSON string back into its wire message."""
+    try:
+        raw = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise InvalidRequestError(f"malformed JSON: {exc}") from None
+    if not isinstance(raw, dict):
+        raise InvalidRequestError("wire messages must be JSON objects")
+    name = raw.pop("type", None)
+    cls = MESSAGE_TYPES.get(name)
+    if cls is None:
+        raise InvalidRequestError(f"unknown message type {name!r}")
+    try:
+        return cls.from_dict(raw)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidRequestError(
+            f"malformed {name} message: {exc}"
+        ) from None

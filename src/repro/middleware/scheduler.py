@@ -193,6 +193,12 @@ class PrefetchScheduler:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has run."""
+        with self._lock:
+            return self._closed
+
     def wait_idle(self, timeout: float | None = None) -> bool:
         """Block until every queued job has run (or been dropped).
 

@@ -1,58 +1,47 @@
-"""The ForeCache middleware server.
+"""The legacy single-session server, now a thin facade adapter.
 
-Request lifecycle (Figure 5): the visualizer asks for a tile; the server
-answers from the cache manager (hit) or the DBMS (miss); the prediction
-engine then updates its state and emits an ordered prefetch list ``P``.
+.. deprecated::
+    Direct ``ForeCacheServer(**kwargs)`` construction is the PR-1 API,
+    kept working for the figure benchmarks and existing callers.  New
+    code should build a :class:`~repro.middleware.service.ForeCacheService`
+    from a :class:`~repro.middleware.config.ServiceConfig` and call
+    ``open_session()`` — see README "Serving architecture" for the
+    kwarg → config migration table.
 
-Two prefetch modes decide who executes ``P``:
-
-- ``prefetch_mode="sync"`` (the seed behavior): the cache manager runs
-  the whole list inside the request call.  Think-time overlap is
-  accounted in *virtual* time only — the figure benchmarks reproduce the
-  paper's arithmetic on this path.
-- ``prefetch_mode="background"``: the list is handed to a
-  :class:`~repro.middleware.scheduler.PrefetchScheduler`, whose worker
-  pool fetches tiles during the user's real think time.  The next
-  request supersedes any of its still-queued jobs, and concurrent
-  misses on a tile already being prefetched coalesce onto that load.
-
-A server instance serializes one user session: callers must not issue
-two ``handle_request`` calls for the *same* server concurrently (the
-prediction engine is stateful).  Many servers — or the
-:class:`~repro.middleware.multiuser.MultiUserServer` — may share one
-cache manager and one scheduler across threads.
+Request lifecycle (Figure 5) is unchanged: the visualizer asks for a
+tile; the facade answers from the cache manager (hit) or the DBMS
+(miss); the prediction engine then updates its state and emits an
+ordered prefetch list ``P``, executed inline (``prefetch_mode="sync"``,
+the paper's virtual-time arithmetic) or on the scheduler's worker pool
+(``"background"``).  A server instance wraps exactly one facade session:
+callers must not issue two ``handle_request`` calls for the *same*
+server concurrently (the prediction engine is stateful).  Many servers —
+or the :class:`~repro.middleware.multiuser.MultiUserServer` — may share
+one cache manager and one scheduler across threads.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.cache.manager import CacheManager
 from repro.core.engine import PredictionEngine
+from repro.middleware.config import (
+    PREFETCH_MODES,
+    CacheConfig,
+    PrefetchPolicy,
+    ServiceConfig,
+)
 from repro.middleware.latency import LatencyModel, LatencyRecorder
 from repro.middleware.scheduler import PrefetchScheduler
-from repro.phases.model import AnalysisPhase
+from repro.middleware.service import ForeCacheService, TileResponse
 from repro.tiles.key import TileKey
 from repro.tiles.moves import Move
 from repro.tiles.pyramid import TilePyramid
-from repro.tiles.tile import DataTile
 
-PREFETCH_MODES = ("sync", "background")
-
-
-@dataclass(frozen=True)
-class TileResponse:
-    """What the client gets back for one request."""
-
-    tile: DataTile
-    latency_seconds: float
-    hit: bool
-    phase: AnalysisPhase | None
-    prefetched: tuple[TileKey, ...] = field(default_factory=tuple)
+__all__ = ["PREFETCH_MODES", "ForeCacheServer", "TileResponse"]
 
 
 class ForeCacheServer:
-    """Prediction engine + cache manager + DBMS, behind one entry point."""
+    """One user session over a private :class:`ForeCacheService`."""
 
     def __init__(
         self,
@@ -67,73 +56,79 @@ class ForeCacheServer:
         prefetch_workers: int = 2,
         session_id: int | None = None,
     ) -> None:
-        if prefetch_k < 1:
-            raise ValueError(f"prefetch_k must be >= 1, got {prefetch_k}")
-        if prefetch_mode not in PREFETCH_MODES:
-            raise ValueError(
-                f"prefetch_mode must be one of {PREFETCH_MODES}, got"
-                f" {prefetch_mode!r}"
-            )
-        self.pyramid = pyramid
-        self.engine = engine
-        if cache_manager is None:
-            # A provided scheduler's manager IS the serving cache; building
-            # a second one would silently prefetch into the wrong cache.
-            cache_manager = (
-                scheduler.cache_manager
-                if scheduler is not None
-                else CacheManager(pyramid)
-            )
-        elif scheduler is not None and scheduler.cache_manager is not cache_manager:
-            raise ValueError(
-                "scheduler and server must share one cache_manager; "
-                "prefetched tiles would land in a cache requests never read"
-            )
-        self.cache_manager = cache_manager
-        self.latency_model = (
-            latency_model if latency_model is not None else LatencyModel()
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(
+                k=prefetch_k,
+                enabled=prefetch_enabled,
+                mode=prefetch_mode,
+                workers=prefetch_workers,
+            ),
+            cache=CacheConfig(),
         )
-        self.prefetch_k = prefetch_k
-        self.prefetch_enabled = prefetch_enabled
-        self.prefetch_mode = prefetch_mode
+        self._service = ForeCacheService(
+            pyramid,
+            config,
+            cache_manager=cache_manager,
+            scheduler=scheduler,
+            latency_model=latency_model,
+        )
         # Each server defaults to a distinct scheduler session, so two
         # servers sharing one scheduler supersede only their own rounds.
-        self.session_id = session_id if session_id is not None else id(self)
-        self._owns_scheduler = False
-        if prefetch_mode == "background" and scheduler is None:
-            scheduler = PrefetchScheduler(
-                self.cache_manager, max_workers=prefetch_workers
-            )
-            self._owns_scheduler = True
-        self.scheduler = scheduler
-        self.recorder = LatencyRecorder()
+        self._handle = self._service.open_session(
+            engine, session_id if session_id is not None else id(self)
+        )
+
+    # ------------------------------------------------------------------
+    # legacy surface, delegated
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> ForeCacheService:
+        """The facade this server adapts (one open session)."""
+        return self._service
+
+    @property
+    def pyramid(self) -> TilePyramid:
+        return self._service.pyramid
+
+    @property
+    def engine(self) -> PredictionEngine:
+        return self._handle.engine
+
+    @property
+    def cache_manager(self) -> CacheManager:
+        return self._service.cache_manager
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._service.latency_model
+
+    @property
+    def scheduler(self) -> PrefetchScheduler | None:
+        return self._service.scheduler
+
+    @property
+    def recorder(self) -> LatencyRecorder:
+        return self._handle.recorder
+
+    @property
+    def session_id(self):
+        return self._handle.session_id
+
+    @property
+    def prefetch_k(self) -> int:
+        return self._service.config.prefetch.k
+
+    @property
+    def prefetch_enabled(self) -> bool:
+        return self._service.config.prefetch.enabled
+
+    @property
+    def prefetch_mode(self) -> str:
+        return self._service.config.prefetch.mode
 
     def handle_request(self, move: Move | None, key: TileKey) -> TileResponse:
         """Serve one tile request and prefetch for the next one."""
-        outcome = self.cache_manager.fetch(key)
-        latency = self.latency_model.response_seconds(
-            outcome.hit, outcome.backend_seconds
-        )
-        self.recorder.record(latency, outcome.hit)
-
-        self.engine.observe(move, key)
-        phase: AnalysisPhase | None = None
-        prefetched: tuple[TileKey, ...] = ()
-        if self.prefetch_enabled:
-            result = self.engine.predict(self.prefetch_k)
-            phase = result.phase
-            if self.prefetch_mode == "background":
-                self.scheduler.schedule(result, session_id=self.session_id)
-            else:
-                self.cache_manager.prefetch(result.attributed_tiles())
-            prefetched = tuple(result.tiles)
-        return TileResponse(
-            tile=outcome.tile,
-            latency_seconds=latency,
-            hit=outcome.hit,
-            phase=phase,
-            prefetched=prefetched,
-        )
+        return self._handle.request(move, key)
 
     def drain(self, timeout: float | None = None) -> bool:
         """Wait for outstanding background prefetch work (tests/benchmarks).
@@ -141,23 +136,23 @@ class ForeCacheServer:
         Synchronous servers are always drained; returns False only if a
         timeout expired with jobs still queued.
         """
-        if self.scheduler is None:
-            return True
-        return self.scheduler.wait_idle(timeout)
+        return self._service.drain(timeout)
 
     def close(self) -> None:
         """Release scheduler resources.  Idempotent.
 
         On a shared scheduler, this server's queued jobs are cancelled
         and its session entry dropped; a scheduler this server created
-        is shut down outright.
+        is shut down outright.  (Legacy semantics: the session itself
+        stays requestable — the facade's ``close_session`` is stricter.)
         """
-        if self.scheduler is None:
+        scheduler = self._service.scheduler
+        if scheduler is None:
             return
-        if self._owns_scheduler:
-            self.scheduler.shutdown()
+        if self._service.owns_scheduler:
+            scheduler.shutdown()
         else:
-            self.scheduler.cancel_session(self.session_id)
+            scheduler.cancel_session(self.session_id)
 
     def __enter__(self) -> "ForeCacheServer":
         return self
@@ -174,11 +169,8 @@ class ForeCacheServer:
         traffic keeps the pool busy indefinitely and their work is not
         ours to wait on.
         """
-        if self.scheduler is not None:
-            self.scheduler.cancel_session(self.session_id)
-            if self._owns_scheduler:
-                self.scheduler.wait_idle(drain_timeout)
-        self.engine.reset()
+        self._handle.reset()
+        if self._service.scheduler is not None and self._service.owns_scheduler:
+            self._service.scheduler.wait_idle(drain_timeout)
         self.cache_manager.cache.clear()
         self.cache_manager.reset_stats()
-        self.recorder = LatencyRecorder()

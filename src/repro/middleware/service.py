@@ -1,0 +1,477 @@
+"""The unified session-oriented serving facade.
+
+:class:`ForeCacheService` is the single entry point the paper's Figure 5
+puts between visualizer and DBMS.  One service owns one middleware cache
+(and, in background mode, one prefetch worker pool); *sessions* are
+first-class:
+
+    service = ForeCacheService(pyramid, ServiceConfig(...))
+    session = service.open_session(engine)
+    response = session.request(move, key)     # -> TileResponse
+    session.close()
+
+Every session gets its own prediction engine (history, ROI, phase are
+per user) and its own latency recorder, while all sessions share the
+cache — a tile fetched for one user serves everyone.  With
+``PrefetchPolicy(share_budget=True)`` the prefetch budget ``k`` is split
+fairly across open sessions and, in sync mode, every request refills the
+shared prefetch region with all sessions' predictions interleaved — the
+multi-user scheme of Section 6.2.
+
+The legacy :class:`~repro.middleware.server.ForeCacheServer` and
+:class:`~repro.middleware.multiuser.MultiUserServer` are thin adapters
+over this facade; new code should use the facade (or its asyncio front
+end, :class:`~repro.middleware.aio.AsyncForeCacheService`) directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass, field
+
+from repro.cache.manager import CacheManager
+from repro.core.engine import PredictionEngine
+from repro.middleware.config import PrefetchPolicy, ServiceConfig
+from repro.middleware.latency import LatencyModel, LatencyRecorder
+from repro.middleware.protocol import (
+    DuplicateSessionError,
+    SessionClosedError,
+    SessionInfo,
+    SessionNotFoundError,
+)
+from repro.middleware.scheduler import PrefetchScheduler
+from repro.phases.model import AnalysisPhase
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.tiles.pyramid import TilePyramid
+from repro.tiles.tile import DataTile
+
+
+@dataclass(frozen=True)
+class TileResponse:
+    """What one request returns, in process."""
+
+    tile: DataTile
+    latency_seconds: float
+    hit: bool
+    phase: AnalysisPhase | None
+    prefetched: tuple[TileKey, ...] = field(default_factory=tuple)
+
+
+@dataclass
+class _SessionRecord:
+    """Server-side state of one open session."""
+
+    session_id: Hashable
+    engine: PredictionEngine
+    recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
+    pending: list[tuple[TileKey, str]] = field(default_factory=list)
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    closed: bool = False
+
+
+class SessionHandle:
+    """The client-side face of one open session.
+
+    Exposes ``request()`` (alias ``handle_request``) plus the session's
+    recorder and engine.  Also a context manager: leaving the ``with``
+    block closes the session.
+    """
+
+    def __init__(self, service: "ForeCacheService", record: _SessionRecord):
+        self._service = service
+        self._record = record
+
+    @property
+    def session_id(self) -> Hashable:
+        return self._record.session_id
+
+    @property
+    def engine(self) -> PredictionEngine:
+        return self._record.engine
+
+    @property
+    def recorder(self) -> LatencyRecorder:
+        return self._record.recorder
+
+    @property
+    def closed(self) -> bool:
+        return self._record.closed
+
+    @property
+    def pyramid(self) -> TilePyramid:
+        return self._service.pyramid
+
+    def request(self, move: Move | None, key: TileKey) -> TileResponse:
+        """Serve one tile request for this session."""
+        return self._service._request(self._record, move, key)
+
+    # The same signature the legacy servers exposed, so a
+    # BrowsingSession drives a handle and a server identically.
+    handle_request = request
+
+    def info(self) -> SessionInfo:
+        """This session's wire-ready state snapshot."""
+        recorder = self._record.recorder
+        return SessionInfo(
+            session_id=str(self._record.session_id),
+            open=not self._record.closed,
+            prefetch_mode=self._service.config.prefetch.mode,
+            requests=recorder.count,
+            hits=recorder.hits,
+            hit_rate=recorder.hit_rate,
+            average_latency_seconds=recorder.average_seconds,
+        )
+
+    def reset(self) -> None:
+        """Fresh recorder and engine state; queued prefetches dropped."""
+        self._service._reset_session(self._record)
+
+    def close(self) -> None:
+        """Close this session.  Idempotent."""
+        self._service._close_record(self._record)
+
+    def __enter__(self) -> "SessionHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ForeCacheService:
+    """Sessions, cache, prediction, and prefetch behind one facade."""
+
+    def __init__(
+        self,
+        pyramid: TilePyramid,
+        config: ServiceConfig | None = None,
+        *,
+        cache_manager: CacheManager | None = None,
+        scheduler: PrefetchScheduler | None = None,
+        latency_model: LatencyModel | None = None,
+        engine_factory: Callable[[], PredictionEngine] | None = None,
+    ) -> None:
+        self.pyramid = pyramid
+        self.config = config if config is not None else ServiceConfig()
+        policy = self.config.prefetch
+        if cache_manager is None:
+            # A provided scheduler's manager IS the serving cache;
+            # building a second one would prefetch into the wrong cache.
+            cache_manager = (
+                scheduler.cache_manager
+                if scheduler is not None
+                else self.config.cache.build_cache_manager(pyramid)
+            )
+        elif scheduler is not None and scheduler.cache_manager is not cache_manager:
+            raise ValueError(
+                "scheduler and service must share one cache_manager; "
+                "prefetched tiles would land in a cache requests never read"
+            )
+        if policy.share_budget and (
+            cache_manager.cache.prefetch_capacity < policy.k
+        ):
+            raise ValueError(
+                f"cache prefetch capacity "
+                f"{cache_manager.cache.prefetch_capacity} cannot hold the "
+                f"prefetch budget k={policy.k}"
+            )
+        self.cache_manager = cache_manager
+        self.latency_model = (
+            latency_model
+            if latency_model is not None
+            else self.config.build_latency_model()
+        )
+        self.engine_factory = engine_factory
+        self._owns_scheduler = False
+        if policy.background and scheduler is None:
+            scheduler = PrefetchScheduler(
+                self.cache_manager, max_workers=policy.workers
+            )
+            self._owns_scheduler = True
+        self.scheduler = scheduler
+        self._lock = threading.Lock()
+        self._sessions: dict[Hashable, _SessionRecord] = {}
+        self._auto_session = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        engine: PredictionEngine | None = None,
+        session_id: Hashable | None = None,
+        *,
+        reset_engine: bool = False,
+    ) -> SessionHandle:
+        """Open a session and return its handle.
+
+        ``session_id`` defaults to a fresh unique id.  A duplicate id is
+        rejected with :class:`DuplicateSessionError` — two live sessions
+        must never share prediction state.  ``engine`` may be omitted
+        only when the service was built with an ``engine_factory``.
+        """
+        if engine is None:
+            if self.engine_factory is None:
+                raise ValueError(
+                    "open_session needs an engine (or construct the "
+                    "service with an engine_factory)"
+                )
+            engine = self.engine_factory()
+        with self._lock:
+            if self._closed:
+                raise SessionClosedError("service is closed")
+            if session_id is None:
+                # Skip counter values a caller already claimed by name.
+                while True:
+                    self._auto_session += 1
+                    session_id = f"session-{self._auto_session}"
+                    if session_id not in self._sessions:
+                        break
+            if session_id in self._sessions:
+                raise DuplicateSessionError(
+                    f"session {session_id!r} is already open",
+                    session_id=str(session_id),
+                )
+            # Reset only after every rejection path: a refused open must
+            # not wipe the caller's engine state as a side effect.
+            if reset_engine:
+                engine.reset()
+            record = _SessionRecord(session_id=session_id, engine=engine)
+            self._sessions[session_id] = record
+        return SessionHandle(self, record)
+
+    def close_session(self, session_id: Hashable) -> None:
+        """Close one session; its cache contributions stay shared."""
+        with self._lock:
+            record = self._sessions.get(session_id)
+        if record is None:
+            raise SessionNotFoundError(
+                f"session {session_id!r} is not open",
+                session_id=str(session_id),
+            )
+        self._close_record(record)
+
+    def _close_record(self, record: _SessionRecord) -> None:
+        # The session lock serializes closing against an in-flight
+        # request: once we hold it, any request either already scheduled
+        # its prefetch round (cancelled just below) or will observe
+        # ``closed`` and raise.  Lock order (record -> service) matches
+        # the request path.
+        with record.lock:
+            with self._lock:
+                if record.closed:
+                    return
+                record.closed = True
+                self._sessions.pop(record.session_id, None)
+        if self.scheduler is not None:
+            self.scheduler.cancel_session(record.session_id)
+
+    def _reset_session(self, record: _SessionRecord) -> None:
+        if self.scheduler is not None:
+            self.scheduler.cancel_session(record.session_id)
+        with record.lock:
+            record.engine.reset()
+            record.recorder = LatencyRecorder()
+            record.pending = []
+
+    @property
+    def session_ids(self) -> list[Hashable]:
+        """Ids of the open sessions (sorted when comparable)."""
+        with self._lock:
+            ids = list(self._sessions)
+        try:
+            return sorted(ids)
+        except TypeError:
+            return sorted(ids, key=str)
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def session(self, session_id: Hashable) -> SessionHandle:
+        """A handle for an open session (by id)."""
+        return SessionHandle(self, self._record(session_id))
+
+    def info(self, session_id: Hashable) -> SessionInfo:
+        """One session's wire-ready snapshot."""
+        return self.session(session_id).info()
+
+    def _record(self, session_id: Hashable) -> _SessionRecord:
+        with self._lock:
+            record = self._sessions.get(session_id)
+        if record is None:
+            raise SessionNotFoundError(
+                f"session {session_id!r} is not open",
+                session_id=str(session_id),
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def request(
+        self, session_id: Hashable, move: Move | None, key: TileKey
+    ) -> TileResponse:
+        """Serve one request on behalf of an open session (by id)."""
+        return self._request(self._record(session_id), move, key)
+
+    def _request(
+        self, record: _SessionRecord, move: Move | None, key: TileKey
+    ) -> TileResponse:
+        if record.closed:
+            raise SessionClosedError(
+                f"session {record.session_id!r} is closed",
+                session_id=str(record.session_id),
+            )
+        policy = self.config.prefetch
+        outcome = self.cache_manager.fetch(key)
+        latency = self.latency_model.response_seconds(
+            outcome.hit, outcome.backend_seconds
+        )
+
+        phase: AnalysisPhase | None = None
+        prefetched: tuple[TileKey, ...] = ()
+        pending: list[tuple[TileKey, str]] = []
+        with record.lock:
+            # Re-check under the lock: a concurrent close may have won
+            # the race since the entry check above, and scheduling a
+            # prefetch round for it would resurrect the session in the
+            # scheduler's generation table.
+            if record.closed:
+                raise SessionClosedError(
+                    f"session {record.session_id!r} is closed",
+                    session_id=str(record.session_id),
+                )
+            record.recorder.record(latency, outcome.hit)
+            record.engine.observe(move, key)
+            if policy.enabled:
+                result = record.engine.predict(self._budget(policy))
+                phase = result.phase
+                prefetched = tuple(result.tiles)
+                pending = result.attributed_tiles()
+                record.pending = pending
+                if self.scheduler is not None and policy.background:
+                    # Under the session lock so observe-order ==
+                    # schedule-order: the round reflecting the latest
+                    # observation is the one that supersedes.
+                    try:
+                        self.scheduler.schedule(
+                            pending, session_id=record.session_id
+                        )
+                    except RuntimeError:
+                        if not self.scheduler.closed:
+                            raise  # not a lifecycle race — don't mask it
+                        # The scheduler shut down under us (service
+                        # close, or a legacy adapter's close()); the
+                        # tile was served, so report the typed
+                        # lifecycle error, named accurately.
+                        raise SessionClosedError(
+                            "prefetch scheduler is shut down; session"
+                            f" {record.session_id!r} can no longer be"
+                            " served",
+                            session_id=str(record.session_id),
+                        ) from None
+        if policy.enabled and not (
+            self.scheduler is not None and policy.background
+        ):
+            # ``pending`` is the local computed under the lock — not a
+            # re-read of record.pending, which a concurrent reset() may
+            # have already replaced.
+            self.cache_manager.prefetch(
+                self._merged_predictions()
+                if policy.share_budget
+                else pending
+            )
+        return TileResponse(
+            tile=outcome.tile,
+            latency_seconds=latency,
+            hit=outcome.hit,
+            phase=phase,
+            prefetched=prefetched,
+        )
+
+    def _budget(self, policy: PrefetchPolicy) -> int:
+        """This round's per-session prediction budget."""
+        if not policy.share_budget:
+            return policy.k
+        with self._lock:
+            active = max(1, len(self._sessions))
+        return max(1, policy.k // active)
+
+    def _merged_predictions(self) -> list[tuple[TileKey, str]]:
+        """Interleave all sessions' pending predictions, fairly.
+
+        Round-robin by prediction rank: every session's best prediction
+        first, then every session's second, and so on — deduplicated, so
+        a tile two sessions both want claims a single slot.
+        """
+        with self._lock:
+            records = list(self._sessions.items())
+        try:
+            records.sort()
+        except TypeError:
+            records.sort(key=lambda item: str(item[0]))
+        queues = [
+            list(record.pending) for _, record in records if record.pending
+        ]
+        budget = self.config.prefetch.k
+        merged: list[tuple[TileKey, str]] = []
+        seen: set[TileKey] = set()
+        rank = 0
+        while len(merged) < budget and any(
+            rank < len(queue) for queue in queues
+        ):
+            for queue in queues:
+                if rank < len(queue):
+                    tile, model = queue[rank]
+                    if tile not in seen:
+                        seen.add(tile)
+                        merged.append((tile, model))
+                        if len(merged) >= budget:
+                            break
+            rank += 1
+        return merged
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def owns_scheduler(self) -> bool:
+        """True when this service created (and will shut down) its pool."""
+        return self._owns_scheduler
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for outstanding background prefetch work (tests/benchmarks)."""
+        if self.scheduler is None:
+            return True
+        return self.scheduler.wait_idle(timeout)
+
+    def close(self) -> None:
+        """Close every session and release the worker pool.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            records = list(self._sessions.values())
+            self._sessions.clear()
+        for record in records:
+            # Per-session lock so an in-flight request finishes its
+            # prefetch round before we mark the session closed and
+            # cancel that round below.
+            with record.lock:
+                record.closed = True
+        if self.scheduler is not None:
+            if self._owns_scheduler:
+                self.scheduler.shutdown()
+            else:
+                for record in records:
+                    self.scheduler.cancel_session(record.session_id)
+
+    def __enter__(self) -> "ForeCacheService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,146 @@
+"""In-process transport: the wire protocol without a network.
+
+Proves (and tests) transport independence: every request is serialized
+to a JSON :class:`~repro.middleware.protocol.TileRequest`, handed to the
+server side as a *string*, served by the facade, and the response comes
+back as a JSON string that the client decodes — exactly the round trip
+an HTTP or websocket transport would make, minus the socket.
+
+    transport = InProcessTransport(service)
+    conn = transport.connect(engine)          # opens a facade session
+    BrowsingSession(conn).replay(trace)       # same client code as ever
+
+:class:`WireSessionClient` satisfies the same connection contract as a
+legacy server or a :class:`~repro.middleware.service.SessionHandle`
+(``.pyramid`` + ``.handle_request(move, key)``), so the one
+``BrowsingSession`` drives every front end.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import PredictionEngine
+from repro.middleware import protocol
+from repro.middleware.protocol import (
+    ErrorInfo,
+    InvalidRequestError,
+    ProtocolError,
+    SessionNotFoundError,
+    TileRef,
+    TileRequest,
+)
+from repro.middleware.service import ForeCacheService, TileResponse
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.tiles.pyramid import TilePyramid
+
+
+class InProcessTransport:
+    """Moves protocol JSON strings between client stubs and a facade."""
+
+    def __init__(
+        self, service: ForeCacheService, include_payload: bool = True
+    ) -> None:
+        self.service = service
+        #: Ship tile payloads in responses (a metadata-only transport
+        #: would resolve tiles out of band).
+        self.include_payload = include_payload
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def send(self, data: str) -> str:
+        """Serve one encoded request; errors come back as ErrorInfo."""
+        try:
+            message = protocol.decode(data)
+            if not isinstance(message, TileRequest):
+                raise InvalidRequestError(
+                    f"transport serves tile_request messages, got"
+                    f" {type(message).__name__}"
+                )
+            result = self.service.request(
+                message.session_id, message.to_move(), message.tile.to_key()
+            )
+            return protocol.encode(
+                protocol.TileResponse.from_result(
+                    message.session_id,
+                    result,
+                    include_payload=self.include_payload,
+                )
+            )
+        except Exception as exc:
+            return protocol.encode(ErrorInfo.from_exception(exc))
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        engine: PredictionEngine | None = None,
+        session_id: str | None = None,
+    ) -> "WireSessionClient":
+        """Open a facade session and return a wire-speaking client for it.
+
+        Wire session ids are strings (they travel in JSON), so a
+        non-string id is stringified *before* the session opens — the
+        facade and the wire must agree on the key.
+        """
+        handle = self.service.open_session(
+            engine, str(session_id) if session_id is not None else None
+        )
+        return WireSessionClient(self, str(handle.session_id))
+
+
+class WireSessionClient:
+    """One session's client stub: talks JSON, returns in-process responses."""
+
+    def __init__(self, transport: InProcessTransport, session_id: str) -> None:
+        self.transport = transport
+        self.session_id = session_id
+        self._closed = False
+
+    @property
+    def pyramid(self) -> TilePyramid:
+        """Client-side pyramid knowledge (move validation, root tile)."""
+        return self.transport.service.pyramid
+
+    def handle_request(self, move: Move | None, key: TileKey) -> TileResponse:
+        """Round-trip one request through the wire protocol."""
+        raw = self.transport.send(
+            protocol.encode(
+                TileRequest(
+                    session_id=self.session_id,
+                    tile=TileRef.from_key(key),
+                    move=move.value if move is not None else None,
+                )
+            )
+        )
+        message = protocol.decode(raw)
+        if isinstance(message, ErrorInfo):
+            raise message.to_exception()
+        if not isinstance(message, protocol.TileResponse):
+            raise ProtocolError(
+                f"expected tile_response, got {type(message).__name__}"
+            )
+        if message.payload is None:
+            raise ProtocolError(
+                "transport returned no payload; client cannot materialize"
+                f" tile {message.tile.to_key()}"
+            )
+        return TileResponse(
+            tile=message.payload.to_tile(),
+            latency_seconds=message.latency_seconds,
+            hit=message.hit,
+            phase=message.to_phase(),
+            prefetched=tuple(ref.to_key() for ref in message.prefetched),
+        )
+
+    def close(self) -> None:
+        """Close the underlying facade session.  Idempotent, matching
+        the ``SessionHandle.close`` contract this client mirrors."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.transport.service.close_session(self.session_id)
+        except SessionNotFoundError:
+            pass  # already closed server-side (e.g. service.close())

@@ -1,0 +1,205 @@
+"""Wire-protocol round trips: every message survives JSON losslessly."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.middleware import protocol
+from repro.middleware.latency import LatencyRecorder
+from repro.middleware.protocol import (
+    AttributeBlock,
+    DuplicateSessionError,
+    ErrorInfo,
+    InvalidRequestError,
+    ProtocolError,
+    SessionClosedError,
+    SessionInfo,
+    SessionNotFoundError,
+    TilePayload,
+    TileRef,
+    TileRequest,
+    TileResponse,
+)
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.tiles.tile import DataTile
+
+
+def roundtrip(message):
+    """encode -> JSON string -> decode."""
+    encoded = protocol.encode(message)
+    json.loads(encoded)  # must be valid JSON, not just a repr
+    return protocol.decode(encoded)
+
+
+class TestTileRef:
+    def test_key_round_trip(self):
+        key = TileKey(3, 5, 2)
+        assert TileRef.from_key(key).to_key() == key
+
+    def test_list_round_trip(self):
+        ref = TileRef(2, 1, 3)
+        assert TileRef.from_list(ref.to_list()) == ref
+
+
+class TestTilePayload:
+    def test_payload_round_trip_is_lossless(self):
+        tile = DataTile(
+            key=TileKey(2, 1, 0),
+            attributes={
+                "ndsi_avg": np.linspace(-1.0, 1.0, 16).reshape(4, 4),
+                "count": np.arange(16, dtype="int32").reshape(4, 4),
+            },
+        )
+        payload = TilePayload.from_tile(tile)
+        rebuilt = TilePayload.from_dict(
+            json.loads(json.dumps(payload.to_dict()))
+        )
+        assert rebuilt == payload
+        restored = rebuilt.to_tile()
+        assert restored.key == tile.key
+        for name, array in tile.attributes.items():
+            assert restored.attributes[name].dtype == array.dtype
+            np.testing.assert_array_equal(restored.attributes[name], array)
+
+    def test_float32_exact(self):
+        array = np.asarray([0.1, 2.0 / 3.0], dtype="float32")
+        block = AttributeBlock.from_array("v", array.reshape(1, 2))
+        rebuilt = AttributeBlock.from_dict(
+            json.loads(json.dumps(block.to_dict()))
+        ).to_array()
+        assert rebuilt.dtype == np.float32
+        np.testing.assert_array_equal(rebuilt, array.reshape(1, 2))
+
+
+class TestMessages:
+    def test_tile_request_round_trip(self):
+        request = TileRequest(
+            session_id="s1",
+            tile=TileRef(2, 1, 1),
+            move=Move.PAN_RIGHT.value,
+        )
+        assert roundtrip(request) == request
+        assert roundtrip(request).to_move() is Move.PAN_RIGHT
+
+    def test_start_request_has_no_move(self):
+        request = TileRequest(session_id="s1", tile=TileRef(0, 0, 0))
+        assert roundtrip(request) == request
+        assert roundtrip(request).to_move() is None
+
+    def test_unknown_move_rejected(self):
+        request = TileRequest(
+            session_id="s1", tile=TileRef(0, 0, 0), move="teleport"
+        )
+        with pytest.raises(InvalidRequestError):
+            request.to_move()
+
+    def test_tile_response_round_trip(self):
+        tile = DataTile(
+            key=TileKey(1, 0, 1),
+            attributes={"v": np.ones((2, 2))},
+        )
+        response = TileResponse(
+            session_id="s1",
+            tile=TileRef(1, 0, 1),
+            latency_seconds=0.0195,
+            hit=True,
+            phase="foraging",
+            prefetched=(TileRef(1, 1, 1), TileRef(0, 0, 0)),
+            payload=TilePayload.from_tile(tile),
+        )
+        assert roundtrip(response) == response
+
+    def test_session_info_round_trip(self):
+        info = SessionInfo(
+            session_id="s9",
+            open=True,
+            prefetch_mode="background",
+            requests=12,
+            hits=9,
+            hit_rate=0.75,
+            average_latency_seconds=0.05,
+        )
+        assert roundtrip(info) == info
+
+    def test_error_round_trip_and_reraise(self):
+        for exc_type in (
+            SessionNotFoundError,
+            DuplicateSessionError,
+            SessionClosedError,
+            InvalidRequestError,
+        ):
+            original = exc_type("boom", session_id="s3")
+            info = ErrorInfo.from_exception(original)
+            back = roundtrip(info)
+            assert back == info
+            raised = back.to_exception()
+            assert type(raised) is exc_type
+            assert raised.message == "boom"
+            assert raised.session_id == "s3"
+
+    def test_foreign_exception_maps_to_base_error(self):
+        info = ErrorInfo.from_exception(ZeroDivisionError("np"))
+        assert info.code == ProtocolError.code
+        assert isinstance(info.to_exception(), ProtocolError)
+
+
+class TestEnvelope:
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(InvalidRequestError):
+            protocol.decode("{not json")
+
+    def test_decode_rejects_unknown_type(self):
+        with pytest.raises(InvalidRequestError):
+            protocol.decode(json.dumps({"type": "warp_drive"}))
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(InvalidRequestError):
+            protocol.decode(json.dumps([1, 2, 3]))
+
+    def test_decode_rejects_missing_fields(self):
+        with pytest.raises(InvalidRequestError):
+            protocol.decode(json.dumps({"type": "tile_request"}))
+
+    def test_encode_rejects_non_messages(self):
+        with pytest.raises(TypeError):
+            protocol.encode({"session_id": "s1"})
+
+
+class TestLatencyRecorderExport:
+    def test_dict_round_trip(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.0195, True)
+        recorder.record(0.984, False)
+        recorder.record(0.0195, True)
+        rebuilt = LatencyRecorder.from_dict(recorder.to_dict())
+        assert rebuilt == recorder
+
+    def test_json_round_trip(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.1, False)
+        rebuilt = LatencyRecorder.from_json(recorder.to_json())
+        assert rebuilt.latencies == recorder.latencies
+        assert rebuilt.hits == recorder.hits
+
+    def test_summary_fields(self):
+        recorder = LatencyRecorder()
+        for latency in (0.1, 0.2, 0.3, 0.4):
+            recorder.record(latency, latency < 0.25)
+        data = recorder.to_dict(include_latencies=False)
+        assert "latencies" not in data
+        assert data["count"] == 4
+        assert data["hits"] == 2
+        assert data["hit_rate"] == pytest.approx(0.5)
+        assert data["average_seconds"] == pytest.approx(0.25)
+        assert data["p95_seconds"] == pytest.approx(0.4)
+        json.dumps(data)  # JSON-ready
+
+    def test_summary_only_cannot_round_trip(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.1, True)
+        with pytest.raises(ValueError):
+            LatencyRecorder.from_dict(
+                recorder.to_dict(include_latencies=False)
+            )

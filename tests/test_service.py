@@ -1,0 +1,342 @@
+"""The serving facade: session lifecycle, config validation, and
+front-end equivalence (legacy server / facade / wire transport)."""
+
+import threading
+
+import pytest
+
+from repro.cache.manager import CacheManager
+from repro.cache.tile_cache import TileCache
+from repro.core.allocation import SingleModelStrategy
+from repro.core.engine import PredictionEngine
+from repro.middleware.client import BrowsingSession
+from repro.middleware.config import CacheConfig, PrefetchPolicy, ServiceConfig
+from repro.middleware.protocol import (
+    DuplicateSessionError,
+    SessionClosedError,
+    SessionNotFoundError,
+)
+from repro.middleware.server import ForeCacheServer
+from repro.middleware.service import ForeCacheService
+from repro.middleware.transport import InProcessTransport
+from repro.recommenders.momentum import MomentumRecommender
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+
+
+def make_engine(grid) -> PredictionEngine:
+    model = MomentumRecommender()
+    return PredictionEngine(
+        grid, {model.name: model}, SingleModelStrategy(model.name)
+    )
+
+
+@pytest.fixture
+def service(small_dataset):
+    with ForeCacheService(
+        small_dataset.pyramid,
+        ServiceConfig(prefetch=PrefetchPolicy(k=5)),
+        engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+    ) as service:
+        yield service
+
+
+class TestConfig:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            PrefetchPolicy(k=0)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            PrefetchPolicy(mode="eager")
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            PrefetchPolicy(workers=0)
+
+    def test_legacy_servers_validate_workers_too(self, small_dataset):
+        engine = make_engine(small_dataset.pyramid.grid)
+        with pytest.raises(ValueError):
+            ForeCacheServer(
+                small_dataset.pyramid, engine, prefetch_workers=0
+            )
+
+    def test_rejects_undersized_shared_prefetch_region(self, small_dataset):
+        # Validated when the service materializes the cache (the config
+        # alone cannot know whether an injected manager will be used).
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=9, share_budget=True),
+            cache=CacheConfig(prefetch_capacity=4),
+        )
+        with pytest.raises(ValueError):
+            ForeCacheService(small_dataset.pyramid, config)
+
+    def test_share_budget_config_ok_with_roomy_injected_cache(
+        self, small_dataset
+    ):
+        """A small config.cache must not veto a large injected manager."""
+        manager = CacheManager(
+            small_dataset.pyramid, TileCache(prefetch_capacity=32)
+        )
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=16, share_budget=True)
+        )
+        with ForeCacheService(
+            small_dataset.pyramid, config, cache_manager=manager
+        ) as service:
+            assert service.cache_manager is manager
+
+    def test_rejects_undersized_injected_cache(self, small_dataset):
+        manager = CacheManager(
+            small_dataset.pyramid, TileCache(prefetch_capacity=2)
+        )
+        with pytest.raises(ValueError):
+            ForeCacheService(
+                small_dataset.pyramid,
+                ServiceConfig(
+                    prefetch=PrefetchPolicy(k=8, share_budget=True)
+                ),
+                cache_manager=manager,
+            )
+
+    def test_configs_are_frozen(self):
+        policy = PrefetchPolicy()
+        with pytest.raises(AttributeError):
+            policy.k = 3
+
+
+class TestSessionLifecycle:
+    def test_open_request_close(self, service):
+        session = service.open_session()
+        response = session.request(None, TileKey(0, 0, 0))
+        assert response.tile.key == TileKey(0, 0, 0)
+        assert session.recorder.count == 1
+        session.close()
+        assert session.closed
+        assert service.session_count == 0
+
+    def test_auto_session_ids_are_unique(self, service):
+        ids = {service.open_session().session_id for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_auto_id_skips_names_callers_claimed(self, service):
+        service.open_session(session_id="session-1")
+        auto = service.open_session()
+        assert auto.session_id != "session-1"
+
+    def test_duplicate_session_id_rejected(self, service):
+        service.open_session(session_id="alice")
+        with pytest.raises(DuplicateSessionError):
+            service.open_session(session_id="alice")
+        # The typed error still honors the legacy ValueError contract.
+        with pytest.raises(ValueError):
+            service.open_session(session_id="alice")
+
+    def test_request_after_close_rejected(self, service):
+        session = service.open_session()
+        session.request(None, TileKey(0, 0, 0))
+        session.close()
+        with pytest.raises(SessionClosedError):
+            session.request(Move.ZOOM_IN_NW, TileKey(1, 0, 0))
+
+    def test_close_is_idempotent(self, service):
+        session = service.open_session()
+        session.close()
+        session.close()
+
+    def test_unknown_session_rejected(self, service):
+        with pytest.raises(SessionNotFoundError):
+            service.request("ghost", None, TileKey(0, 0, 0))
+        with pytest.raises(SessionNotFoundError):
+            service.close_session("ghost")
+
+    def test_open_after_service_close_rejected(self, small_dataset):
+        service = ForeCacheService(small_dataset.pyramid)
+        service.close()
+        with pytest.raises(SessionClosedError):
+            service.open_session(make_engine(small_dataset.pyramid.grid))
+
+    def test_service_close_closes_sessions(self, small_dataset):
+        service = ForeCacheService(
+            small_dataset.pyramid,
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        )
+        session = service.open_session()
+        service.close()
+        with pytest.raises(SessionClosedError):
+            session.request(None, TileKey(0, 0, 0))
+
+    def test_session_handle_context_manager(self, service):
+        with service.open_session() as session:
+            session.request(None, TileKey(0, 0, 0))
+        assert session.closed
+
+    def test_open_session_requires_engine_or_factory(self, small_dataset):
+        with ForeCacheService(small_dataset.pyramid) as service:
+            with pytest.raises(ValueError):
+                service.open_session()
+
+    def test_concurrent_open_session_from_many_threads(self, service):
+        """Auto ids stay unique and named collisions lose cleanly."""
+        opened, errors = [], []
+        barrier = threading.Barrier(8)
+
+        def auto_open():
+            barrier.wait()
+            opened.append(service.open_session())
+
+        def named_open():
+            barrier.wait()
+            try:
+                opened.append(service.open_session(session_id="contested"))
+            except DuplicateSessionError:
+                errors.append(1)
+
+        threads = [threading.Thread(target=auto_open) for _ in range(4)] + [
+            threading.Thread(target=named_open) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [session.session_id for session in opened]
+        assert len(ids) == len(set(ids))
+        assert len(errors) == 3  # exactly one thread won the name
+        assert service.session_count == 5
+
+    def test_session_info_snapshot(self, service):
+        session = service.open_session(session_id="s1")
+        session.request(None, TileKey(2, 1, 1))
+        info = session.info()
+        assert info.session_id == "s1"
+        assert info.open
+        assert info.requests == 1
+        assert info.hits == 0
+        assert info.prefetch_mode == "sync"
+        session.close()
+
+    def test_shared_cache_across_sessions(self, service):
+        """A tile one session pulled in serves the other from cache."""
+        first = service.open_session(session_id=1)
+        second = service.open_session(session_id=2)
+        first.request(None, TileKey(2, 1, 1))
+        response = second.request(None, TileKey(2, 1, 1))
+        assert response.hit
+
+
+class TestEquivalence:
+    """The acceptance bar: identical tile/hit/latency sequences through
+    the legacy server, the facade, and the wire transport."""
+
+    @staticmethod
+    def replay_signature(responses):
+        return [
+            (r.tile.key, r.hit, r.latency_seconds, r.phase) for r in responses
+        ]
+
+    def test_legacy_facade_and_wire_replays_match(
+        self, small_dataset, small_study
+    ):
+        trace = max(small_study.traces, key=len)
+        grid = small_dataset.pyramid.grid
+
+        legacy = ForeCacheServer(
+            small_dataset.pyramid, make_engine(grid), prefetch_k=5
+        )
+        legacy_responses = BrowsingSession(legacy).replay(trace)
+
+        config = ServiceConfig(prefetch=PrefetchPolicy(k=5))
+        with ForeCacheService(small_dataset.pyramid, config) as service:
+            handle = service.open_session(make_engine(grid))
+            facade_responses = BrowsingSession(handle).replay(trace)
+
+        with ForeCacheService(small_dataset.pyramid, config) as service:
+            transport = InProcessTransport(service)
+            conn = transport.connect(make_engine(grid))
+            wire_responses = BrowsingSession(conn).replay(trace)
+
+        legacy_sig = self.replay_signature(legacy_responses)
+        assert self.replay_signature(facade_responses) == legacy_sig
+        assert self.replay_signature(wire_responses) == legacy_sig
+        # The wire round trip rebuilt every payload losslessly.
+        for wire, ref in zip(wire_responses, legacy_responses):
+            assert wire.tile == ref.tile
+
+    def test_facade_recorder_matches_legacy(self, small_dataset, small_study):
+        trace = small_study.traces[0]
+        grid = small_dataset.pyramid.grid
+        legacy = ForeCacheServer(
+            small_dataset.pyramid, make_engine(grid), prefetch_k=5
+        )
+        BrowsingSession(legacy).replay(trace)
+        with ForeCacheService(
+            small_dataset.pyramid, ServiceConfig(prefetch=PrefetchPolicy(k=5))
+        ) as service:
+            handle = service.open_session(make_engine(grid))
+            BrowsingSession(handle).replay(trace)
+            assert handle.recorder.latencies == legacy.recorder.latencies
+            assert handle.recorder.hits == legacy.recorder.hits
+
+
+class TestWireTransport:
+    def test_wire_errors_are_typed(self, service):
+        transport = InProcessTransport(service)
+        conn = transport.connect()
+        conn.close()
+        # A closed session is forgotten by id, so the wire reports it
+        # unknown — still a typed protocol error the client can handle.
+        with pytest.raises(SessionNotFoundError):
+            conn.handle_request(None, TileKey(0, 0, 0))
+
+    def test_unknown_wire_session(self, service):
+        transport = InProcessTransport(service)
+        conn = transport.connect()
+        conn.session_id = "ghost"
+        with pytest.raises(SessionNotFoundError):
+            conn.handle_request(None, TileKey(0, 0, 0))
+
+    def test_wire_close_is_idempotent(self, service):
+        transport = InProcessTransport(service)
+        conn = transport.connect()
+        conn.close()
+        conn.close()
+
+    def test_non_string_session_id_is_stringified_on_open(self, service):
+        """The facade and the wire must agree on the session key."""
+        transport = InProcessTransport(service)
+        conn = transport.connect(session_id=7)
+        assert conn.handle_request(None, TileKey(0, 0, 0)).tile.key == TileKey(
+            0, 0, 0
+        )
+        conn.close()
+        assert service.session_count == 0
+
+    def test_metadata_only_transport_refuses_materialization(self, service):
+        transport = InProcessTransport(service, include_payload=False)
+        conn = transport.connect()
+        with pytest.raises(Exception, match="payload"):
+            conn.handle_request(None, TileKey(0, 0, 0))
+
+
+class TestBackgroundService:
+    def test_background_sessions_prefetch_and_drain(self, small_dataset):
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=5, mode="background", workers=2)
+        )
+        with ForeCacheService(small_dataset.pyramid, config) as service:
+            session = service.open_session(
+                make_engine(small_dataset.pyramid.grid)
+            )
+            first = session.request(None, TileKey(2, 1, 1))
+            assert service.drain(timeout=10)
+            target = first.prefetched[0]
+            move = TileKey(2, 1, 1).move_to(target)
+            assert session.request(move, target).hit
+
+    def test_close_shuts_down_owned_scheduler(self, small_dataset):
+        config = ServiceConfig(prefetch=PrefetchPolicy(mode="background"))
+        service = ForeCacheService(small_dataset.pyramid, config)
+        assert service.owns_scheduler
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.scheduler.schedule([(TileKey(0, 0, 0), "m")])
