@@ -12,10 +12,19 @@ The same driver loop runs against both serving front ends — the legacy
 ``MultiUserServer`` adapter and the ``ForeCacheService`` facade's
 session handles — which must serve identical request counts (the
 adapter is a thin shim over the facade).
+
+The stress scenario scales to 8–16 sessions over a sharded cache and
+compares the scheduler's two admission disciplines: rank-aware fair
+priority (the default) versus plain FIFO (the pre-priority baseline).
+It asserts the completion-order guarantee — every session's rank-1
+predicted tile completes before any session's rank-≥5 job, and no
+low-rank job from a superseded generation ever completes — and that
+priority admission's tail latency is no worse than FIFO's.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
@@ -29,9 +38,11 @@ from repro.core.engine import PredictionEngine
 from repro.middleware.config import PrefetchPolicy, ServiceConfig
 from repro.middleware.latency import nearest_rank_percentile as percentile
 from repro.middleware.multiuser import MultiUserServer
+from repro.middleware.scheduler import CANCELLED, DONE, PrefetchScheduler
 from repro.middleware.service import ForeCacheService
 from repro.modis.dataset import MODISDataset
 from repro.recommenders.momentum import MomentumRecommender
+from repro.tiles.key import TileKey
 
 pytestmark = pytest.mark.bench
 
@@ -42,6 +53,11 @@ STEPS_PER_USER = 30
 BACKEND_DELAY = 0.004
 PREFETCH_K = 8
 FRONTENDS = ("legacy", "facade")
+#: Session count for the admission-discipline stress scenario, clamped
+#: to the 8–16 band (REPRO_USERS scales it inside that band).
+STRESS_USERS = max(8, min(16, int(os.environ.get("REPRO_USERS", "12"))))
+#: Shard count for the stress scenario's striped cache layers.
+STRESS_SHARDS = 8
 
 
 def make_engine(grid) -> PredictionEngine:
@@ -49,17 +65,27 @@ def make_engine(grid) -> PredictionEngine:
     return PredictionEngine(grid, {model.name: model}, SingleModelStrategy(model.name))
 
 
-def open_frontend(pyramid, manager, mode: str, frontend: str):
+def open_frontend(
+    pyramid,
+    manager,
+    mode: str,
+    frontend: str,
+    num_users: int = NUM_USERS,
+    admission: str = "priority",
+    workers: int | None = None,
+):
     """Returns (request_fn(user_id, move, key), closeable front end)."""
+    workers = num_users if workers is None else workers
     if frontend == "legacy":
         server = MultiUserServer(
             pyramid,
             prefetch_k=PREFETCH_K,
             cache_manager=manager,
             prefetch_mode=mode,
-            prefetch_workers=NUM_USERS,
+            prefetch_workers=workers,
+            prefetch_admission=admission,
         )
-        for user_id in range(1, NUM_USERS + 1):
+        for user_id in range(1, num_users + 1):
             server.register_user(user_id, make_engine(pyramid.grid))
         return server.handle_request, server
     # No cache= here: the injected manager IS the cache, and the
@@ -70,7 +96,8 @@ def open_frontend(pyramid, manager, mode: str, frontend: str):
             prefetch=PrefetchPolicy(
                 k=PREFETCH_K,
                 mode=mode,
-                workers=NUM_USERS,
+                workers=workers,
+                admission=admission,
                 share_budget=True,
             ),
         ),
@@ -80,7 +107,7 @@ def open_frontend(pyramid, manager, mode: str, frontend: str):
         user_id: service.open_session(
             make_engine(pyramid.grid), user_id, reset_engine=True
         )
-        for user_id in range(1, NUM_USERS + 1)
+        for user_id in range(1, num_users + 1)
     }
     return (
         lambda user_id, move, key: handles[user_id].request(move, key),
@@ -89,20 +116,31 @@ def open_frontend(pyramid, manager, mode: str, frontend: str):
 
 
 def run_mode(
-    dataset: MODISDataset, mode: str, frontend: str
+    dataset: MODISDataset,
+    mode: str,
+    frontend: str,
+    num_users: int = NUM_USERS,
+    admission: str = "priority",
+    shards: int = 1,
+    workers: int | None = None,
 ) -> tuple[list[float], float]:
-    """Drive NUM_USERS concurrent sessions; return (latencies, wall seconds)."""
+    """Drive ``num_users`` concurrent sessions; return (latencies, wall seconds)."""
     pyramid = dataset.pyramid
     manager = CacheManager(
         pyramid,
-        TileCache(recent_capacity=16, prefetch_capacity=PREFETCH_K),
+        TileCache(
+            recent_capacity=16, prefetch_capacity=PREFETCH_K, shards=shards
+        ),
         backend_delay_seconds=BACKEND_DELAY,
+        shards=shards,
     )
     latencies: list[float] = []
     lock = threading.Lock()
-    request, server = open_frontend(pyramid, manager, mode, frontend)
+    request, server = open_frontend(
+        pyramid, manager, mode, frontend, num_users, admission, workers
+    )
     with server:
-        user_ids = list(range(1, NUM_USERS + 1))
+        user_ids = list(range(1, num_users + 1))
 
         def drive(user_id: int) -> None:
             # Identical walks across modes: the seed depends only on the user.
@@ -163,3 +201,141 @@ def test_background_prefetch_beats_inline_p95(frontend):
     assert results["background"]["p95"] < results["sync"]["p95"]
     # Throughput follows (reported above); allow slack for CI timing noise.
     assert results["background"]["rps"] > 0.8 * results["sync"]["rps"]
+
+
+def test_stress_rank1_completes_before_stale_low_ranks():
+    """8–16 sessions worth of queued rounds against one worker: pop
+    order must honor rank across sessions, and superseded low-rank work
+    must be dropped, never executed.
+
+    The backend is gated so every round queues up before the worker
+    drains anything — the worst case for FIFO, the designed case for
+    rank-aware admission.
+    """
+    dataset = MODISDataset.build(size=256, tile_size=32, days=1, seed=3)
+    pyramid = dataset.pyramid
+    manager = CacheManager(
+        pyramid,
+        TileCache(
+            recent_capacity=64,
+            prefetch_capacity=PREFETCH_K,
+            shards=STRESS_SHARDS,
+        ),
+        shards=STRESS_SHARDS,
+    )
+    gate_key = pyramid.grid.root
+    started = threading.Event()
+    release = threading.Event()
+    original = manager._query_backend
+
+    def gated(key):
+        if key == gate_key:
+            started.set()
+            assert release.wait(30)
+        return original(key)
+
+    manager._query_backend = gated
+    scheduler = PrefetchScheduler(manager, max_workers=1)
+    try:
+        scheduler.schedule([(gate_key, "m")], session_id="gate")
+        assert started.wait(30)
+        first_rounds = {
+            s: scheduler.schedule(
+                [
+                    (TileKey(3, x, (s - 1) % 8), "m")
+                    for x in range(PREFETCH_K)
+                ],
+                session_id=s,
+            )
+            for s in range(1, STRESS_USERS + 1)
+        }
+        # Half the sessions move on: their queued rounds go stale.
+        superseded = list(range(1, STRESS_USERS // 2 + 1))
+        fresh_rounds = {
+            s: scheduler.schedule(
+                [
+                    (TileKey(2, x % 4, (s - 1) % 4), "m")
+                    for x in range(PREFETCH_K)
+                ],
+                session_id=s,
+            )
+            for s in superseded
+        }
+        release.set()
+        assert scheduler.wait_idle(60)
+
+        stale_jobs = [
+            job for s in superseded for job in first_rounds[s]
+        ]
+        live_jobs = [
+            job
+            for s, round_ in first_rounds.items()
+            if s not in superseded
+            for job in round_
+        ] + [job for round_ in fresh_rounds.values() for job in round_]
+
+        # Nothing is left pending; superseded rounds never executed.
+        assert all(job.finished for job in stale_jobs + live_jobs)
+        assert all(job.state == CANCELLED for job in stale_jobs)
+        # Every session's top-ranked (rank-1) tile completed...
+        rank1 = [job for job in live_jobs if job.rank == 0]
+        assert all(job.state == DONE for job in rank1)
+        # ...before any session's rank-≥5 job.
+        low_rank_done = [
+            job.finish_order
+            for job in live_jobs
+            if job.rank >= 4 and job.state == DONE
+        ]
+        assert low_rank_done, "expected some low-rank jobs to execute"
+        assert max(j.finish_order for j in rank1) < min(low_rank_done)
+        # And no stale low-rank job ever completed.
+        assert not any(
+            job.state == DONE for job in stale_jobs if job.rank >= 4
+        )
+    finally:
+        release.set()
+        scheduler.shutdown()
+
+
+def test_stress_priority_admission_tail_no_worse_than_fifo():
+    """The full 8–16-session random-walk stress over the sharded cache:
+    rank-aware fair admission must serve a tail (p95) no worse than the
+    FIFO baseline, with identical request counts.
+    """
+    dataset = MODISDataset.build(size=256, tile_size=32, days=1, seed=3)
+    results = {}
+    for admission in ("fifo", "priority"):
+        latencies, elapsed = run_mode(
+            dataset,
+            "background",
+            "facade",
+            num_users=STRESS_USERS,
+            admission=admission,
+            shards=STRESS_SHARDS,
+            # Scarce workers: the queue backs up, so the admission
+            # discipline decides which tiles land in cache in time.
+            workers=2,
+        )
+        results[admission] = {
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "requests": len(latencies),
+            "rps": len(latencies) / elapsed,
+        }
+
+    print()
+    for admission, row in results.items():
+        print(
+            f"{STRESS_USERS} users/{admission:<9}: "
+            f"p50 {row['p50'] * 1e3:7.2f} ms   "
+            f"p95 {row['p95'] * 1e3:7.2f} ms   "
+            f"{row['rps']:7.1f} req/s   ({row['requests']} requests)"
+        )
+
+    assert results["priority"]["requests"] == results["fifo"]["requests"]
+    assert (
+        results["priority"]["requests"] == STRESS_USERS * (STEPS_PER_USER + 1)
+    )
+    # Rank-aware admission must not regress the tail (generous slack
+    # for CI timing noise; typically it wins outright).
+    assert results["priority"]["p95"] <= results["fifo"]["p95"] * 1.25

@@ -4,6 +4,7 @@ Run with::
 
     python examples/modis_exploration.py [--size 1024] [--users 8]
         [--frontend server|service|async] [--models momentum,hybrid]
+        [--prefetch-mode sync|background]
 
 Reproduces the paper's evaluation loop end to end: build the NDSI
 dataset, run a simulated user study over the three search tasks, train
@@ -14,8 +15,12 @@ and 13.
 ``--frontend`` chooses who serves the latency replay: the legacy
 ``ForeCacheServer`` (default), the ``ForeCacheService`` facade, or its
 asyncio front end — all three must (and do) produce identical
-virtual-time numbers.  ``REPRO_SIZE`` / ``REPRO_USERS`` environment
-variables downscale the world (CI smoke runs use them).
+virtual-time numbers.  ``--prefetch-mode background`` routes every
+prefetch round through the rank-aware priority scheduler's worker pool
+instead of the inline sync path (a smoke path for the concurrent
+serving stack; latency numbers then depend on physical timing).
+``REPRO_SIZE`` / ``REPRO_USERS`` environment variables downscale the
+world (CI smoke runs use them).
 """
 
 import argparse
@@ -50,6 +55,12 @@ def main() -> None:
         "--models",
         default="momentum,hotspot,markov3,hybrid",
         help="comma-separated subset of models to evaluate",
+    )
+    parser.add_argument(
+        "--prefetch-mode",
+        choices=("sync", "background"),
+        default="sync",
+        help="who executes prefetch rounds during the latency replay",
     )
     args = parser.parse_args()
 
@@ -95,12 +106,16 @@ def main() -> None:
 
     print(
         f"\nreplaying latency at k=5 (virtual clock, "
-        f"{args.frontend} front end)..."
+        f"{args.frontend} front end, {args.prefetch_mode} prefetch)..."
     )
     latency_table = Table(["model", "avg_latency_ms"], title="")
     for name, factory in factories.items():
         recorder = replay_model_latency(
-            context, factory, k=5, frontend=args.frontend
+            context,
+            factory,
+            k=5,
+            frontend=args.frontend,
+            prefetch_mode=args.prefetch_mode,
         )
         latency_table.add_row(name, recorder.average_seconds * 1000.0)
     latency_table.add_row("(no prefetching)", 984.0)

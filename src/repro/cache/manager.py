@@ -12,7 +12,11 @@ The manager is thread-safe and **coalesces** backend traffic: every
 backend load goes through an in-flight futures table, so concurrent
 misses on the same :class:`~repro.tiles.key.TileKey` — two user sessions
 landing on the same tile, or a request racing a prefetch job — trigger
-exactly one DBMS query whose result all callers share.
+exactly one DBMS query whose result all callers share.  The table (and
+its lock) is **hash-striped** into ``shards`` independent segments, so
+concurrent sessions working on different tiles never contend on one
+mutex; coalescing still holds per key, because one key always maps to
+one stripe.  Stats counters live under their own small lock.
 """
 
 from __future__ import annotations
@@ -49,27 +53,38 @@ class CacheManager:
         pyramid: TilePyramid,
         cache: TileCache | None = None,
         backend_delay_seconds: float = 0.0,
+        shards: int = 1,
     ) -> None:
         if backend_delay_seconds < 0:
             raise ValueError(
                 f"backend delay must be >= 0, got {backend_delay_seconds}"
             )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.pyramid = pyramid
         self.cache = cache if cache is not None else TileCache()
         #: Real wall-clock seconds each backend query sleeps, emulating a
         #: slow DBMS in real time (the virtual clock charges cost either
         #: way; this knob makes throughput benchmarks physical).
         self.backend_delay_seconds = backend_delay_seconds
-        self._lock = threading.Lock()
+        self.shards = shards
+        self._locks = [threading.Lock() for _ in range(shards)]
+        self._inflight: list[dict[TileKey, Future]] = [
+            {} for _ in range(shards)
+        ]
+        self._stats_lock = threading.Lock()
         # Serializes whole synchronous prefetch cycles: without it, two
         # threads' begin_prefetch_cycle/store_prefetched interleave and
         # trample the shared region mid-refill.
         self._cycle_lock = threading.Lock()
-        self._inflight: dict[TileKey, Future] = {}
         self.requests = 0
         self.hits = 0
         self.coalesced = 0
         self.prefetch_queries = 0
+
+    def _stripe(self, key: TileKey) -> tuple[threading.Lock, dict[TileKey, Future]]:
+        index = hash(key) % self.shards
+        return self._locks[index], self._inflight[index]
 
     # ------------------------------------------------------------------
     # request path
@@ -79,13 +94,17 @@ class CacheManager:
 
         Safe to call from many threads: a miss that finds another
         caller's query already in flight for the same key waits on that
-        query instead of issuing its own.
+        query instead of issuing its own.  Either way the tile is
+        recorded into the recent LRU exactly once per call — a hit from
+        the prefetch region *promotes* the tile (its prefetch slot is
+        freed), a miss records via the owner's publish callback, and a
+        coalesced waiter records its own request after the shared load.
         """
-        with self._lock:
+        with self._stats_lock:
             self.requests += 1
         cached = self.cache.lookup(key)
         if cached is not None:
-            with self._lock:
+            with self._stats_lock:
                 self.hits += 1
             self.cache.record_request(cached)
             return FetchOutcome(tile=cached, hit=True, backend_seconds=0.0)
@@ -93,9 +112,13 @@ class CacheManager:
             key, publish=self.cache.record_request
         )
         if not owner:
-            with self._lock:
+            with self._stats_lock:
                 self.coalesced += 1
-        self.cache.record_request(tile)
+            # The owner already recorded the tile via its publish
+            # callback; only non-owners (riders, and callers that found
+            # the tile resident inside _load) record here, so every
+            # path touches the recent LRU exactly once.
+            self.cache.record_request(tile)
         return FetchOutcome(
             tile=tile,
             hit=False,
@@ -125,7 +148,8 @@ class CacheManager:
             resident = self.cache.lookup(key)
             if resident is not None:
                 if not self.cache.store_prefetched(resident, model):
-                    break
+                    if self.cache.prefetch_region_full():
+                        break
                 continue
             # Publish inside _load so a racing fetch() never finds a gap
             # between the in-flight entry and residency; the second store
@@ -139,8 +163,14 @@ class CacheManager:
             if owner:
                 queries += 1
             if not self.cache.store_prefetched(tile, model):
-                break
-        with self._lock:
+                # A rejected store means the key's shard is full.  With
+                # one shard that is the whole region — stop, as the
+                # paper's cycle does.  With several, other shards may
+                # still have slots for later predictions: skip this
+                # tile only.
+                if self.cache.prefetch_region_full():
+                    break
+        with self._stats_lock:
             self.prefetch_queries += queries
         return queries
 
@@ -149,7 +179,7 @@ class CacheManager:
 
         Coalesces with any in-flight load of the same key; a tile
         already resident is returned without a query.  Unlike the
-        synchronous cycle, a full prefetch region evicts its oldest
+        synchronous cycle, a full prefetch shard evicts its oldest
         entry rather than dropping the new tile.
         """
         resident = self.cache.lookup(key)
@@ -159,9 +189,14 @@ class CacheManager:
             key, publish=lambda fetched: self.cache.admit_prefetched(fetched, model)
         )
         if owner:
-            with self._lock:
+            with self._stats_lock:
                 self.prefetch_queries += 1
-        else:
+        elif self.cache.lookup(key) is None:
+            # A rider only admits when the owner's publish left the tile
+            # non-resident (e.g. a racing eviction).  If the owner was a
+            # fetch(), the tile already sits in the recent LRU — admitting
+            # it here too would recreate the double-residency that
+            # promote-on-hit eliminates.
             self.cache.admit_prefetched(tile, model)
         return tile
 
@@ -178,14 +213,15 @@ class CacheManager:
         late arrival always sees either the in-flight future or the
         cached tile — never a gap that would trigger a duplicate query.
         """
-        with self._lock:
+        lock, inflight = self._stripe(key)
+        with lock:
             resident = self.cache.lookup(key)
             if resident is not None:
                 return resident, 0.0, False
-            future = self._inflight.get(key)
+            future = inflight.get(key)
             if future is None:
                 future = Future()
-                self._inflight[key] = future
+                inflight[key] = future
                 owner = True
             else:
                 owner = False
@@ -198,12 +234,12 @@ class CacheManager:
                 publish(tile)
         except BaseException as exc:
             future.set_exception(exc)
-            with self._lock:
-                self._inflight.pop(key, None)
+            with lock:
+                inflight.pop(key, None)
             raise
         future.set_result((tile, backend_seconds))
-        with self._lock:
-            self._inflight.pop(key, None)
+        with lock:
+            inflight.pop(key, None)
         return tile, backend_seconds, True
 
     def _query_backend(self, key: TileKey) -> tuple[DataTile, float]:
@@ -218,12 +254,12 @@ class CacheManager:
     @property
     def hit_rate(self) -> float:
         """Fraction of user requests served from the middleware cache."""
-        with self._lock:
+        with self._stats_lock:
             return self.hits / self.requests if self.requests else 0.0
 
     def reset_stats(self) -> None:
         """Zero the counters (cache contents are untouched)."""
-        with self._lock:
+        with self._stats_lock:
             self.requests = 0
             self.hits = 0
             self.coalesced = 0

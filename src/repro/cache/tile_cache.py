@@ -8,14 +8,28 @@ Two regions (Section 3, "Tile Cache Manager"):
   prediction engine's tiles, tracked per recommendation model so the
   allocation strategy's quotas are observable.
 
-The cache is thread-safe: all region mutations happen under one
-re-entrant lock, so the synchronous request path and the background
-prefetch workers can share an instance.  Synchronous prefetching uses
-the cycle API (:meth:`begin_prefetch_cycle` + :meth:`store_prefetched`);
-background prefetching uses :meth:`admit_prefetched`, which evicts the
-oldest prefetched tile instead of rejecting new work, because background
-jobs from several sessions interleave rather than arriving in clean
-per-request cycles.
+When the user actually requests a prefetched tile, it is *promoted* —
+moved into the recent LRU and its prefetch slot freed — so serving a
+hit no longer leaves the tile double-resident (a dead slot that crowds
+out the next round's predictions and double-counts in ``nbytes()``).
+Two deliberate exceptions remain: the synchronous cycle *claims a
+slot* for a tile already in the recent LRU (the allocation strategy's
+per-model quotas must stay observable, as in the paper), and
+``nbytes()`` is a best-effort snapshot under concurrency — a promotion
+racing it can be counted in both regions for that one reading.
+
+The cache is thread-safe, and the prefetch region is **hash-striped**
+into ``shards`` independently locked segments (each owning an equal
+slice of ``prefetch_capacity``), so concurrent sessions' lookups and
+admissions stop serializing on one mutex; the recent LRU carries its
+own internal lock.  ``shards=1`` (the default) preserves the exact
+single-region semantics the synchronous figure benchmarks replay.
+Synchronous prefetching uses the cycle API
+(:meth:`begin_prefetch_cycle` + :meth:`store_prefetched`); background
+prefetching uses :meth:`admit_prefetched`, which evicts the oldest
+prefetched tile in the key's shard instead of rejecting new work,
+because background jobs from several sessions interleave rather than
+arriving in clean per-request cycles.
 """
 
 from __future__ import annotations
@@ -28,41 +42,76 @@ from repro.tiles.tile import DataTile
 
 
 class TileCache:
-    """Recent-LRU plus per-model prefetch slots."""
+    """Recent-LRU plus hash-striped per-model prefetch slots."""
 
-    def __init__(self, recent_capacity: int = 10, prefetch_capacity: int = 9) -> None:
+    def __init__(
+        self,
+        recent_capacity: int = 10,
+        prefetch_capacity: int = 9,
+        shards: int = 1,
+    ) -> None:
         if prefetch_capacity < 1:
             raise ValueError(
                 f"prefetch capacity must be >= 1, got {prefetch_capacity}"
             )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.prefetch_capacity = prefetch_capacity
-        self._lock = threading.RLock()
+        # Every shard needs at least one slot to be useful.
+        self.shards = min(shards, prefetch_capacity)
         self._recent: LRUCache[TileKey, DataTile] = LRUCache(recent_capacity)
-        self._prefetched: dict[TileKey, DataTile] = {}
-        self._attribution: dict[TileKey, str] = {}
+        self._locks = [threading.RLock() for _ in range(self.shards)]
+        self._prefetched: list[dict[TileKey, DataTile]] = [
+            {} for _ in range(self.shards)
+        ]
+        self._attribution: list[dict[TileKey, str]] = [
+            {} for _ in range(self.shards)
+        ]
+        # Capacity split as evenly as possible; early shards absorb the
+        # remainder, so the slices always sum to prefetch_capacity.
+        base, extra = divmod(prefetch_capacity, self.shards)
+        self._capacities = [
+            base + (1 if i < extra else 0) for i in range(self.shards)
+        ]
+
+    def _shard(self, key: TileKey) -> int:
+        return hash(key) % self.shards
 
     # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------
     def lookup(self, key: TileKey) -> DataTile | None:
         """Find a tile in either region (None on full miss)."""
-        with self._lock:
-            tile = self._prefetched.get(key)
-            if tile is not None:
-                return tile
-            return self._recent.peek(key)
+        index = self._shard(key)
+        with self._locks[index]:
+            tile = self._prefetched[index].get(key)
+        if tile is not None:
+            return tile
+        return self._recent.peek(key)
 
     def __contains__(self, key: TileKey) -> bool:
-        with self._lock:
-            return key in self._prefetched or key in self._recent
+        index = self._shard(key)
+        with self._locks[index]:
+            if key in self._prefetched[index]:
+                return True
+        return key in self._recent
 
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
     def record_request(self, tile: DataTile) -> None:
-        """A tile the user actually requested enters the recent region."""
-        with self._lock:
-            self._recent.put(tile.key, tile)
+        """A tile the user actually requested enters the recent region.
+
+        If the tile sat in the prefetch region, it is promoted: the
+        recent LRU takes ownership and the prefetch slot is freed for
+        the next round's predictions (recent-first, so a concurrent
+        lookup sees the tile resident throughout, never a gap).
+        """
+        self._recent.put(tile.key, tile)
+        index = self._shard(tile.key)
+        with self._locks[index]:
+            self._prefetched[index].pop(tile.key, None)
+            self._attribution[index].pop(tile.key, None)
 
     def begin_prefetch_cycle(self) -> None:
         """Clear the prefetch region for the next round of predictions.
@@ -70,55 +119,72 @@ class TileCache:
         The paper re-evaluates allocations after every request; tiles
         prefetched for the previous request are superseded (any still
         relevant will be re-predicted)."""
-        with self._lock:
-            self._prefetched.clear()
-            self._attribution.clear()
+        for index in range(self.shards):
+            with self._locks[index]:
+                self._prefetched[index].clear()
+                self._attribution[index].clear()
 
     def store_prefetched(self, tile: DataTile, model: str) -> bool:
         """Add a predicted tile on behalf of ``model``.
 
         Idempotent for tiles already in the region (their slot is
-        re-claimed); returns False (and stores nothing) once the region
-        is full.
+        re-claimed); returns False (and stores nothing) once the key's
+        shard is full.
         """
-        with self._lock:
-            if tile.key not in self._prefetched and (
-                len(self._prefetched) >= self.prefetch_capacity
+        index = self._shard(tile.key)
+        with self._locks[index]:
+            region = self._prefetched[index]
+            if tile.key not in region and (
+                len(region) >= self._capacities[index]
             ):
                 return False
-            self._prefetched[tile.key] = tile
-            self._attribution[tile.key] = model
+            region[tile.key] = tile
+            self._attribution[index][tile.key] = model
             return True
 
     def admit_prefetched(self, tile: DataTile, model: str) -> TileKey | None:
-        """Add a predicted tile, evicting the oldest if the region is full.
+        """Add a predicted tile, evicting the shard's oldest if full.
 
         The background scheduler's admission path: unlike the cycle API,
-        a full region makes room rather than rejecting the tile, since
+        a full shard makes room rather than rejecting the tile, since
         concurrent sessions' jobs arrive continuously.  Returns the
         evicted key, if any.
         """
-        with self._lock:
+        index = self._shard(tile.key)
+        with self._locks[index]:
+            region = self._prefetched[index]
             evicted: TileKey | None = None
-            if tile.key in self._prefetched:
+            if tile.key in region:
                 # Refresh FIFO position: a re-predicted tile is fresh again.
-                del self._prefetched[tile.key]
-            elif len(self._prefetched) >= self.prefetch_capacity:
-                evicted = next(iter(self._prefetched))
-                del self._prefetched[evicted]
-                self._attribution.pop(evicted, None)
-            self._prefetched[tile.key] = tile
-            self._attribution[tile.key] = model
+                del region[tile.key]
+            elif len(region) >= self._capacities[index]:
+                evicted = next(iter(region))
+                del region[evicted]
+                self._attribution[index].pop(evicted, None)
+            region[tile.key] = tile
+            self._attribution[index][tile.key] = model
             return evicted
+
+    def prefetch_region_full(self) -> bool:
+        """True when every prefetch slot, across all shards, is taken."""
+        total = 0
+        for index in range(self.shards):
+            with self._locks[index]:
+                total += len(self._prefetched[index])
+        return total >= self.prefetch_capacity
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
     def prefetched_keys(self) -> list[TileKey]:
-        """Keys currently in the prefetch region (insertion order)."""
-        with self._lock:
-            return list(self._prefetched)
+        """Keys currently in the prefetch region (insertion order,
+        concatenated shard by shard)."""
+        keys: list[TileKey] = []
+        for index in range(self.shards):
+            with self._locks[index]:
+                keys.extend(self._prefetched[index])
+        return keys
 
     @property
     def recent_keys(self) -> list[TileKey]:
@@ -127,31 +193,38 @@ class TileCache:
 
     def attribution(self, key: TileKey) -> str | None:
         """Which model's allocation paid for a prefetched tile."""
-        with self._lock:
-            return self._attribution.get(key)
+        index = self._shard(key)
+        with self._locks[index]:
+            return self._attribution[index].get(key)
 
     def model_usage(self) -> dict[str, int]:
         """Prefetched-tile counts per model."""
-        with self._lock:
-            usage: dict[str, int] = {}
-            for model in self._attribution.values():
-                usage[model] = usage.get(model, 0) + 1
-            return usage
+        usage: dict[str, int] = {}
+        for index in range(self.shards):
+            with self._locks[index]:
+                for model in self._attribution[index].values():
+                    usage[model] = usage.get(model, 0) + 1
+        return usage
 
     def nbytes(self) -> int:
         """Total payload bytes held across both regions."""
-        with self._lock:
-            total = sum(tile.nbytes for tile in self._prefetched.values())
-            total += sum(
-                tile.nbytes
-                for key in self._recent.keys()
-                if (tile := self._recent.peek(key)) is not None
-            )
-            return total
+        total = 0
+        for index in range(self.shards):
+            with self._locks[index]:
+                total += sum(
+                    tile.nbytes for tile in self._prefetched[index].values()
+                )
+        total += sum(
+            tile.nbytes
+            for key in self._recent.keys()
+            if (tile := self._recent.peek(key)) is not None
+        )
+        return total
 
     def clear(self) -> None:
         """Drop everything."""
-        with self._lock:
-            self._recent.clear()
-            self._prefetched.clear()
-            self._attribution.clear()
+        self._recent.clear()
+        for index in range(self.shards):
+            with self._locks[index]:
+                self._prefetched[index].clear()
+                self._attribution[index].clear()

@@ -51,9 +51,14 @@ def replay_latency(
     recorder = LatencyRecorder()
     for trace in traces:
         server = server_factory()
-        session = BrowsingSession(server)
-        session.replay(trace)
-        recorder.merge(server.recorder)
+        try:
+            session = BrowsingSession(server)
+            session.replay(trace)
+            recorder.merge(server.recorder)
+        finally:
+            # Sync servers make this a no-op; a background server owns
+            # a worker pool that must not outlive its trace.
+            server.close()
     return recorder
 
 

@@ -362,7 +362,11 @@ REPLAY_FRONTENDS = ("server", "service", "async")
 
 
 def replay_model_latency(
-    context: ExperimentContext, factory, k: int, frontend: str = "server"
+    context: ExperimentContext,
+    factory,
+    k: int,
+    frontend: str = "server",
+    prefetch_mode: str = "sync",
 ):
     """LOO latency replay for one model and fetch size.
 
@@ -375,6 +379,13 @@ def replay_model_latency(
     ``frontend`` selects who serves the replay: the legacy
     ``ForeCacheServer`` ("server"), the ``ForeCacheService`` facade
     ("service"), or the asyncio front end ("async").
+
+    ``prefetch_mode="sync"`` (the default, what every figure benchmark
+    uses) keeps the deterministic virtual-time numbers.
+    ``"background"`` routes every prefetch round through the priority
+    scheduler's worker pool instead — numbers then depend on physical
+    timing (a smoke path, exercised by CI, not a figure
+    reproduction).
     """
     from repro.middleware.latency import LatencyRecorder
 
@@ -383,7 +394,7 @@ def replay_model_latency(
             f"frontend must be one of {REPLAY_FRONTENDS}, got {frontend!r}"
         )
     if frontend == "async":
-        return _replay_async_frontend(context, factory, k)
+        return _replay_async_frontend(context, factory, k, prefetch_mode)
     recorder = LatencyRecorder()
     for _, train, test in leave_one_user_out(context.study):
         engine = factory(train)
@@ -391,16 +402,20 @@ def replay_model_latency(
 
             def server_factory(engine=engine):
                 engine.reset()
-                return _figure12_server(context, engine, k)
+                return _figure12_server(context, engine, k, prefetch_mode)
 
             recorder.merge(replay_latency(server_factory, test))
         else:
             for trace in test:
-                recorder.merge(_replay_service_trace(context, engine, trace, k))
+                recorder.merge(
+                    _replay_service_trace(
+                        context, engine, trace, k, prefetch_mode
+                    )
+                )
     return recorder
 
 
-def _figure12_config(k: int):
+def _figure12_config(k: int, prefetch_mode: str = "sync"):
     """Section 5.2.2 cache shape: the k-tile prefetch region only."""
     from repro.middleware.config import (
         CacheConfig,
@@ -409,12 +424,14 @@ def _figure12_config(k: int):
     )
 
     return ServiceConfig(
-        prefetch=PrefetchPolicy(k=k),
+        prefetch=PrefetchPolicy(k=k, mode=prefetch_mode),
         cache=CacheConfig(recent_capacity=1, prefetch_capacity=k),
     )
 
 
-def _figure12_server(context, engine, k: int) -> ForeCacheServer:
+def _figure12_server(
+    context, engine, k: int, prefetch_mode: str = "sync"
+) -> ForeCacheServer:
     """A cold legacy server in the Section 5.2.2 cache shape."""
     from repro.cache.manager import CacheManager
     from repro.cache.tile_cache import TileCache
@@ -425,22 +442,25 @@ def _figure12_server(context, engine, k: int) -> ForeCacheServer:
         engine,
         cache_manager=CacheManager(context.pyramid, cache),
         prefetch_k=k,
+        prefetch_mode=prefetch_mode,
     )
 
 
-def _replay_service_trace(context, engine, trace, k: int):
+def _replay_service_trace(context, engine, trace, k: int, prefetch_mode: str):
     """One trace through a cold facade session (sync front end)."""
     from repro.middleware.client import BrowsingSession
     from repro.middleware.service import ForeCacheService
 
     engine.reset()
-    with ForeCacheService(context.pyramid, _figure12_config(k)) as service:
+    with ForeCacheService(
+        context.pyramid, _figure12_config(k, prefetch_mode)
+    ) as service:
         handle = service.open_session(engine)
         BrowsingSession(handle).replay(trace)
         return handle.recorder
 
 
-def _replay_async_frontend(context, factory, k: int):
+def _replay_async_frontend(context, factory, k: int, prefetch_mode: str = "sync"):
     """The whole LOO replay on one event loop.
 
     Only the *service* (cache + session) must be cold per trace, so the
@@ -460,7 +480,9 @@ def _replay_async_frontend(context, factory, k: int):
             for trace in test:
                 engine.reset()
                 async with AsyncForeCacheService.build(
-                    context.pyramid, _figure12_config(k), max_workers=1
+                    context.pyramid,
+                    _figure12_config(k, prefetch_mode),
+                    max_workers=1,
                 ) as service:
                     session = await service.open_session(engine)
                     await AsyncBrowsingSession(session).replay(trace)

@@ -42,7 +42,11 @@ from repro.middleware.protocol import (
     SessionInfo,
     SessionNotFoundError,
 )
-from repro.middleware.scheduler import PrefetchJob, PrefetchScheduler
+from repro.middleware.scheduler import (
+    ADMISSION_MODES,
+    PrefetchJob,
+    PrefetchScheduler,
+)
 from repro.middleware.server import ForeCacheServer
 from repro.middleware.service import (
     ForeCacheService,
@@ -52,6 +56,7 @@ from repro.middleware.service import (
 from repro.middleware.transport import InProcessTransport, WireSessionClient
 
 __all__ = [
+    "ADMISSION_MODES",
     "AsyncBrowsingSession",
     "AsyncForeCacheService",
     "AsyncSessionHandle",

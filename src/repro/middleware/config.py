@@ -4,10 +4,11 @@ The facade (:class:`~repro.middleware.service.ForeCacheService`) is
 constructed from three small value objects instead of the ~10 positional
 kwargs the original servers grew:
 
-- :class:`CacheConfig` — shape of the two-region middleware cache and
-  the emulated backend delay,
+- :class:`CacheConfig` — shape of the two-region middleware cache, its
+  lock striping (``shards``), and the emulated backend delay,
 - :class:`PrefetchPolicy` — how the prediction engine's list ``P`` is
-  executed (budget, sync vs. background, worker pool, fair sharing),
+  executed (budget, sync vs. background, worker pool, queue admission
+  discipline, fair sharing),
 - :class:`ServiceConfig` — the two above plus the latency model's
   transfer overhead.
 
@@ -23,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.cache.manager import CacheManager
 from repro.cache.tile_cache import TileCache
 from repro.middleware.latency import HIT_SECONDS, LatencyModel
+from repro.middleware.scheduler import ADMISSION_MODES
 from repro.tiles.pyramid import TilePyramid
 
 #: Who executes the prefetch list: the request call itself ("sync", the
@@ -41,6 +43,11 @@ class CacheConfig:
     prefetch_capacity: int = 9
     #: Real seconds each backend query sleeps (throughput benchmarks).
     backend_delay_seconds: float = 0.0
+    #: Hash-striped lock segments for the prefetch region and the
+    #: manager's in-flight coalescing table.  1 (the default) keeps the
+    #: single-lock semantics the sync figure benchmarks replay; raise it
+    #: so many concurrent sessions stop serializing on one mutex.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.recent_capacity < 1:
@@ -56,6 +63,8 @@ class CacheConfig:
                 "backend_delay_seconds must be >= 0, got"
                 f" {self.backend_delay_seconds}"
             )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
 
     def build_cache_manager(self, pyramid: TilePyramid) -> CacheManager:
         """Materialize a cache manager of this shape over ``pyramid``."""
@@ -64,8 +73,10 @@ class CacheConfig:
             TileCache(
                 recent_capacity=self.recent_capacity,
                 prefetch_capacity=self.prefetch_capacity,
+                shards=self.shards,
             ),
             backend_delay_seconds=self.backend_delay_seconds,
+            shards=self.shards,
         )
 
 
@@ -81,6 +92,10 @@ class PrefetchPolicy:
     mode: str = "sync"
     #: Worker threads when ``mode == "background"``.
     workers: int = 2
+    #: Queue discipline for the background scheduler: "priority" (rank-
+    #: aware deficit-round-robin fair admission, the default) or "fifo"
+    #: (plain arrival order, the pre-priority baseline).
+    admission: str = "priority"
     #: Split ``k`` fairly across open sessions (the multi-user scheme of
     #: Section 6.2) instead of granting each session the full budget.
     share_budget: bool = False
@@ -96,6 +111,11 @@ class PrefetchPolicy:
         if self.workers < 1:
             raise ValueError(
                 f"prefetch_workers must be >= 1, got {self.workers}"
+            )
+        if self.admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"prefetch_admission must be one of {ADMISSION_MODES}, got"
+                f" {self.admission!r}"
             )
 
     @property

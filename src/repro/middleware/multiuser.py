@@ -73,16 +73,21 @@ class MultiUserServer:
         cache_manager: CacheManager | None = None,
         prefetch_mode: str = "sync",
         prefetch_workers: int = 2,
+        prefetch_admission: str = "priority",
+        cache_shards: int = 1,
     ) -> None:
         config = ServiceConfig(
             prefetch=PrefetchPolicy(
                 k=prefetch_k,
                 mode=prefetch_mode,
                 workers=prefetch_workers,
+                admission=prefetch_admission,
                 share_budget=True,
             ),
             cache=CacheConfig(
-                recent_capacity=recent_capacity, prefetch_capacity=prefetch_k
+                recent_capacity=recent_capacity,
+                prefetch_capacity=prefetch_k,
+                shards=cache_shards,
             ),
         )
         self._service = ForeCacheService(

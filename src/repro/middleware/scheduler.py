@@ -1,34 +1,50 @@
-"""Background prefetch scheduling.
+"""Background prefetch scheduling with rank-aware fair admission.
 
 The paper's central claim is that prefetching overlaps with the user's
 *think time*: the middleware fetches the prediction engine's ordered
 list ``P`` while the user studies the tile they just received, so
 prefetch work never counts toward response latency.  The synchronous
 server realizes that overlap only in virtual time; this module makes it
-physical.  A :class:`PrefetchScheduler` owns a small worker pool and
-runs prefetch jobs off the request path:
+physical.  A :class:`PrefetchScheduler` owns a small worker pool that
+drains an explicit priority queue:
 
 - ``schedule()`` turns a prediction round into one :class:`PrefetchJob`
-  per tile and hands the jobs to the pool in priority order;
+  per tile and pushes the jobs onto a shared heap;
+- under ``admission="priority"`` the heap is ordered by
+  ``(rank, session deficit, generation)`` — every session's top-ranked
+  prediction is fetched before anyone's low-rank tail, equally-ranked
+  jobs favor the session the pool has served least (deficit
+  round-robin), and among those the freshest round wins;
+  ``admission="fifo"`` preserves plain arrival order (the pre-priority
+  behavior, kept as a benchmark baseline);
 - each call supersedes the session's previous round — that session's
-  generation counter is bumped, and workers drop any queued job from an
-  older generation before touching the DBMS (*stale cancellation*);
+  generation counter is bumped, and a worker popping a job from an
+  older generation drops it *at pop time*, so stale work never occupies
+  a worker slot or touches the DBMS (*stale cancellation*);
 - the actual tile loads go through
   :meth:`~repro.cache.manager.CacheManager.prefetch_one`, so jobs
   coalesce with concurrent user requests for the same tile and with
   other sessions' jobs.
 
-Several sessions (a :class:`~repro.middleware.multiuser.MultiUserServer`)
+Several sessions (a :class:`~repro.middleware.service.ForeCacheService`)
 share one scheduler, one worker pool, and one cache: each session
 cancels only its own stale work, while the coalescing table dedupes
 across sessions.
+
+Fairness is *deficit round-robin at round granularity*: the scheduler
+counts jobs executed per session, and a job's fairness key is its
+session's count at admission time, floored to the least-served active
+session so a newcomer cannot monopolize the pool.  Rank dominates — a
+busy session's rank-0 tile still beats an idle session's rank-5 tile —
+because a top prediction is overwhelmingly more likely to be the next
+request (Figure 12's accuracy↔latency line).
 """
 
 from __future__ import annotations
 
+import heapq
 import threading
 from collections.abc import Hashable
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.cache.manager import CacheManager
@@ -40,6 +56,10 @@ PENDING = "pending"
 DONE = "done"
 CANCELLED = "cancelled"
 FAILED = "failed"
+
+#: Queue disciplines: rank-aware fair priority (default) or arrival
+#: order (the pre-priority baseline, kept for benchmarks).
+ADMISSION_MODES = ("priority", "fifo")
 
 
 @dataclass
@@ -54,6 +74,10 @@ class PrefetchJob:
     state: str = PENDING
     tile: DataTile | None = field(default=None, repr=False)
     error: BaseException | None = field(default=None, repr=False)
+    #: Position in the scheduler's global completion order (1-based),
+    #: set when the job reaches ``DONE``.  Lets tests and benchmarks
+    #: assert rank-priority without timestamping.
+    finish_order: int | None = field(default=None, repr=False)
 
     @property
     def finished(self) -> bool:
@@ -72,21 +96,32 @@ class PrefetchScheduler:
         cache_manager: CacheManager,
         max_workers: int = 2,
         name: str = "prefetch",
+        admission: str = "priority",
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"worker pool needs >= 1 workers, got {max_workers}")
+        if admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_MODES}, got {admission!r}"
+            )
         self.cache_manager = cache_manager
         self.max_workers = max_workers
-        self._executor = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix=name
-        )
+        self.admission = admission
         self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        #: Heap of ``(sort_key, job)``; sort keys are unique (they end
+        #: in an admission sequence number), so jobs are never compared.
+        self._heap: list[tuple[tuple, PrefetchJob]] = []
+        self._seq = 0
+        self._finish_seq = 0
         # Generations are drawn from one global counter: a session's
         # entry maps to its latest round, and a popped entry (cancel)
         # matches no job.  Global uniqueness means a cancelled-then-
         # rescheduled session can never collide with its old jobs.
         self._next_generation = 0
         self._generation: dict[Hashable, int] = {}
+        #: Deficit round-robin state: jobs this session has had executed.
+        self._deficit: dict[Hashable, int] = {}
         self._pending = 0
         self._idle = threading.Event()
         self._idle.set()
@@ -95,6 +130,14 @@ class PrefetchScheduler:
         self.jobs_completed = 0
         self.jobs_cancelled = 0
         self.jobs_failed = 0
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"{name}-{i}", daemon=True
+            )
+            for i in range(max_workers)
+        ]
+        for thread in self._threads:
+            thread.start()
 
     # ------------------------------------------------------------------
     # scheduling
@@ -110,8 +153,8 @@ class PrefetchScheduler:
         (consumed via its ``ranked()`` triples) or a plain ordered
         ``(tile, model)`` sequence.  The session's generation is bumped
         first, so queued jobs from its previous round become stale and
-        are dropped by whichever worker picks them up.  Returns the
-        jobs, in priority order.
+        are dropped by whichever worker pops them.  Returns the jobs,
+        in priority order.
         """
         if hasattr(predictions, "ranked"):
             ranked = predictions.ranked()
@@ -125,7 +168,21 @@ class PrefetchScheduler:
                 raise RuntimeError("scheduler is shut down")
             self._next_generation += 1
             generation = self._next_generation
+            # Floor the session's deficit to the least-served *other*
+            # active session: a newcomer starts level with the pack
+            # instead of at zero (which would let it starve long-running
+            # sessions at equal rank until it "caught up").
+            floor = min(
+                (
+                    self._deficit.get(s, 0)
+                    for s in self._generation
+                    if s != session_id
+                ),
+                default=0,
+            )
             self._generation[session_id] = generation
+            deficit = max(self._deficit.get(session_id, 0), floor)
+            self._deficit[session_id] = deficit
             jobs = [
                 PrefetchJob(
                     key=key,
@@ -136,59 +193,71 @@ class PrefetchScheduler:
                 )
                 for rank, key, model in ranked
             ]
+            for job in jobs:
+                self._seq += 1
+                if self.admission == "priority":
+                    sort_key = (job.rank, deficit, -generation, self._seq)
+                else:
+                    sort_key = (self._seq,)
+                heapq.heappush(self._heap, (sort_key, job))
             self.jobs_submitted += len(jobs)
             self._pending += len(jobs)
             if self._pending:
                 self._idle.clear()
-        for job in jobs:
-            try:
-                self._executor.submit(self._run, job)
-            except RuntimeError:
-                # Lost the race with shutdown(): the request was already
-                # served, so drop the job instead of failing the caller.
-                job.state = CANCELLED
-                with self._lock:
-                    self.jobs_cancelled += 1
-                    self._pending -= 1
-                    if self._pending == 0:
-                        self._idle.set()
+            self._work.notify(len(jobs))
         return jobs
 
     def cancel_session(self, session_id: Hashable) -> None:
-        """Drop a session's queued jobs and forget the session."""
+        """Drop a session's queued jobs and forget the session.
+
+        Queued jobs are cancelled lazily: with no generation entry to
+        match, workers drop them at pop time without touching the DBMS.
+        """
         with self._lock:
             self._generation.pop(session_id, None)
+            self._deficit.pop(session_id, None)
 
     # ------------------------------------------------------------------
     # worker body
     # ------------------------------------------------------------------
-    def _stale(self, job: PrefetchJob) -> bool:
-        with self._lock:
-            return self._generation.get(job.session_id) != job.generation
-
-    def _run(self, job: PrefetchJob) -> None:
-        try:
-            if self._stale(job):
-                job.state = CANCELLED
-                with self._lock:
+    def _worker(self) -> None:
+        while True:
+            with self._lock:
+                while not self._heap and not self._closed:
+                    self._work.wait()
+                if not self._heap:
+                    return  # closed, queue drained
+                _, job = heapq.heappop(self._heap)
+                if self._generation.get(job.session_id) != job.generation:
+                    # Stale (superseded or cancelled session): dropped
+                    # here, at pop time, so it never burns a worker slot.
+                    job.state = CANCELLED
                     self.jobs_cancelled += 1
-                return
+                    self._finish_one_locked()
+                    continue
+                self._deficit[job.session_id] = (
+                    self._deficit.get(job.session_id, 0) + 1
+                )
             try:
                 job.tile = self.cache_manager.prefetch_one(job.key, job.model)
-            except BaseException as exc:
+            except BaseException as exc:  # worker must survive any load error
                 job.error = exc
                 job.state = FAILED
                 with self._lock:
                     self.jobs_failed += 1
-                return
-            job.state = DONE
+                    self._finish_one_locked()
+                continue
             with self._lock:
+                self._finish_seq += 1
+                job.finish_order = self._finish_seq
+                job.state = DONE
                 self.jobs_completed += 1
-        finally:
-            with self._lock:
-                self._pending -= 1
-                if self._pending == 0:
-                    self._idle.set()
+                self._finish_one_locked()
+
+    def _finish_one_locked(self) -> None:
+        self._pending -= 1
+        if self._pending == 0:
+            self._idle.set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -208,15 +277,30 @@ class PrefetchScheduler:
         return self._idle.wait(timeout)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the worker pool.  Idempotent."""
+        """Stop the worker pool.  Idempotent.
+
+        Queued jobs are cancelled — marked ``CANCELLED``, counted in
+        ``jobs_cancelled``, and reconciled against the pending count, so
+        no job is ever stranded ``PENDING`` and ``wait_idle`` observes a
+        truthful drain.  Jobs already running finish; with ``wait=True``
+        the workers are joined.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        self._executor.shutdown(wait=wait, cancel_futures=True)
-        # Futures cancelled before running never decrement _pending;
-        # unblock any drainer.
-        self._idle.set()
+            dropped = [job for _, job in self._heap]
+            self._heap.clear()
+            for job in dropped:
+                job.state = CANCELLED
+            self.jobs_cancelled += len(dropped)
+            self._pending -= len(dropped)
+            if self._pending == 0:
+                self._idle.set()
+            self._work.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join()
 
     def __enter__(self) -> "PrefetchScheduler":
         return self

@@ -54,6 +54,8 @@ class ForeCacheServer:
         prefetch_mode: str = "sync",
         scheduler: PrefetchScheduler | None = None,
         prefetch_workers: int = 2,
+        prefetch_admission: str = "priority",
+        cache_shards: int = 1,
         session_id: int | None = None,
     ) -> None:
         config = ServiceConfig(
@@ -62,8 +64,9 @@ class ForeCacheServer:
                 enabled=prefetch_enabled,
                 mode=prefetch_mode,
                 workers=prefetch_workers,
+                admission=prefetch_admission,
             ),
-            cache=CacheConfig(),
+            cache=CacheConfig(shards=cache_shards),
         )
         self._service = ForeCacheService(
             pyramid,

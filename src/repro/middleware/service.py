@@ -186,7 +186,9 @@ class ForeCacheService:
         self._owns_scheduler = False
         if policy.background and scheduler is None:
             scheduler = PrefetchScheduler(
-                self.cache_manager, max_workers=policy.workers
+                self.cache_manager,
+                max_workers=policy.workers,
+                admission=policy.admission,
             )
             self._owns_scheduler = True
         self.scheduler = scheduler

@@ -176,3 +176,238 @@ class TestCacheManager:
         manager.reset_stats()
         assert manager.requests == 0
         assert manager.hits == 0
+
+
+class TestPromoteOnHit:
+    """A requested tile lives in exactly one region: serving it from
+    the prefetch region moves it to the recent LRU and frees the slot."""
+
+    @pytest.fixture
+    def manager(self, small_dataset):
+        return CacheManager(small_dataset.pyramid, TileCache())
+
+    def test_hit_from_prefetch_region_promotes(self, manager):
+        key = TileKey(1, 1, 0)
+        manager.prefetch([(key, "m")])
+        assert key in manager.cache.prefetched_keys
+        outcome = manager.fetch(key)
+        assert outcome.hit
+        assert key not in manager.cache.prefetched_keys
+        assert key in manager.cache.recent_keys
+        assert manager.cache.attribution(key) is None
+
+    def test_promote_does_not_double_count_nbytes(self, manager):
+        key = TileKey(1, 1, 0)
+        manager.prefetch([(key, "m")])
+        tile_bytes = manager.fetch(key).tile.nbytes
+        assert manager.cache.nbytes() == tile_bytes
+
+    def test_promote_frees_slot_for_next_admission(self, small_dataset):
+        manager = CacheManager(
+            small_dataset.pyramid, TileCache(prefetch_capacity=2)
+        )
+        a, b, c = (TileKey(2, i, 0) for i in range(3))
+        manager.prefetch_one(a, "m")
+        manager.prefetch_one(b, "m")
+        manager.fetch(a)  # promoted out of the full prefetch region
+        evicted = manager.prefetch_one(c, "m")
+        assert evicted.key == c
+        # The freed slot absorbed c; b was not evicted to make room.
+        assert manager.cache.lookup(b) is not None
+        assert set(manager.cache.prefetched_keys) == {b, c}
+
+    def test_plain_hit_from_recent_unaffected(self, manager):
+        key = TileKey(1, 0, 1)
+        manager.fetch(key)
+        outcome = manager.fetch(key)
+        assert outcome.hit
+        assert key in manager.cache.recent_keys
+
+
+class TestRecordRequestOnce:
+    """Every fetch path records the tile into the recent LRU exactly
+    once: hit, miss owner (via publish), and coalesced waiter."""
+
+    def test_hit_and_owner_record_once(self, small_dataset):
+        manager = CacheManager(small_dataset.pyramid, TileCache())
+        calls: list[TileKey] = []
+        original = manager.cache.record_request
+
+        def counting(t):
+            calls.append(t.key)
+            original(t)
+
+        manager.cache.record_request = counting
+        key = TileKey(1, 0, 0)
+        manager.fetch(key)  # miss: owner records via publish only
+        assert calls == [key]
+        manager.fetch(key)  # hit: records once more
+        assert calls == [key, key]
+
+    def test_coalesced_waiter_records_once(self, small_dataset):
+        import threading
+
+        manager = CacheManager(small_dataset.pyramid, TileCache())
+        calls: list[TileKey] = []
+        record_original = manager.cache.record_request
+
+        def counting(t):
+            calls.append(t.key)
+            record_original(t)
+
+        manager.cache.record_request = counting
+        key = TileKey(1, 1, 1)
+        started = threading.Event()
+        release = threading.Event()
+        query_original = manager._query_backend
+
+        def gated(query_key):
+            started.set()
+            assert release.wait(10)
+            return query_original(query_key)
+
+        manager._query_backend = gated
+        owner = threading.Thread(target=manager.fetch, args=(key,))
+        owner.start()
+        assert started.wait(10)
+        waiter = threading.Thread(target=manager.fetch, args=(key,))
+        waiter.start()
+        release.set()
+        owner.join(timeout=10)
+        waiter.join(timeout=10)
+        assert not owner.is_alive() and not waiter.is_alive()
+        # Two requests, two recordings: owner via publish, waiter itself.
+        assert calls == [key, key]
+
+
+class TestShardedTileCache:
+    def test_shards_capped_at_capacity(self):
+        cache = TileCache(prefetch_capacity=2, shards=8)
+        assert cache.shards == 2
+
+    def test_capacity_split_sums_to_total(self):
+        cache = TileCache(prefetch_capacity=9, shards=4)
+        assert sum(cache._capacities) == 9
+        assert max(cache._capacities) - min(cache._capacities) <= 1
+
+    def test_lookup_and_attribution_across_shards(self):
+        cache = TileCache(prefetch_capacity=8, shards=4)
+        # Pick keys that respect each shard's capacity slice (2 slots),
+        # so every store is accepted.
+        per_shard: dict[int, int] = {}
+        keys = []
+        for candidate in (TileKey(4, x, y) for x in range(16) for y in range(16)):
+            shard = cache._shard(candidate)
+            if per_shard.get(shard, 0) < 2:
+                per_shard[shard] = per_shard.get(shard, 0) + 1
+                keys.append(candidate)
+            if len(keys) == 6:
+                break
+        for i, key in enumerate(keys):
+            assert cache.store_prefetched(tile(key), f"m{i % 2}")
+        for i, key in enumerate(keys):
+            assert cache.lookup(key) is not None
+            assert cache.attribution(key) == f"m{i % 2}"
+        usage = cache.model_usage()
+        assert usage == {"m0": 3, "m1": 3}
+        assert sorted(cache.prefetched_keys) == sorted(keys)
+
+    def test_admit_evicts_within_the_keys_shard(self):
+        cache = TileCache(prefetch_capacity=4, shards=4)
+        # Find three keys that land in the same (single-slot) shard.
+        target = cache._shard(TileKey(6, 0, 0))
+        same_shard = [
+            key
+            for key in (TileKey(6, x, y) for x in range(12) for y in range(12))
+            if cache._shard(key) == target
+        ][:3]
+        first, second, third = same_shard
+        assert cache.admit_prefetched(tile(first), "m") is None
+        assert cache.admit_prefetched(tile(second), "m") == first
+        assert cache.admit_prefetched(tile(third), "m") == second
+        assert cache.lookup(third) is not None
+
+    def test_clear_spans_all_shards(self):
+        cache = TileCache(recent_capacity=4, prefetch_capacity=8, shards=4)
+        for x in range(6):
+            cache.store_prefetched(tile(TileKey(3, x, 0)), "m")
+        cache.record_request(tile(TileKey(3, 0, 1)))
+        cache.clear()
+        assert cache.prefetched_keys == []
+        assert cache.recent_keys == []
+        assert cache.nbytes() == 0
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            TileCache(shards=0)
+
+    def test_manager_rejects_zero_shards(self, small_dataset):
+        with pytest.raises(ValueError):
+            CacheManager(small_dataset.pyramid, TileCache(), shards=0)
+
+
+class TestRiderAdmission:
+    def test_prefetch_rider_does_not_readmit_fetched_tile(self, small_dataset):
+        """A prefetch job coalescing on a user fetch's in-flight load
+        must not admit the tile into the prefetch region: the fetch
+        owner already recorded it into the recent LRU, and one tile
+        lives in exactly one region."""
+        import threading
+
+        manager = CacheManager(small_dataset.pyramid, TileCache())
+        key = TileKey(1, 1, 0)
+        started = threading.Event()
+        release = threading.Event()
+        original = manager._query_backend
+
+        def gated(query_key):
+            started.set()
+            assert release.wait(10)
+            return original(query_key)
+
+        manager._query_backend = gated
+        owner = threading.Thread(target=manager.fetch, args=(key,))
+        owner.start()
+        assert started.wait(10)  # fetch owns the in-flight load
+        rider = threading.Thread(
+            target=manager.prefetch_one, args=(key, "m")
+        )
+        rider.start()
+        release.set()
+        owner.join(timeout=10)
+        rider.join(timeout=10)
+        assert not owner.is_alive() and not rider.is_alive()
+        assert key in manager.cache.recent_keys
+        assert key not in manager.cache.prefetched_keys
+        assert manager.cache.nbytes() == manager.fetch(key).tile.nbytes
+
+
+class TestShardedSyncCycle:
+    def test_full_shard_does_not_abort_cycle(self, small_dataset):
+        """A sync prefetch cycle over a sharded region skips a tile
+        whose shard is full but keeps filling the other shards; only a
+        truly full region stops the cycle."""
+        cache = TileCache(recent_capacity=4, prefetch_capacity=4, shards=4)
+        # Two keys in one single-slot shard, then keys in other shards.
+        target = cache._shard(TileKey(5, 0, 0))
+        same_shard, others = [], []
+        for candidate in (TileKey(5, x, y) for x in range(12) for y in range(12)):
+            if cache._shard(candidate) == target and len(same_shard) < 2:
+                same_shard.append(candidate)
+            elif cache._shard(candidate) != target and len(others) < 3:
+                # One key per distinct other shard.
+                if all(
+                    cache._shard(candidate) != cache._shard(k) for k in others
+                ):
+                    others.append(candidate)
+        manager = CacheManager(small_dataset.pyramid, cache)
+        predictions = [(same_shard[0], "m"), (same_shard[1], "m")] + [
+            (key, "m") for key in others
+        ]
+        manager.prefetch(predictions)
+        stored = set(cache.prefetched_keys)
+        # The colliding key was skipped; everything after it still landed.
+        assert same_shard[0] in stored
+        assert same_shard[1] not in stored
+        assert stored.issuperset(others)
+        assert len(stored) == 4

@@ -437,3 +437,312 @@ class TestThreadSafeCaches:
         errors = run_threads([lambda s=s: churn(s) for s in range(6)])
         assert errors == []
         assert len(cache.prefetched_keys) <= 4
+
+
+class TestPriorityAdmission:
+    """Rank-aware fair admission: the scheduler's heap is ordered by
+    (rank, session deficit, generation), stale jobs are dropped at pop
+    time, and ``admission="fifo"`` restores plain arrival order."""
+
+    @staticmethod
+    def _manager(small_dataset, shards: int = 1) -> CacheManager:
+        return CacheManager(
+            small_dataset.pyramid,
+            TileCache(recent_capacity=32, prefetch_capacity=9, shards=shards),
+            shards=shards,
+        )
+
+    @staticmethod
+    def _gate(manager, gate_keys):
+        """Backend queries for ``gate_keys`` block until released."""
+        started = threading.Semaphore(0)
+        release = threading.Event()
+        original = manager._query_backend
+
+        def gated(key):
+            if key in gate_keys:
+                started.release()
+                assert release.wait(10)
+            return original(key)
+
+        manager._query_backend = gated
+        return started, release
+
+    def test_rank_order_beats_arrival_order(self, small_dataset):
+        """With the queue backed up, every session's rank-0 tile runs
+        before any session's rank-1 tile, regardless of arrival."""
+        manager = self._manager(small_dataset)
+        gate_key = TileKey(3, 7, 7)
+        started, release = self._gate(manager, {gate_key})
+        scheduler = PrefetchScheduler(manager, max_workers=1)
+        try:
+            scheduler.schedule([(gate_key, "m")], session_id="gate")
+            assert started.acquire(timeout=10)
+            rounds = [
+                scheduler.schedule(
+                    [(TileKey(3, x, y), "m") for x in range(3)],
+                    session_id=f"s{y}",
+                )
+                for y in range(3)
+            ]
+            release.set()
+            assert scheduler.wait_idle(10)
+            jobs = [job for round_ in rounds for job in round_]
+            assert all(job.state == DONE for job in jobs)
+            by_completion = sorted(jobs, key=lambda j: j.finish_order)
+            assert [j.rank for j in by_completion] == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+    def test_fifo_admission_preserves_arrival_order(self, small_dataset):
+        """The baseline discipline drains whole rounds in arrival order."""
+        manager = self._manager(small_dataset)
+        gate_key = TileKey(3, 7, 7)
+        started, release = self._gate(manager, {gate_key})
+        scheduler = PrefetchScheduler(manager, max_workers=1, admission="fifo")
+        try:
+            scheduler.schedule([(gate_key, "m")], session_id="gate")
+            assert started.acquire(timeout=10)
+            rounds = [
+                scheduler.schedule(
+                    [(TileKey(3, x, y), "m") for x in range(3)],
+                    session_id=f"s{y}",
+                )
+                for y in range(3)
+            ]
+            release.set()
+            assert scheduler.wait_idle(10)
+            jobs = [job for round_ in rounds for job in round_]
+            by_completion = sorted(jobs, key=lambda j: j.finish_order)
+            assert [j.rank for j in by_completion] == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+    def test_concurrent_schedules_run_only_newest_generation(self, small_dataset):
+        """Racing schedule() calls on one session: exactly the highest
+        generation's jobs run; every superseded job is cancelled, none
+        is left pending."""
+        manager = self._manager(small_dataset)
+        gate_key = TileKey(3, 7, 7)
+        started, release = self._gate(manager, {gate_key})
+        scheduler = PrefetchScheduler(manager, max_workers=1)
+        rounds: list[list] = []
+        rounds_lock = threading.Lock()
+        try:
+            scheduler.schedule([(gate_key, "m")], session_id="gate")
+            assert started.acquire(timeout=10)
+            barrier = threading.Barrier(6)
+
+            def submit(i):
+                barrier.wait()
+                jobs = scheduler.schedule(
+                    [(TileKey(4, i, y), "m") for y in range(3)],
+                    session_id="s",
+                )
+                with rounds_lock:
+                    rounds.append(jobs)
+
+            errors = run_threads([lambda i=i: submit(i) for i in range(6)])
+            assert errors == []
+            release.set()
+            assert scheduler.wait_idle(10)
+            jobs = [job for round_ in rounds for job in round_]
+            assert all(job.finished for job in jobs)
+            newest = max(job.generation for job in jobs)
+            for job in jobs:
+                expected = DONE if job.generation == newest else CANCELLED
+                assert job.state == expected
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+    def test_deficit_round_robin_prefers_less_served_session(self, small_dataset):
+        """At equal rank, the session the pool has served least goes
+        first — even when the busier session's round arrived earlier
+        and carries a newer generation."""
+        manager = self._manager(small_dataset)
+        gate1, gate2 = TileKey(3, 7, 7), TileKey(3, 7, 6)
+        original = manager._query_backend
+        started1, started2 = threading.Event(), threading.Event()
+        release1, release2 = threading.Event(), threading.Event()
+
+        def gated(key):
+            if key == gate1:
+                started1.set()
+                assert release1.wait(10)
+            elif key == gate2:
+                started2.set()
+                assert release2.wait(10)
+            return original(key)
+
+        manager._query_backend = gated
+        scheduler = PrefetchScheduler(manager, max_workers=1)
+        try:
+            # Phase 1: session "a" has a full round served (deficit 4).
+            scheduler.schedule([(gate1, "m")], session_id="gate")
+            assert started1.wait(10)
+            scheduler.schedule(
+                [(TileKey(4, x, 0), "m") for x in range(4)], session_id="a"
+            )
+            release1.set()
+            assert scheduler.wait_idle(10)
+            # Phase 2: "a" again (arrives first) vs. newcomer "b".
+            scheduler.schedule([(gate2, "m")], session_id="gate")
+            assert started2.wait(10)
+            a_jobs = scheduler.schedule(
+                [(TileKey(4, x, 1), "m") for x in range(3)], session_id="a"
+            )
+            b_jobs = scheduler.schedule(
+                [(TileKey(4, x, 2), "m") for x in range(3)], session_id="b"
+            )
+            release2.set()
+            assert scheduler.wait_idle(10)
+            for rank in range(3):
+                assert b_jobs[rank].finish_order < a_jobs[rank].finish_order
+        finally:
+            release1.set()
+            release2.set()
+            scheduler.shutdown()
+
+    def test_cancel_session_mid_round_never_wedges_wait_idle(self, small_dataset):
+        """Cancelling a session whose round is queued behind busy
+        workers drains cleanly: the jobs are dropped at pop time and
+        wait_idle still observes the drain."""
+        manager = self._manager(small_dataset)
+        gates = {TileKey(3, 7, 7), TileKey(3, 7, 6)}
+        started, release = self._gate(manager, gates)
+        scheduler = PrefetchScheduler(manager, max_workers=2)
+        try:
+            scheduler.schedule([(key, "m") for key in gates], session_id="x")
+            assert started.acquire(timeout=10)
+            assert started.acquire(timeout=10)
+            jobs = scheduler.schedule(
+                [(TileKey(4, x, 3), "m") for x in range(10)], session_id="y"
+            )
+            scheduler.cancel_session("y")
+            release.set()
+            assert scheduler.wait_idle(10)
+            assert all(job.state == CANCELLED for job in jobs)
+            assert scheduler.jobs_cancelled == 10
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+    def test_shutdown_cancels_queued_jobs_and_reconciles(self, small_dataset):
+        """shutdown() must not strand queued jobs PENDING: they are
+        cancelled, counted, and reconciled so wait_idle is truthful."""
+        manager = self._manager(small_dataset)
+        gate_key = TileKey(3, 7, 7)
+        started, release = self._gate(manager, {gate_key})
+        scheduler = PrefetchScheduler(manager, max_workers=1)
+        try:
+            gate_jobs = scheduler.schedule([(gate_key, "m")], session_id="g")
+            assert started.acquire(timeout=10)
+            queued = scheduler.schedule(
+                [(TileKey(4, x, 4), "m") for x in range(3)], session_id="s"
+            )
+            scheduler.shutdown(wait=False)
+            assert all(job.state == CANCELLED for job in queued)
+            assert all(job.finished for job in queued)
+            assert scheduler.jobs_cancelled == 3
+            release.set()
+            assert scheduler.wait_idle(10)
+            assert gate_jobs[0].state == DONE
+            with pytest.raises(RuntimeError):
+                scheduler.schedule([(TileKey(0, 0, 0), "m")])
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+
+class TestShardedCacheManager:
+    def test_sharded_manager_still_coalesces_same_key(self, small_dataset):
+        """Striping the in-flight table must not break coalescing: one
+        key maps to one stripe, so concurrent misses still share one
+        DBMS query."""
+        manager = CacheManager(
+            small_dataset.pyramid,
+            TileCache(shards=4),
+            backend_delay_seconds=0.05,
+            shards=8,
+        )
+        calls: list[TileKey] = []
+        original = manager._query_backend
+
+        def counting(key):
+            calls.append(key)
+            return original(key)
+
+        manager._query_backend = counting
+        key = TileKey(3, 2, 2)
+        barrier = threading.Barrier(8)
+        outcomes = []
+        outcome_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            outcome = manager.fetch(key)
+            with outcome_lock:
+                outcomes.append(outcome)
+
+        errors = run_threads([worker] * 8)
+        assert not errors
+        assert len(calls) == 1, "concurrent misses must trigger one DBMS query"
+        assert all(o.tile.key == key for o in outcomes)
+        assert sum(1 for o in outcomes if not o.coalesced) == 1
+        assert manager.coalesced == 7
+        assert manager.requests == 8
+
+    def test_sharded_manager_distinct_keys_query_once_each(self, small_dataset):
+        manager = CacheManager(
+            small_dataset.pyramid,
+            TileCache(shards=4),
+            backend_delay_seconds=0.02,
+            shards=4,
+        )
+        calls: list[TileKey] = []
+        original = manager._query_backend
+
+        def counting(key):
+            calls.append(key)
+            return original(key)
+
+        manager._query_backend = counting
+        keys = [TileKey(3, x, y) for x in range(4) for y in range(2)]
+        barrier = threading.Barrier(len(keys))
+
+        def worker(key):
+            barrier.wait()
+            manager.fetch(key)
+
+        errors = run_threads([lambda k=k: worker(k) for k in keys])
+        assert not errors
+        assert sorted(calls) == sorted(keys)
+
+    def test_sharded_tile_cache_concurrent_mixed_traffic(self):
+        import numpy as np
+
+        def tile(key):
+            return DataTile(key=key, attributes={"v": np.zeros((2, 2))})
+
+        cache = TileCache(recent_capacity=8, prefetch_capacity=8, shards=4)
+        keys = [TileKey(3, x, y) for x in range(4) for y in range(4)]
+
+        def churn(seed):
+            rng = random.Random(seed)
+            for _ in range(300):
+                key = rng.choice(keys)
+                action = rng.randrange(3)
+                if action == 0:
+                    cache.record_request(tile(key))
+                elif action == 1:
+                    cache.admit_prefetched(tile(key), f"m{seed}")
+                else:
+                    found = cache.lookup(key)
+                    assert found is None or found.key == key
+
+        errors = run_threads([lambda s=s: churn(s) for s in range(6)])
+        assert errors == []
+        assert len(cache.prefetched_keys) <= 8

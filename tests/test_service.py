@@ -340,3 +340,91 @@ class TestBackgroundService:
         service.close()
         with pytest.raises(RuntimeError):
             service.scheduler.schedule([(TileKey(0, 0, 0), "m")])
+
+
+class TestSchedulingKnobs:
+    """admission and shards thread from config through the facade and
+    both legacy adapters."""
+
+    def test_rejects_bad_admission(self):
+        with pytest.raises(ValueError):
+            PrefetchPolicy(admission="lifo")
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            CacheConfig(shards=0)
+
+    def test_service_builds_scheduler_with_admission(self, small_dataset):
+        with ForeCacheService(
+            small_dataset.pyramid,
+            ServiceConfig(
+                prefetch=PrefetchPolicy(mode="background", admission="fifo")
+            ),
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        ) as svc:
+            assert svc.scheduler.admission == "fifo"
+
+    def test_priority_is_the_default_admission(self, small_dataset):
+        with ForeCacheService(
+            small_dataset.pyramid,
+            ServiceConfig(prefetch=PrefetchPolicy(mode="background")),
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        ) as svc:
+            assert svc.scheduler.admission == "priority"
+
+    def test_cache_config_shards_reach_both_layers(self, small_dataset):
+        manager = CacheConfig(shards=4).build_cache_manager(
+            small_dataset.pyramid
+        )
+        assert manager.shards == 4
+        assert manager.cache.shards == 4
+
+    def test_legacy_server_threads_admission_and_shards(self, small_dataset):
+        engine = make_engine(small_dataset.pyramid.grid)
+        with ForeCacheServer(
+            small_dataset.pyramid,
+            engine,
+            prefetch_mode="background",
+            prefetch_admission="fifo",
+            cache_shards=4,
+        ) as server:
+            assert server.scheduler.admission == "fifo"
+            assert server.cache_manager.shards == 4
+            assert server.cache_manager.cache.shards == 4
+
+    def test_multiuser_server_threads_admission_and_shards(self, small_dataset):
+        from repro.middleware.multiuser import MultiUserServer
+
+        with MultiUserServer(
+            small_dataset.pyramid,
+            prefetch_k=8,
+            prefetch_mode="background",
+            prefetch_admission="fifo",
+            cache_shards=4,
+        ) as server:
+            assert server.scheduler.admission == "fifo"
+            assert server.cache_manager.shards == 4
+
+    def test_background_requests_flow_through_priority_scheduler(
+        self, small_dataset
+    ):
+        with ForeCacheService(
+            small_dataset.pyramid,
+            ServiceConfig(
+                prefetch=PrefetchPolicy(k=4, mode="background"),
+                cache=CacheConfig(shards=4),
+            ),
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        ) as svc:
+            session = svc.open_session()
+            response = session.request(None, small_dataset.pyramid.grid.root)
+            assert response.tile.key == small_dataset.pyramid.grid.root
+            assert svc.drain(timeout=10)
+            scheduler = svc.scheduler
+            assert scheduler.jobs_submitted > 0
+            assert scheduler.jobs_submitted == (
+                scheduler.jobs_completed
+                + scheduler.jobs_cancelled
+                + scheduler.jobs_failed
+            )
+            assert scheduler.jobs_failed == 0
