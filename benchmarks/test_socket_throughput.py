@@ -1,0 +1,181 @@
+"""Loopback socket throughput vs. the in-process transport.
+
+The transport-boundary cost made physical: the same seeded random walks
+are replayed by concurrent sessions through (a) the in-process wire
+transport — full JSON round trip, no socket — and (b) the real TCP
+socket transport over loopback, in both framings.  Each run reports
+wall-clock p50/p95 request latency and aggregate requests/second.
+
+The socket path pays serialization *plus* kernel round trips, so it
+cannot beat in-process; the benchmark asserts it stays within an
+order-of-magnitude envelope (loopback framing overhead must stay
+transport-bounded, not service-bounded) and that every front end serves
+the identical request count.  Scale down with ``REPRO_USERS``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.allocation import SingleModelStrategy
+from repro.core.engine import PredictionEngine
+from repro.middleware.config import PrefetchPolicy, ServiceConfig
+from repro.middleware.latency import nearest_rank_percentile as percentile
+from repro.middleware.net import SocketTransport, ThreadedSocketServer
+from repro.middleware.service import ForeCacheService
+from repro.middleware.transport import InProcessTransport
+from repro.modis.dataset import MODISDataset
+from repro.recommenders.momentum import MomentumRecommender
+
+pytestmark = pytest.mark.bench
+
+NUM_USERS = max(2, min(8, int(os.environ.get("REPRO_USERS", "4"))))
+STEPS_PER_USER = 40
+CONFIG = ServiceConfig(
+    prefetch=PrefetchPolicy(k=5),
+)
+TRANSPORTS = ("inprocess", "socket-lines", "socket-length")
+
+
+def make_engine(grid) -> PredictionEngine:
+    model = MomentumRecommender()
+    return PredictionEngine(
+        grid, {model.name: model}, SingleModelStrategy(model.name)
+    )
+
+
+@pytest.fixture(scope="module")
+def world() -> MODISDataset:
+    return MODISDataset.build(size=512, tile_size=32, days=1, seed=7)
+
+
+def random_walk(session, steps: int, seed: int) -> list[float]:
+    """Drive one session on a seeded random walk; returns wall seconds
+    per request."""
+    rng = random.Random(seed)
+    waits = []
+    start = time.perf_counter()
+    session.start()
+    waits.append(time.perf_counter() - start)
+    for _ in range(steps):
+        moves = session.available_moves
+        if not moves:
+            break
+        move = rng.choice(moves)
+        start = time.perf_counter()
+        session.move(move)
+        waits.append(time.perf_counter() - start)
+    return waits
+
+
+def run_transport(world: MODISDataset, kind: str):
+    """Replay NUM_USERS concurrent walks; returns (waits, request_count,
+    wall_seconds)."""
+    from repro.middleware.client import BrowsingSession
+
+    pyramid = world.pyramid
+    all_waits: list[list[float]] = [[] for _ in range(NUM_USERS)]
+    errors: list[BaseException] = []
+
+    def drive(connect):
+        def body(index: int) -> None:
+            try:
+                conn = connect(index)
+                all_waits[index] = random_walk(
+                    BrowsingSession(conn), STEPS_PER_USER, seed=1000 + index
+                )
+                conn.close()
+            except BaseException as exc:  # surfaced by the assert below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=body, args=(i,))
+            for i in range(NUM_USERS)
+        ]
+        begin = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - begin
+
+    if kind == "inprocess":
+        with ForeCacheService(
+            pyramid, CONFIG, engine_factory=lambda: make_engine(pyramid.grid)
+        ) as service:
+            transport = InProcessTransport(service)
+            wall = drive(lambda index: transport.connect())
+    else:
+        framing = "length" if kind.endswith("length") else "lines"
+        with ThreadedSocketServer(
+            pyramid,
+            CONFIG,
+            engine_factory=lambda: make_engine(pyramid.grid),
+            framing=framing,
+        ) as server:
+            transports = []
+
+            def connect(index):
+                transport = SocketTransport(
+                    *server.address, pyramid=pyramid, framing=framing
+                )
+                transports.append(transport)
+                return transport.connect()
+
+            wall = drive(connect)
+            for transport in transports:
+                transport.close()
+    assert errors == []
+    waits = [w for per_user in all_waits for w in per_user]
+    return waits, len(waits), wall
+
+
+def test_loopback_socket_throughput(world, benchmark):
+    results = {}
+    for kind in TRANSPORTS:
+        waits, count, wall = run_transport(world, kind)
+        results[kind] = {
+            "requests": count,
+            "p50_ms": percentile(waits, 0.50) * 1000.0,
+            "p95_ms": percentile(waits, 0.95) * 1000.0,
+            "rps": count / wall if wall else float("inf"),
+        }
+
+    print("\ntransport        requests   p50(ms)   p95(ms)     req/s")
+    for kind, row in results.items():
+        print(
+            f"{kind:<16} {row['requests']:>8} {row['p50_ms']:>9.3f} "
+            f"{row['p95_ms']:>9.3f} {row['rps']:>9.0f}"
+        )
+
+    # Identical walks on every transport serve identical request counts.
+    counts = {row["requests"] for row in results.values()}
+    assert len(counts) == 1
+    # Loopback overhead stays transport-bounded: the socket's median
+    # must sit within 25x of the in-process wire round trip (generous —
+    # CI machines jitter — yet far below any service-bound regression,
+    # which would show up as 100x+ when a lock or the event loop
+    # serializes requests).
+    baseline = max(results["inprocess"]["p50_ms"], 0.05)
+    for kind in ("socket-lines", "socket-length"):
+        assert results[kind]["p50_ms"] <= baseline * 25.0, results
+
+    # Time one representative socket round trip for the benchmark table.
+    pyramid = world.pyramid
+    with ThreadedSocketServer(
+        pyramid, CONFIG, engine_factory=lambda: make_engine(pyramid.grid)
+    ) as server:
+        with SocketTransport(*server.address, pyramid=pyramid) as transport:
+            conn = transport.connect()
+            root = pyramid.grid.root
+            benchmark.pedantic(
+                lambda: conn.handle_request(None, root),
+                rounds=30,
+                iterations=1,
+            )
+            conn.close()

@@ -3,7 +3,7 @@
 Run with::
 
     python examples/modis_exploration.py [--size 1024] [--users 8]
-        [--frontend server|service|async] [--models momentum,hybrid]
+        [--frontend server|service|async|socket] [--models momentum,hybrid]
         [--prefetch-mode sync|background]
 
 Reproduces the paper's evaluation loop end to end: build the NDSI
@@ -13,8 +13,9 @@ per-phase accuracy plus replayed latency — the content of Figures 11
 and 13.
 
 ``--frontend`` chooses who serves the latency replay: the legacy
-``ForeCacheServer`` (default), the ``ForeCacheService`` facade, or its
-asyncio front end — all three must (and do) produce identical
+``ForeCacheServer`` (default), the ``ForeCacheService`` facade, its
+asyncio front end, or the real TCP socket transport replaying over
+loopback (``socket``) — all four must (and do) produce identical
 virtual-time numbers.  ``--prefetch-mode background`` routes every
 prefetch round through the rank-aware priority scheduler's worker pool
 instead of the inline sync path (a smoke path for the concurrent

@@ -1,0 +1,116 @@
+"""Serve tiles over a real TCP socket, then browse them as a client.
+
+Run with::
+
+    python examples/socket_serving.py [--framing lines|length] [--port 0]
+
+Starts the ForeCache socket server on a loopback port (ephemeral by
+default), connects both clients — the blocking ``SocketTransport`` and
+the asyncio ``AsyncSocketTransport`` — replays a short browsing walk
+through each, and shuts the server down gracefully.  Every byte crosses
+a real socket: framed JSON requests in, framed JSON tile payloads out.
+"""
+
+import argparse
+import asyncio
+import os
+
+from repro.core.allocation import SingleModelStrategy
+from repro.core.engine import PredictionEngine
+from repro.middleware.client import AsyncBrowsingSession, BrowsingSession
+from repro.middleware.config import PrefetchPolicy, ServiceConfig
+from repro.middleware.net import (
+    AsyncSocketTransport,
+    SocketTransport,
+    ThreadedSocketServer,
+)
+from repro.modis.dataset import MODISDataset
+from repro.recommenders.momentum import MomentumRecommender
+from repro.tiles.moves import Move
+
+WALK = [
+    Move.ZOOM_IN_NW,
+    Move.ZOOM_IN_SE,
+    Move.PAN_RIGHT,
+    Move.PAN_DOWN,
+    Move.ZOOM_OUT,
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--size", type=int, default=int(os.environ.get("REPRO_SIZE", "512"))
+    )
+    parser.add_argument("--framing", choices=("lines", "length"), default="lines")
+    parser.add_argument("--port", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"building a {args.size}px world...")
+    dataset = MODISDataset.build(size=args.size, tile_size=32, days=1, seed=7)
+    pyramid = dataset.pyramid
+
+    def engine_factory() -> PredictionEngine:
+        model = MomentumRecommender()
+        return PredictionEngine(
+            pyramid.grid, {model.name: model}, SingleModelStrategy(model.name)
+        )
+
+    config = ServiceConfig(prefetch=PrefetchPolicy(k=5))
+    with ThreadedSocketServer(
+        pyramid,
+        config,
+        engine_factory=engine_factory,
+        framing=args.framing,
+        port=args.port,
+    ) as server:
+        host, port = server.address
+        print(f"serving on {host}:{port} ({args.framing} framing)\n")
+
+        # --- blocking client ------------------------------------------
+        with SocketTransport(
+            host, port, pyramid=pyramid, framing=args.framing
+        ) as transport:
+            print(
+                f"sync client: negotiated v{transport.server_version} "
+                f"with {transport.server_name!r}"
+            )
+            conn = transport.connect(session_id="sync-browser")
+            session = BrowsingSession(conn)
+            response = session.start()
+            print(f"  start  {str(session.current):>8}  "
+                  f"{response.latency_seconds * 1000:7.1f} ms")
+            for move in WALK:
+                if move not in session.available_moves:
+                    continue
+                response = session.move(move)
+                source = "cache" if response.hit else "DBMS"
+                print(f"  {move.value:<12} {str(session.current):>8}  "
+                      f"{response.latency_seconds * 1000:7.1f} ms  ({source})")
+            conn.close()
+
+        # --- asyncio client -------------------------------------------
+        async def browse_async() -> int:
+            async with await AsyncSocketTransport.open(
+                host, port, pyramid=pyramid, framing=args.framing
+            ) as transport:
+                conn = await transport.connect(session_id="async-browser")
+                session = AsyncBrowsingSession(conn)
+                await session.start()
+                hits = 0
+                for move in WALK:
+                    if move not in session.available_moves:
+                        continue
+                    response = await session.move(move)
+                    hits += response.hit
+                await conn.close()
+                return hits
+
+        hits = asyncio.run(browse_async())
+        print(f"\nasync client replayed the walk too ({hits} cache hits "
+              "— the sync client warmed the shared cache)")
+    print("server drained and stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

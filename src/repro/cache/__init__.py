@@ -6,8 +6,14 @@ allocations that the cache manager refills with each recommender's
 predictions after every request.
 """
 
-from repro.cache.lru import LRUCache
+from repro.cache.lru import LRUCache, ShardedLRUCache
 from repro.cache.manager import CacheManager, FetchOutcome
 from repro.cache.tile_cache import TileCache
 
-__all__ = ["CacheManager", "FetchOutcome", "LRUCache", "TileCache"]
+__all__ = [
+    "CacheManager",
+    "FetchOutcome",
+    "LRUCache",
+    "ShardedLRUCache",
+    "TileCache",
+]

@@ -18,12 +18,14 @@ per-model quotas must stay observable, as in the paper), and
 ``nbytes()`` is a best-effort snapshot under concurrency — a promotion
 racing it can be counted in both regions for that one reading.
 
-The cache is thread-safe, and the prefetch region is **hash-striped**
-into ``shards`` independently locked segments (each owning an equal
-slice of ``prefetch_capacity``), so concurrent sessions' lookups and
-admissions stop serializing on one mutex; the recent LRU carries its
-own internal lock.  ``shards=1`` (the default) preserves the exact
-single-region semantics the synchronous figure benchmarks replay.
+The cache is thread-safe, and **both regions are hash-striped** into
+``shards`` independently locked segments: the prefetch region's shards
+each own an equal slice of ``prefetch_capacity``, and the recent region
+is a :class:`~repro.cache.lru.ShardedLRUCache` whose segments split
+``recent_capacity`` the same way — so concurrent sessions' lookups,
+admissions, and recency promotions stop serializing on one mutex.
+``shards=1`` (the default) preserves the exact single-region semantics
+the synchronous figure benchmarks replay.
 Synchronous prefetching uses the cycle API
 (:meth:`begin_prefetch_cycle` + :meth:`store_prefetched`); background
 prefetching uses :meth:`admit_prefetched`, which evicts the oldest
@@ -36,7 +38,7 @@ from __future__ import annotations
 
 import threading
 
-from repro.cache.lru import LRUCache
+from repro.cache.lru import ShardedLRUCache
 from repro.tiles.key import TileKey
 from repro.tiles.tile import DataTile
 
@@ -57,9 +59,12 @@ class TileCache:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.prefetch_capacity = prefetch_capacity
-        # Every shard needs at least one slot to be useful.
+        # Every shard needs at least one slot to be useful.  Each region
+        # clamps independently against its own capacity.
         self.shards = min(shards, prefetch_capacity)
-        self._recent: LRUCache[TileKey, DataTile] = LRUCache(recent_capacity)
+        self._recent: ShardedLRUCache[TileKey, DataTile] = ShardedLRUCache(
+            recent_capacity, shards=shards
+        )
         self._locks = [threading.RLock() for _ in range(self.shards)]
         self._prefetched: list[dict[TileKey, DataTile]] = [
             {} for _ in range(self.shards)
@@ -188,7 +193,9 @@ class TileCache:
 
     @property
     def recent_keys(self) -> list[TileKey]:
-        """Keys in the recent region, least recent first."""
+        """Keys in the recent region — least recent first within each
+        LRU segment, concatenated segment by segment (global recency
+        order only when ``shards == 1``, the figure-replay default)."""
         return self._recent.keys()
 
     def attribution(self, key: TileKey) -> str | None:

@@ -355,10 +355,12 @@ def latency_points(
     return points, accuracy
 
 
-#: Serving front ends the latency replay can drive.  All three produce
-#: identical virtual-time numbers (the facade is the single code path);
-#: "server" is the default so the figure benchmarks are untouched.
-REPLAY_FRONTENDS = ("server", "service", "async")
+#: Serving front ends the latency replay can drive.  All four produce
+#: identical virtual-time numbers (the facade is the single code path;
+#: the socket front end replays over a real loopback TCP connection and
+#: only adds physical transport time, never virtual latency); "server"
+#: is the default so the figure benchmarks are untouched.
+REPLAY_FRONTENDS = ("server", "service", "async", "socket")
 
 
 def replay_model_latency(
@@ -378,7 +380,9 @@ def replay_model_latency(
 
     ``frontend`` selects who serves the replay: the legacy
     ``ForeCacheServer`` ("server"), the ``ForeCacheService`` facade
-    ("service"), or the asyncio front end ("async").
+    ("service"), the asyncio front end ("async"), or the TCP socket
+    transport over loopback ("socket" — real framed bytes on a real
+    port; latency stays virtual, so the numbers still match).
 
     ``prefetch_mode="sync"`` (the default, what every figure benchmark
     uses) keeps the deterministic virtual-time numbers.
@@ -395,6 +399,8 @@ def replay_model_latency(
         )
     if frontend == "async":
         return _replay_async_frontend(context, factory, k, prefetch_mode)
+    if frontend == "socket":
+        return _replay_socket_frontend(context, factory, k, prefetch_mode)
     recorder = LatencyRecorder()
     for _, train, test in leave_one_user_out(context.study):
         engine = factory(train)
@@ -490,6 +496,46 @@ def _replay_async_frontend(context, factory, k: int, prefetch_mode: str = "sync"
         return recorder
 
     return asyncio.run(replay_all())
+
+
+def _replay_socket_frontend(
+    context, factory, k: int, prefetch_mode: str = "sync"
+):
+    """The whole LOO replay over real loopback TCP.
+
+    Each trace still gets a cold service (cache and session state), so a
+    fresh socket server wraps each trace's service; the engine is built
+    once per fold and reset per trace, exactly like the other front
+    ends.  Latencies are reconstructed *client-side* from the wire
+    responses — what a real browser would report — which must equal the
+    server-side recorder to the bit.
+    """
+    from repro.middleware.client import BrowsingSession
+    from repro.middleware.latency import LatencyRecorder
+    from repro.middleware.net import SocketTransport, ThreadedSocketServer
+
+    recorder = LatencyRecorder()
+    for _, train, test in leave_one_user_out(context.study):
+        engine = factory(train)
+        for trace in test:
+            engine.reset()
+            with ThreadedSocketServer(
+                context.pyramid,
+                _figure12_config(k, prefetch_mode),
+                engine_factory=lambda: engine,
+                # The replay is sequential; don't spawn (and join) a full
+                # 8-thread bridge pool per trace.
+                max_workers=1,
+            ) as server:
+                with SocketTransport(
+                    *server.address, pyramid=context.pyramid
+                ) as transport:
+                    conn = transport.connect()
+                    responses = BrowsingSession(conn).replay(trace)
+                    conn.close()
+            for response in responses:
+                recorder.record(response.latency_seconds, response.hit)
+    return recorder
 
 
 def run_figure12(

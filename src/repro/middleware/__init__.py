@@ -28,6 +28,14 @@ from repro.middleware.latency import (
     MISS_SECONDS,
 )
 from repro.middleware.multiuser import MultiUserResponse, MultiUserServer
+from repro.middleware.net import (
+    AsyncSocketSessionClient,
+    AsyncSocketTransport,
+    ForeCacheSocketServer,
+    SocketSessionClient,
+    SocketTransport,
+    ThreadedSocketServer,
+)
 # The wire messages (protocol.TileRequest, protocol.TileResponse, ...)
 # deliberately stay namespaced under ``repro.middleware.protocol``: the
 # package root's ``TileResponse`` is the *in-process* response, and
@@ -36,11 +44,15 @@ from repro.middleware.multiuser import MultiUserResponse, MultiUserServer
 from repro.middleware.protocol import (
     DuplicateSessionError,
     ErrorInfo,
+    FrameDecoder,
+    FramingError,
+    FrameTooLargeError,
     InvalidRequestError,
     ProtocolError,
     SessionClosedError,
     SessionInfo,
     SessionNotFoundError,
+    VersionMismatchError,
 )
 from repro.middleware.scheduler import (
     ADMISSION_MODES,
@@ -53,19 +65,29 @@ from repro.middleware.service import (
     SessionHandle,
     TileResponse,
 )
-from repro.middleware.transport import InProcessTransport, WireSessionClient
+from repro.middleware.transport import (
+    InProcessTransport,
+    Transport,
+    WireSessionClient,
+)
 
 __all__ = [
     "ADMISSION_MODES",
     "AsyncBrowsingSession",
     "AsyncForeCacheService",
     "AsyncSessionHandle",
+    "AsyncSocketSessionClient",
+    "AsyncSocketTransport",
     "BrowsingSession",
     "CacheConfig",
     "DuplicateSessionError",
     "ErrorInfo",
     "ForeCacheServer",
     "ForeCacheService",
+    "ForeCacheSocketServer",
+    "FrameDecoder",
+    "FramingError",
+    "FrameTooLargeError",
     "HIT_SECONDS",
     "InProcessTransport",
     "InvalidRequestError",
@@ -84,6 +106,11 @@ __all__ = [
     "SessionInfo",
     "SessionNotFoundError",
     "ServiceConfig",
+    "SocketSessionClient",
+    "SocketTransport",
+    "ThreadedSocketServer",
+    "Transport",
+    "VersionMismatchError",
     "TileResponse",
     "WireSessionClient",
 ]

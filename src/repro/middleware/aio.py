@@ -30,7 +30,7 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.core.engine import PredictionEngine
 from repro.middleware.config import ServiceConfig
 from repro.middleware.latency import LatencyRecorder
-from repro.middleware.protocol import SessionInfo
+from repro.middleware.protocol import SessionClosedError, SessionInfo
 from repro.middleware.service import (
     ForeCacheService,
     SessionHandle,
@@ -93,6 +93,10 @@ class AsyncForeCacheService:
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="forecache-aio"
         )
+        # _closing gates new calls from the moment aclose begins;
+        # _closed flips only once teardown fully completed (so a
+        # cancelled aclose can be retried).
+        self._closing = False
         self._closed = False
 
     @classmethod
@@ -118,7 +122,23 @@ class AsyncForeCacheService:
     def config(self) -> ServiceConfig:
         return self.service.config
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`aclose` has fully completed."""
+        return self._closed
+
+    @property
+    def session_count(self) -> int:
+        return self.service.session_count
+
     async def _call(self, fn, *args):
+        if self._closing or self._closed:
+            # The bridge pool is down (or going down); surface the same
+            # typed error the facade raises for its own lifecycle, so
+            # transports report it over the wire instead of the opaque
+            # "cannot schedule new futures after shutdown" RuntimeError
+            # a request racing aclose() would otherwise hit.
+            raise SessionClosedError("service is closed")
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._executor, functools.partial(fn, *args)
@@ -176,6 +196,7 @@ class AsyncForeCacheService:
         """
         if self._closed:
             return
+        self._closing = True
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.service.close)
         await loop.run_in_executor(

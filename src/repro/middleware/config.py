@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.cache.manager import CacheManager
 from repro.cache.tile_cache import TileCache
 from repro.middleware.latency import HIT_SECONDS, LatencyModel
+from repro.middleware.protocol import DEFAULT_MAX_FRAME_BYTES
 from repro.middleware.scheduler import ADMISSION_MODES
 from repro.tiles.pyramid import TilePyramid
 
@@ -131,6 +132,13 @@ class ServiceConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     #: Fixed middleware/transfer overhead every response pays.
     transfer_seconds: float = HIT_SECONDS
+    #: Socket transport: interface the socket server binds.
+    bind_host: str = "127.0.0.1"
+    #: Socket transport: port to bind (0 = ephemeral, OS-assigned).
+    bind_port: int = 0
+    #: Socket transport: per-frame size ceiling — bounds what one peer
+    #: can make the server buffer before the frame is rejected.
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
 
     def __post_init__(self) -> None:
         # Capacity-vs-budget fit is NOT checked here: the serving cache
@@ -139,6 +147,15 @@ class ServiceConfig:
         if self.transfer_seconds < 0:
             raise ValueError(
                 f"transfer_seconds must be >= 0, got {self.transfer_seconds}"
+            )
+        if not 0 <= self.bind_port <= 65535:
+            raise ValueError(
+                f"bind_port must be in [0, 65535], got {self.bind_port}"
+            )
+        if self.max_frame_bytes < 4096:
+            # Below this even a payload-less response cannot fit.
+            raise ValueError(
+                f"max_frame_bytes must be >= 4096, got {self.max_frame_bytes}"
             )
 
     def build_latency_model(self) -> LatencyModel:

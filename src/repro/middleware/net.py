@@ -1,0 +1,887 @@
+"""The socket transport: the wire protocol over real TCP connections.
+
+The paper's middleware sits between a browser and the DBMS; this module
+is the boundary where bytes actually cross a network.  One
+:class:`ForeCacheSocketServer` speaks the framed JSON protocol of
+:mod:`repro.middleware.protocol` over asyncio TCP, backed by an
+:class:`~repro.middleware.aio.AsyncForeCacheService`:
+
+    service = AsyncForeCacheService.build(pyramid, config, engine_factory=...)
+    server = ForeCacheSocketServer(service)
+    host, port = await server.start()
+    ...
+    await server.aclose()          # drains in-flight requests
+
+Each connection opens with a ``hello``/``welcome`` version negotiation,
+then drives sessions through the ``open_session``/``close_session``
+control envelope and ``tile_request`` frames.  Sessions are registered
+*per connection*: a client can only address sessions it opened, and a
+dropped connection closes its own sessions without disturbing anyone
+else's.  Framing violations (malformed bytes, oversized frames) are
+answered with their typed :class:`~repro.middleware.protocol.ErrorInfo`
+and the connection is closed; a malformed *message* on a healthy frame
+stream is answered and the connection keeps serving.
+
+Clients come in both colors — :class:`SocketTransport` (blocking
+sockets, implements the shared
+:class:`~repro.middleware.transport.Transport` ABC) and
+:class:`AsyncSocketTransport` (asyncio streams) — each multiplexing any
+number of sessions over one connection.  The connections they return
+satisfy the same contract as every other front end, so the one
+``BrowsingSession`` / ``AsyncBrowsingSession`` replays traces over
+loopback exactly as it does in process.  :class:`ThreadedSocketServer`
+runs the whole server on a dedicated daemon thread for synchronous
+programs (examples, benchmarks, tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket
+import threading
+from collections import deque
+from dataclasses import replace
+
+from repro.core.engine import PredictionEngine
+from repro.middleware import protocol
+from repro.middleware.aio import AsyncForeCacheService
+from repro.middleware.config import ServiceConfig
+from repro.middleware.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAMINGS,
+    SUPPORTED_VERSIONS,
+    CloseSession,
+    ErrorInfo,
+    FrameDecoder,
+    FrameTooLargeError,
+    Hello,
+    InvalidRequestError,
+    OpenSession,
+    ProtocolError,
+    SessionClosedError,
+    SessionInfo,
+    SessionNotFoundError,
+    TileRef,
+    TileRequest,
+    Welcome,
+    encode_frame,
+    negotiate_version,
+)
+from repro.middleware.service import TileResponse
+from repro.middleware.transport import Transport, response_to_client
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.tiles.pyramid import TilePyramid
+
+_READ_CHUNK = 65536
+
+
+def _check_framing(framing: str) -> str:
+    if framing not in FRAMINGS:
+        raise ValueError(f"framing must be one of {FRAMINGS}, got {framing!r}")
+    return framing
+
+
+# ----------------------------------------------------------------------
+# server
+# ----------------------------------------------------------------------
+class ForeCacheSocketServer:
+    """Asyncio TCP server speaking the framed wire protocol."""
+
+    def __init__(
+        self,
+        service: AsyncForeCacheService,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        framing: str = "lines",
+        include_payload: bool = True,
+        max_frame_bytes: int | None = None,
+        server_name: str = "forecache-repro",
+        owns_service: bool = False,
+    ) -> None:
+        config = service.config
+        self.service = service
+        self.host = host if host is not None else config.bind_host
+        self.port = port if port is not None else config.bind_port
+        self.framing = _check_framing(framing)
+        #: Ship tile payloads in responses.  False mirrors
+        #: ``InProcessTransport(include_payload=False)``: a metadata-only
+        #: deployment whose clients resolve tile references out of band —
+        #: the shipped session clients refuse to materialize such
+        #: responses, with the same typed error.
+        self.include_payload = include_payload
+        self.max_frame_bytes = (
+            max_frame_bytes
+            if max_frame_bytes is not None
+            else config.max_frame_bytes
+        )
+        self.server_name = server_name
+        #: ``(host, port)`` actually bound, available after :meth:`start`
+        #: (the configured port may be 0 = ephemeral).
+        self.address: tuple[str, int] | None = None
+        self._owns_service = owns_service
+        self._server: asyncio.AbstractServer | None = None
+        self._closing: asyncio.Event | None = None
+        self._closed = False
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    @classmethod
+    def build(
+        cls,
+        pyramid: TilePyramid,
+        config: ServiceConfig | None = None,
+        *,
+        engine_factory=None,
+        max_workers: int = 8,
+        **server_kwargs,
+    ) -> "ForeCacheSocketServer":
+        """Construct service and server in one call; the server owns
+        (and on :meth:`aclose` closes) the service."""
+        service = AsyncForeCacheService.build(
+            pyramid,
+            config,
+            max_workers=max_workers,
+            engine_factory=engine_factory,
+        )
+        return cls(service, owns_service=True, **server_kwargs)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("socket server already started")
+        if self._closed:
+            raise RuntimeError("socket server is closed")
+        self._closing = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: stop accepting, let every in-flight
+        request finish and its response flush, close all connections
+        (their sessions with them), then — if this server built its
+        service via :meth:`build` — close the service.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._closing is not None:
+            self._closing.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._owns_service:
+            await self.service.aclose()
+
+    async def __aenter__(self) -> "ForeCacheSocketServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    @property
+    def connection_count(self) -> int:
+        """Connections currently being served."""
+        return len(self._conn_tasks)
+
+    # ------------------------------------------------------------------
+    # per-connection serving
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        assert self._closing is not None
+        sessions: set[str] = set()
+        decoder = FrameDecoder(self.framing, self.max_frame_bytes)
+        negotiated = False
+        closing_wait = asyncio.ensure_future(self._closing.wait())
+        try:
+            while not self._closing.is_set():
+                # Race the read against shutdown, so an *idle* connection
+                # closes promptly on aclose() while a dispatch already in
+                # progress (below, between reads) always runs to
+                # completion and flushes its response first.
+                read_task = asyncio.ensure_future(reader.read(_READ_CHUNK))
+                await asyncio.wait(
+                    {read_task, closing_wait},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not read_task.done():
+                    read_task.cancel()
+                    with contextlib.suppress(
+                        asyncio.CancelledError, ConnectionError, OSError
+                    ):
+                        await read_task
+                    break
+                try:
+                    data = read_task.result()
+                except (ConnectionError, OSError):
+                    break  # client vanished mid-read
+                if not data:
+                    break  # orderly EOF
+                try:
+                    frames = decoder.feed(data)
+                except ProtocolError as exc:
+                    # The byte stream itself is broken — answer with the
+                    # typed error, then hang up.
+                    await self._send(writer, ErrorInfo.from_exception(exc))
+                    break
+                fatal = False
+                for text in frames:
+                    reply, fatal, negotiated = await self._dispatch(
+                        text, sessions, negotiated
+                    )
+                    if reply is not None and not await self._send(
+                        writer, reply
+                    ):
+                        fatal = True
+                    if fatal:
+                        break
+                if fatal:
+                    break
+        finally:
+            closing_wait.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await closing_wait
+            await self._close_sessions(sessions)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _send(self, writer: asyncio.StreamWriter, message) -> bool:
+        """Frame and flush one message; False when the client is gone."""
+        try:
+            frame = encode_frame(
+                protocol.encode(message), self.framing, self.max_frame_bytes
+            )
+        except FrameTooLargeError as exc:
+            # The *response* outgrew the frame budget (giant tile
+            # payload); report that instead of silently dropping it.
+            frame = encode_frame(
+                protocol.encode(ErrorInfo.from_exception(exc)), self.framing
+            )
+        try:
+            writer.write(frame)
+            await writer.drain()
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+    async def _dispatch(
+        self, text: str, sessions: set[str], negotiated: bool
+    ):
+        """Serve one frame; returns ``(reply, fatal, negotiated)``."""
+        try:
+            message = protocol.decode(text)
+        except ProtocolError as exc:
+            # One malformed message on a healthy frame stream: answer
+            # and keep serving the connection.
+            return ErrorInfo.from_exception(exc), False, negotiated
+        if not negotiated:
+            if not isinstance(message, Hello):
+                error = InvalidRequestError(
+                    "connection must open with a hello frame, got "
+                    f"{type(message).__name__}"
+                )
+                return ErrorInfo.from_exception(error), True, False
+        if isinstance(message, Hello):
+            try:
+                version = negotiate_version(message.versions)
+            except ProtocolError as exc:
+                return ErrorInfo.from_exception(exc), True, negotiated
+            welcome = Welcome(
+                version=version,
+                server=self.server_name,
+                max_frame_bytes=self.max_frame_bytes,
+            )
+            return welcome, False, True
+        try:
+            if isinstance(message, OpenSession):
+                return await self._open_session(message, sessions)
+            if isinstance(message, CloseSession):
+                return await self._close_session(message, sessions)
+            if isinstance(message, TileRequest):
+                return await self._serve_request(message, sessions)
+            error = InvalidRequestError(
+                f"server cannot serve {type(message).__name__} messages"
+            )
+            return ErrorInfo.from_exception(error), False, True
+        except Exception as exc:
+            return ErrorInfo.from_exception(exc), False, True
+
+    async def _open_session(self, message: OpenSession, sessions: set[str]):
+        handle = await self.service.open_session(None, message.session_id)
+        session_id = str(handle.session_id)
+        sessions.add(session_id)
+        return await handle.info(), False, True
+
+    async def _close_session(self, message: CloseSession, sessions: set[str]):
+        session_id = message.session_id
+        if session_id not in sessions:
+            # Per-connection isolation: a session another client opened
+            # is invisible here, even if it exists on the service.
+            raise SessionNotFoundError(
+                f"session {session_id!r} is not open on this connection",
+                session_id=session_id,
+            )
+        final = await self.service.info(session_id)
+        await self.service.close_session(session_id)
+        sessions.discard(session_id)
+        return replace(final, open=False), False, True
+
+    async def _serve_request(self, message: TileRequest, sessions: set[str]):
+        session_id = message.session_id
+        if session_id not in sessions:
+            raise SessionNotFoundError(
+                f"session {session_id!r} is not open on this connection",
+                session_id=session_id,
+            )
+        result = await self.service.request(
+            session_id, message.to_move(), message.tile.to_key()
+        )
+        response = protocol.TileResponse.from_result(
+            session_id, result, include_payload=self.include_payload
+        )
+        return response, False, True
+
+    async def _close_sessions(self, sessions: set[str]) -> None:
+        """Drop the sessions a finished connection leaves behind."""
+        for session_id in list(sessions):
+            with contextlib.suppress(Exception):
+                await self.service.close_session(session_id)
+        sessions.clear()
+
+
+# ----------------------------------------------------------------------
+# threaded server (for synchronous programs)
+# ----------------------------------------------------------------------
+class ThreadedSocketServer:
+    """A :class:`ForeCacheSocketServer` on its own daemon thread/loop.
+
+    Synchronous callers (examples, benchmarks, the conformance tests)
+    get a live loopback endpoint with one call::
+
+        with ThreadedSocketServer(pyramid, config, engine_factory=f) as server:
+            transport = SocketTransport(*server.address, pyramid=pyramid)
+            ...
+
+    ``stop()`` (or leaving the ``with`` block) performs the server's
+    graceful drain before the thread exits.
+    """
+
+    def __init__(
+        self,
+        pyramid: TilePyramid,
+        config: ServiceConfig | None = None,
+        *,
+        engine_factory=None,
+        framing: str = "lines",
+        include_payload: bool = True,
+        max_workers: int = 8,
+        host: str | None = None,
+        port: int | None = None,
+    ) -> None:
+        self._pyramid = pyramid
+        self._config = config
+        self._engine_factory = engine_factory
+        self._framing = _check_framing(framing)
+        self._include_payload = include_payload
+        self._max_workers = max_workers
+        self._host = host
+        self._port = port
+        self.address: tuple[str, int] | None = None
+        #: The underlying asyncio server (set once :meth:`start` returns).
+        self.server: ForeCacheSocketServer | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+
+    def start(self) -> tuple[str, int]:
+        """Start the server thread; returns the bound ``(host, port)``."""
+        if self._thread is not None:
+            raise RuntimeError("threaded socket server already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="forecache-socket-server",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._error is not None:
+            raise self._error
+        if self.address is None:
+            raise RuntimeError("socket server thread failed to start")
+        return self.address
+
+    async def _main(self) -> None:
+        server = None
+        try:
+            server = ForeCacheSocketServer.build(
+                self._pyramid,
+                self._config,
+                engine_factory=self._engine_factory,
+                max_workers=self._max_workers,
+                framing=self._framing,
+                include_payload=self._include_payload,
+                host=self._host,
+                port=self._port,
+            )
+            await server.start()
+        except BaseException as exc:  # surface bind errors to start()
+            if server is not None:
+                # The built service owns thread pools; a failed bind
+                # must not leak them.
+                with contextlib.suppress(BaseException):
+                    await server.aclose()
+            self._error = exc
+            self._ready.set()
+            return
+        self.server = server
+        self.address = server.address
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._ready.set()
+        await self._stop_event.wait()
+        await server.aclose()
+
+    def stop(self) -> None:
+        """Drain and shut the server down.  Idempotent."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            stop_event = self._stop_event
+
+            def _signal() -> None:
+                stop_event.set()
+
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(_signal)
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ThreadedSocketServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# synchronous client
+# ----------------------------------------------------------------------
+class SocketTransport(Transport):
+    """Blocking-socket client transport; multiplexes sessions over one
+    TCP connection.
+
+    ``pyramid`` is the client's local copy of the tile-grid metadata
+    (a real visualizer downloads it once at startup); it is only needed
+    when a :class:`~repro.middleware.client.BrowsingSession` should
+    validate moves client-side — trace replay works without it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        pyramid: TilePyramid | None = None,
+        *,
+        framing: str = "lines",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        timeout: float | None = 30.0,
+        client_name: str = "forecache-python",
+    ) -> None:
+        self.pyramid = pyramid
+        self._framing = _check_framing(framing)
+        # Outgoing limit; clamped to the server's advertised budget after
+        # the handshake, so an over-limit request fails locally (and
+        # recoverably) instead of tripping the server's decoder — which
+        # hangs up and would take every session on this connection down.
+        self._send_limit = max_frame_bytes
+        self._decoder = FrameDecoder(framing, max_frame_bytes)
+        self._pending: deque[str] = deque()
+        self._lock = threading.RLock()
+        # _closed is guarded by its own lock so close() can run while a
+        # roundtrip holds self._lock blocked in recv.
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            welcome = self.roundtrip(
+                Hello(versions=SUPPORTED_VERSIONS, client=client_name)
+            )
+            if isinstance(welcome, ErrorInfo):
+                raise welcome.to_exception()
+            if not isinstance(welcome, Welcome):
+                raise ProtocolError(
+                    f"expected welcome, got {type(welcome).__name__}"
+                )
+        except BaseException:
+            self.close()
+            raise
+        #: Negotiated protocol revision and the server's advertised limits.
+        self.server_version = welcome.version
+        self.server_name = welcome.server
+        self.server_max_frame_bytes = welcome.max_frame_bytes
+        if welcome.max_frame_bytes > 0:
+            self._send_limit = min(self._send_limit, welcome.max_frame_bytes)
+            # Receiving is sized to the server's budget too: the server
+            # never frames a reply above its advertised limit, so a
+            # legitimate large response must not trip our decoder and
+            # take the connection down.
+            self._decoder.max_frame_bytes = max(
+                self._decoder.max_frame_bytes, welcome.max_frame_bytes
+            )
+
+    # ------------------------------------------------------------------
+    # wire plumbing
+    # ------------------------------------------------------------------
+    def roundtrip(self, message):
+        """Send one message, return the decoded reply.
+
+        The lock serializes concurrent sessions sharing this connection:
+        the protocol is strict request/reply, so reply N always answers
+        request N.  Any failure between send and a fully received reply
+        (socket error, recv timeout, framing violation) leaves a reply
+        possibly still in flight — the pairing is unrecoverable, so the
+        transport closes itself rather than hand request N+1 the answer
+        to request N; later calls raise ``SessionClosedError``.
+        """
+        with self._lock:
+            if self._closed:
+                raise SessionClosedError("socket transport is closed")
+            # An over-limit request raises here, before any bytes move —
+            # a local, recoverable failure that leaves the stream synced.
+            frame = encode_frame(
+                protocol.encode(message), self._framing, self._send_limit
+            )
+            try:
+                self._sock.sendall(frame)
+                text = self._recv_frame()
+            except BaseException:
+                self.close()  # RLock: safe while held
+                raise
+            # The frame was fully consumed, so the stream stays in sync
+            # even if its content fails to decode.
+            return protocol.decode(text)
+
+    def _recv_frame(self) -> str:
+        while not self._pending:
+            data = self._sock.recv(_READ_CHUNK)
+            if not data:
+                raise ProtocolError("server closed the connection")
+            self._pending.extend(self._decoder.feed(data))
+        return self._pending.popleft()
+
+    # ------------------------------------------------------------------
+    # Transport contract
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        engine: PredictionEngine | None = None,
+        session_id: str | None = None,
+    ) -> "SocketSessionClient":
+        """Open a server-side session; returns its client stub.
+
+        Engines live server-side (the server's ``engine_factory`` builds
+        one per session); passing one here is a usage error.
+        """
+        if engine is not None:
+            raise ValueError(
+                "socket sessions get their engine from the server's "
+                "engine_factory; pass engine=None"
+            )
+        reply = self.roundtrip(
+            OpenSession(
+                session_id=str(session_id) if session_id is not None else None
+            )
+        )
+        if isinstance(reply, ErrorInfo):
+            raise reply.to_exception()
+        if not isinstance(reply, SessionInfo):
+            raise ProtocolError(
+                f"expected session_info, got {type(reply).__name__}"
+            )
+        return SocketSessionClient(self, reply.session_id)
+
+    def close(self) -> None:
+        """Drop the connection (server closes its sessions).  Idempotent.
+
+        Deliberately does *not* take the roundtrip lock: a watchdog
+        thread must be able to abort a roundtrip blocked in ``recv``
+        (closing the socket is what unblocks it); the interrupted
+        roundtrip then surfaces an ``OSError`` and stays closed.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+
+class SocketSessionClient:
+    """One session's client stub over a :class:`SocketTransport`."""
+
+    def __init__(self, transport: SocketTransport, session_id: str) -> None:
+        self.transport = transport
+        self.session_id = session_id
+        self._closed = False
+
+    @property
+    def pyramid(self) -> TilePyramid | None:
+        return self.transport.pyramid
+
+    def handle_request(self, move: Move | None, key: TileKey) -> TileResponse:
+        """Round-trip one request over the socket."""
+        reply = self.transport.roundtrip(
+            TileRequest(
+                session_id=self.session_id,
+                tile=TileRef.from_key(key),
+                move=move.value if move is not None else None,
+            )
+        )
+        return response_to_client(reply)
+
+    # The connection contract every front end shares.
+    request = handle_request
+
+    def close(self) -> None:
+        """Close the server-side session.  Idempotent; tolerates a
+        transport that already went away."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            reply = self.transport.roundtrip(CloseSession(self.session_id))
+        except (ProtocolError, OSError):
+            return  # connection gone; the server reaps the session
+        if isinstance(reply, ErrorInfo):
+            exc = reply.to_exception()
+            if not isinstance(exc, SessionNotFoundError):
+                raise exc
+
+
+# ----------------------------------------------------------------------
+# asyncio client
+# ----------------------------------------------------------------------
+class AsyncSocketTransport:
+    """Asyncio-streams client transport; the awaitable twin of
+    :class:`SocketTransport`."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        pyramid: TilePyramid | None,
+        framing: str,
+        max_frame_bytes: int,
+    ) -> None:
+        self.pyramid = pyramid
+        self._reader = reader
+        self._writer = writer
+        self._framing = framing
+        # Outgoing limit; clamped to the server's advertised budget after
+        # the handshake (see SocketTransport for the rationale).
+        self._send_limit = max_frame_bytes
+        self._decoder = FrameDecoder(framing, max_frame_bytes)
+        self._pending: deque[str] = deque()
+        self._lock = asyncio.Lock()
+        self._closed = False
+        self.server_version: int | None = None
+        self.server_name = ""
+        self.server_max_frame_bytes = 0
+
+    @classmethod
+    async def open(
+        cls,
+        host: str,
+        port: int,
+        pyramid: TilePyramid | None = None,
+        *,
+        framing: str = "lines",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        client_name: str = "forecache-python-aio",
+    ) -> "AsyncSocketTransport":
+        """Connect and run the hello/welcome handshake."""
+        _check_framing(framing)
+        reader, writer = await asyncio.open_connection(host, port)
+        self = cls(reader, writer, pyramid, framing, max_frame_bytes)
+        try:
+            welcome = await self.roundtrip(
+                Hello(versions=SUPPORTED_VERSIONS, client=client_name)
+            )
+            if isinstance(welcome, ErrorInfo):
+                raise welcome.to_exception()
+            if not isinstance(welcome, Welcome):
+                raise ProtocolError(
+                    f"expected welcome, got {type(welcome).__name__}"
+                )
+        except BaseException:
+            await self.aclose()
+            raise
+        self.server_version = welcome.version
+        self.server_name = welcome.server
+        self.server_max_frame_bytes = welcome.max_frame_bytes
+        if welcome.max_frame_bytes > 0:
+            self._send_limit = min(self._send_limit, welcome.max_frame_bytes)
+            # See SocketTransport: receive limit follows the server's
+            # advertised budget so a large-but-legal reply never kills
+            # the connection.
+            self._decoder.max_frame_bytes = max(
+                self._decoder.max_frame_bytes, welcome.max_frame_bytes
+            )
+        return self
+
+    async def roundtrip(self, message):
+        """Send one message, await the decoded reply (serialized).
+
+        A failure — or a *cancellation* — between send and a fully
+        received reply leaves that reply in flight, permanently
+        desynchronizing the strict request/reply pairing; the transport
+        closes itself instead of letting the next request read a stale
+        answer.  Later calls raise ``SessionClosedError``.
+        """
+        async with self._lock:
+            if self._closed:
+                raise SessionClosedError("socket transport is closed")
+            # An over-limit request raises here, before any bytes move —
+            # local and recoverable, the stream stays synced.
+            frame = encode_frame(
+                protocol.encode(message), self._framing, self._send_limit
+            )
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+                text = await self._recv_frame()
+            except BaseException:
+                # No awaits here: this must complete even while a
+                # cancellation is being delivered.
+                self._closed = True
+                self._writer.close()
+                raise
+            # A fully consumed frame keeps the stream in sync even if
+            # its content fails to decode.
+            return protocol.decode(text)
+
+    async def _recv_frame(self) -> str:
+        while not self._pending:
+            data = await self._reader.read(_READ_CHUNK)
+            if not data:
+                raise ProtocolError("server closed the connection")
+            self._pending.extend(self._decoder.feed(data))
+        return self._pending.popleft()
+
+    async def connect(
+        self,
+        engine: PredictionEngine | None = None,
+        session_id: str | None = None,
+    ) -> "AsyncSocketSessionClient":
+        """Open a server-side session; returns its awaitable stub."""
+        if engine is not None:
+            raise ValueError(
+                "socket sessions get their engine from the server's "
+                "engine_factory; pass engine=None"
+            )
+        reply = await self.roundtrip(
+            OpenSession(
+                session_id=str(session_id) if session_id is not None else None
+            )
+        )
+        if isinstance(reply, ErrorInfo):
+            raise reply.to_exception()
+        if not isinstance(reply, SessionInfo):
+            raise ProtocolError(
+                f"expected session_info, got {type(reply).__name__}"
+            )
+        return AsyncSocketSessionClient(self, reply.session_id)
+
+    async def aclose(self) -> None:
+        """Drop the connection (server closes its sessions).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        with contextlib.suppress(Exception):
+            await self._writer.wait_closed()
+
+    async def __aenter__(self) -> "AsyncSocketTransport":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+
+class AsyncSocketSessionClient:
+    """One session's awaitable stub over an :class:`AsyncSocketTransport`.
+
+    Satisfies the ``AsyncBrowsingSession`` connection contract
+    (``.pyramid`` + awaitable ``.request(move, key)``).
+    """
+
+    def __init__(
+        self, transport: AsyncSocketTransport, session_id: str
+    ) -> None:
+        self.transport = transport
+        self.session_id = session_id
+        self._closed = False
+
+    @property
+    def pyramid(self) -> TilePyramid | None:
+        return self.transport.pyramid
+
+    async def request(self, move: Move | None, key: TileKey) -> TileResponse:
+        """Round-trip one request over the socket."""
+        reply = await self.transport.roundtrip(
+            TileRequest(
+                session_id=self.session_id,
+                tile=TileRef.from_key(key),
+                move=move.value if move is not None else None,
+            )
+        )
+        return response_to_client(reply)
+
+    async def close(self) -> None:
+        """Close the server-side session.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            reply = await self.transport.roundtrip(
+                CloseSession(self.session_id)
+            )
+        except (ProtocolError, OSError):
+            return
+        if isinstance(reply, ErrorInfo):
+            exc = reply.to_exception()
+            if not isinstance(exc, SessionNotFoundError):
+                raise exc
+
+    async def __aenter__(self) -> "AsyncSocketSessionClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

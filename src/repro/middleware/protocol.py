@@ -12,13 +12,29 @@ Messages are tagged with a ``type`` field by :func:`encode`;
 :func:`decode` dispatches back to the right class.  Failures travel as
 :class:`ErrorInfo`, which maps 1:1 onto the typed exception hierarchy
 (:class:`SessionNotFoundError`, :class:`DuplicateSessionError`,
-:class:`SessionClosedError`, :class:`InvalidRequestError`) so a client
-can re-raise exactly what the server threw.
+:class:`SessionClosedError`, :class:`InvalidRequestError`, and the
+byte-level :class:`FramingError` family) so a client can re-raise
+exactly what the server threw.
+
+For transports that move *bytes* rather than strings (the socket
+transport in :mod:`repro.middleware.net`), this module also defines the
+framing layer: messages travel as newline-delimited (``"lines"``) or
+4-byte-big-endian length-prefixed (``"length"``) UTF-8 JSON frames, cut
+back out of the byte stream by the incremental :class:`FrameDecoder`.
+A connection starts with a :class:`Hello`/:class:`Welcome`
+version-negotiation handshake, then drives sessions with the
+:class:`OpenSession`/:class:`CloseSession` control envelope (the reply
+to both is a :class:`SessionInfo`).
+
+All ``from_dict`` constructors tolerate unknown fields (they extract
+the fields they know and ignore the rest), so a newer peer can add
+fields without breaking an older one.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -71,6 +87,24 @@ class InvalidRequestError(ProtocolError, ValueError):
     code = "invalid_request"
 
 
+class FramingError(ProtocolError, ValueError):
+    """The byte stream could not be cut into frames."""
+
+    code = "framing"
+
+
+class FrameTooLargeError(FramingError):
+    """A frame exceeded the transport's ``max_frame_bytes`` budget."""
+
+    code = "frame_too_large"
+
+
+class VersionMismatchError(ProtocolError, ValueError):
+    """Hello/Welcome negotiation found no mutually supported version."""
+
+    code = "version_mismatch"
+
+
 ERROR_TYPES: dict[str, type[ProtocolError]] = {
     cls.code: cls
     for cls in (
@@ -79,6 +113,9 @@ ERROR_TYPES: dict[str, type[ProtocolError]] = {
         DuplicateSessionError,
         SessionClosedError,
         InvalidRequestError,
+        FramingError,
+        FrameTooLargeError,
+        VersionMismatchError,
     )
 }
 
@@ -318,7 +355,15 @@ class SessionInfo:
 
     @classmethod
     def from_dict(cls, data: dict) -> "SessionInfo":
-        return cls(**data)
+        return cls(
+            session_id=data["session_id"],
+            open=bool(data["open"]),
+            prefetch_mode=data["prefetch_mode"],
+            requests=int(data["requests"]),
+            hits=int(data["hits"]),
+            hit_rate=float(data["hit_rate"]),
+            average_latency_seconds=float(data["average_latency_seconds"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -351,7 +396,109 @@ class ErrorInfo:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ErrorInfo":
-        return cls(**data)
+        return cls(
+            code=data["code"],
+            message=data["message"],
+            session_id=data.get("session_id"),
+        )
+
+
+# ----------------------------------------------------------------------
+# control envelope (connection setup and session lifecycle)
+# ----------------------------------------------------------------------
+#: The protocol revision this build speaks natively.
+PROTOCOL_VERSION = 1
+#: Every revision this build can serve (negotiation picks the highest
+#: revision both peers list).
+SUPPORTED_VERSIONS: tuple[int, ...] = (1,)
+
+
+@dataclass(frozen=True)
+class Hello:
+    """The client's first frame: who it is and what it speaks."""
+
+    versions: tuple[int, ...] = SUPPORTED_VERSIONS
+    client: str = ""
+
+    def to_dict(self) -> dict:
+        return {"versions": list(self.versions), "client": self.client}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Hello":
+        return cls(
+            versions=tuple(int(v) for v in data["versions"]),
+            client=data.get("client", ""),
+        )
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """The server's handshake reply: the negotiated version and limits."""
+
+    version: int
+    server: str = ""
+    max_frame_bytes: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "server": self.server,
+            "max_frame_bytes": self.max_frame_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Welcome":
+        return cls(
+            version=int(data["version"]),
+            server=data.get("server", ""),
+            max_frame_bytes=int(data.get("max_frame_bytes", 0)),
+        )
+
+
+def negotiate_version(offered) -> int:
+    """Pick the highest mutually supported protocol revision.
+
+    Raises :class:`VersionMismatchError` when the peer offers nothing
+    this build speaks.
+    """
+    common = set(SUPPORTED_VERSIONS) & {int(v) for v in offered}
+    if not common:
+        raise VersionMismatchError(
+            f"no common protocol version: peer speaks {sorted(offered)}, "
+            f"server speaks {sorted(SUPPORTED_VERSIONS)}"
+        )
+    return max(common)
+
+
+@dataclass(frozen=True)
+class OpenSession:
+    """Open a server-side session (engine comes from the server's
+    ``engine_factory``).  The reply is the new session's
+    :class:`SessionInfo`."""
+
+    session_id: str | None = None
+
+    def to_dict(self) -> dict:
+        return {"session_id": self.session_id}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OpenSession":
+        return cls(session_id=data.get("session_id"))
+
+
+@dataclass(frozen=True)
+class CloseSession:
+    """Close an open session.  The reply is the session's final
+    :class:`SessionInfo` snapshot (``open=False``)."""
+
+    session_id: str
+
+    def to_dict(self) -> dict:
+        return {"session_id": self.session_id}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CloseSession":
+        return cls(session_id=data["session_id"])
 
 
 # ----------------------------------------------------------------------
@@ -362,6 +509,10 @@ MESSAGE_TYPES: dict[str, type] = {
     "tile_response": TileResponse,
     "session_info": SessionInfo,
     "error": ErrorInfo,
+    "hello": Hello,
+    "welcome": Welcome,
+    "open_session": OpenSession,
+    "close_session": CloseSession,
 }
 _TYPE_NAMES = {cls: name for name, cls in MESSAGE_TYPES.items()}
 
@@ -380,10 +531,15 @@ def decode(data: str):
         raw = json.loads(data)
     except json.JSONDecodeError as exc:
         raise InvalidRequestError(f"malformed JSON: {exc}") from None
+    except RecursionError:
+        # json.loads recurses per nesting level; a hostile deeply-nested
+        # payload must be a typed rejection, not a server crash.
+        raise InvalidRequestError("JSON nested too deeply") from None
     if not isinstance(raw, dict):
         raise InvalidRequestError("wire messages must be JSON objects")
     name = raw.pop("type", None)
-    cls = MESSAGE_TYPES.get(name)
+    # A non-string tag (e.g. a list) is unhashable — guard the lookup.
+    cls = MESSAGE_TYPES.get(name) if isinstance(name, str) else None
     if cls is None:
         raise InvalidRequestError(f"unknown message type {name!r}")
     try:
@@ -392,3 +548,149 @@ def decode(data: str):
         raise InvalidRequestError(
             f"malformed {name} message: {exc}"
         ) from None
+
+
+# ----------------------------------------------------------------------
+# framing (byte transports)
+# ----------------------------------------------------------------------
+#: Frame encodings a byte transport may speak: newline-delimited JSON
+#: (``"lines"``, debuggable with netcat) or 4-byte big-endian
+#: length-prefixed JSON (``"length"``, binary-safe and self-sizing).
+FRAMINGS: tuple[str, ...] = ("lines", "length")
+
+#: Default ceiling on one frame's size.  A 32x32 float64 tile payload is
+#: ~25 KB of JSON; 8 MiB leaves room for much larger tiles while still
+#: bounding what a misbehaving peer can make the server buffer.
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+_LENGTH_HEADER = struct.Struct(">I")
+
+
+def encode_frame(
+    text: str,
+    framing: str = "lines",
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """Wrap one encoded message for the byte stream.
+
+    Refuses locally (with the same typed errors the server would send
+    back) payloads the peer is guaranteed to reject: oversized frames,
+    and — in ``"lines"`` framing — embedded newlines, which would split
+    into two bogus frames on the wire.
+    """
+    if framing not in FRAMINGS:
+        raise ValueError(f"framing must be one of {FRAMINGS}, got {framing!r}")
+    payload = text.encode("utf-8")
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    if framing == "lines":
+        if b"\n" in payload:
+            raise FramingError(
+                "newline-delimited framing cannot carry embedded newlines"
+            )
+        return payload + b"\n"
+    return _LENGTH_HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame cutter for one connection's byte stream.
+
+    Feed it whatever ``recv`` returned; it buffers partial frames and
+    returns each completed frame's text.  Violations raise the typed
+    :class:`FramingError` family — after which the stream is
+    unrecoverable (the decoder refuses further input), matching the
+    server's close-on-framing-error behavior.
+    """
+
+    def __init__(
+        self,
+        framing: str = "lines",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        if framing not in FRAMINGS:
+            raise ValueError(
+                f"framing must be one of {FRAMINGS}, got {framing!r}"
+            )
+        if max_frame_bytes < 1:
+            raise ValueError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
+            )
+        self.framing = framing
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        # Lines framing: everything before this offset is known to hold
+        # no newline, so each feed scans only fresh bytes (keeps big
+        # frames arriving in small reads linear, not quadratic).
+        self._scanned = 0
+        self._dead = False
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for their frame to complete."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[str]:
+        """Add bytes; return the texts of every frame they completed."""
+        if self._dead:
+            raise FramingError("stream already failed; open a new connection")
+        self._buffer.extend(data)
+        try:
+            if self.framing == "lines":
+                return self._cut_lines()
+            return self._cut_length_prefixed()
+        except FramingError:
+            self._dead = True
+            raise
+
+    def _decode_text(self, payload: bytes) -> str:
+        try:
+            return payload.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise FramingError(f"frame is not valid UTF-8: {exc}") from None
+
+    def _cut_lines(self) -> list[str]:
+        frames = []
+        while True:
+            newline = self._buffer.find(b"\n", self._scanned)
+            if newline < 0:
+                self._scanned = len(self._buffer)
+                if len(self._buffer) > self.max_frame_bytes:
+                    raise FrameTooLargeError(
+                        f"unterminated line exceeds the "
+                        f"{self.max_frame_bytes}-byte frame limit"
+                    )
+                return frames
+            if newline > self.max_frame_bytes:
+                raise FrameTooLargeError(
+                    f"frame of {newline} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+            payload = bytes(self._buffer[:newline])
+            del self._buffer[: newline + 1]
+            self._scanned = 0
+            # A bare "\r\n" or empty line is keepalive noise, not a frame.
+            text = self._decode_text(payload).strip()
+            if text:
+                frames.append(text)
+
+    def _cut_length_prefixed(self) -> list[str]:
+        frames = []
+        while len(self._buffer) >= _LENGTH_HEADER.size:
+            (length,) = _LENGTH_HEADER.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                raise FrameTooLargeError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+            if length == 0:
+                raise FramingError("length-prefixed frame of 0 bytes")
+            end = _LENGTH_HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            payload = bytes(self._buffer[_LENGTH_HEADER.size : end])
+            del self._buffer[:end]
+            frames.append(self._decode_text(payload))
+        return frames

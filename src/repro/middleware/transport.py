@@ -1,22 +1,28 @@
-"""In-process transport: the wire protocol without a network.
+"""Client-side transports: the wire protocol with and without a network.
 
-Proves (and tests) transport independence: every request is serialized
-to a JSON :class:`~repro.middleware.protocol.TileRequest`, handed to the
-server side as a *string*, served by the facade, and the response comes
-back as a JSON string that the client decodes — exactly the round trip
-an HTTP or websocket transport would make, minus the socket.
+:class:`Transport` is the contract every client-side transport
+implements — ``connect()`` opens a session and returns a connection
+satisfying the ``BrowsingSession`` interface (``.pyramid`` +
+``.handle_request(move, key)``), so the one client drives every
+transport.  Two implementations exist:
+
+- :class:`InProcessTransport` (here) proves transport independence:
+  every request is serialized to a JSON
+  :class:`~repro.middleware.protocol.TileRequest`, handed to the server
+  side as a *string*, served by the facade, and the response comes back
+  as a JSON string that the client decodes — exactly the round trip a
+  socket transport makes, minus the socket.
+- :class:`~repro.middleware.net.SocketTransport` speaks the same
+  protocol as framed bytes over TCP.
 
     transport = InProcessTransport(service)
     conn = transport.connect(engine)          # opens a facade session
     BrowsingSession(conn).replay(trace)       # same client code as ever
-
-:class:`WireSessionClient` satisfies the same connection contract as a
-legacy server or a :class:`~repro.middleware.service.SessionHandle`
-(``.pyramid`` + ``.handle_request(move, key)``), so the one
-``BrowsingSession`` drives every front end.
 """
 
 from __future__ import annotations
+
+from abc import ABC, abstractmethod
 
 from repro.core.engine import PredictionEngine
 from repro.middleware import protocol
@@ -34,7 +40,61 @@ from repro.tiles.moves import Move
 from repro.tiles.pyramid import TilePyramid
 
 
-class InProcessTransport:
+class Transport(ABC):
+    """What a client-side transport provides: sessions over the wire.
+
+    ``connect()`` opens a server-side session and returns a connection
+    exposing ``.pyramid``, ``.handle_request(move, key)`` and
+    ``.close()``.  ``close()`` releases the transport itself (idempotent;
+    the in-process transport holds nothing to release).
+    """
+
+    @abstractmethod
+    def connect(
+        self,
+        engine: PredictionEngine | None = None,
+        session_id: str | None = None,
+    ):
+        """Open a session; return its wire-speaking connection."""
+
+    def close(self) -> None:
+        """Release transport resources.  Idempotent."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def response_to_client(message) -> TileResponse:
+    """Turn a decoded server reply into an in-process ``TileResponse``.
+
+    The one materialization path every transport's client shares:
+    errors re-raise as their typed exception, non-responses and
+    payload-less responses are protocol violations.
+    """
+    if isinstance(message, ErrorInfo):
+        raise message.to_exception()
+    if not isinstance(message, protocol.TileResponse):
+        raise ProtocolError(
+            f"expected tile_response, got {type(message).__name__}"
+        )
+    if message.payload is None:
+        raise ProtocolError(
+            "transport returned no payload; client cannot materialize"
+            f" tile {message.tile.to_key()}"
+        )
+    return TileResponse(
+        tile=message.payload.to_tile(),
+        latency_seconds=message.latency_seconds,
+        hit=message.hit,
+        phase=message.to_phase(),
+        prefetched=tuple(ref.to_key() for ref in message.prefetched),
+    )
+
+
+class InProcessTransport(Transport):
     """Moves protocol JSON strings between client stubs and a facade."""
 
     def __init__(
@@ -114,25 +174,7 @@ class WireSessionClient:
                 )
             )
         )
-        message = protocol.decode(raw)
-        if isinstance(message, ErrorInfo):
-            raise message.to_exception()
-        if not isinstance(message, protocol.TileResponse):
-            raise ProtocolError(
-                f"expected tile_response, got {type(message).__name__}"
-            )
-        if message.payload is None:
-            raise ProtocolError(
-                "transport returned no payload; client cannot materialize"
-                f" tile {message.tile.to_key()}"
-            )
-        return TileResponse(
-            tile=message.payload.to_tile(),
-            latency_seconds=message.latency_seconds,
-            hit=message.hit,
-            phase=message.to_phase(),
-            prefetched=tuple(ref.to_key() for ref in message.prefetched),
-        )
+        return response_to_client(protocol.decode(raw))
 
     def close(self) -> None:
         """Close the underlying facade session.  Idempotent, matching

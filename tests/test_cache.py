@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cache.lru import LRUCache
+from repro.cache.lru import LRUCache, ShardedLRUCache
 from repro.cache.manager import CacheManager
 from repro.cache.tile_cache import TileCache
 from repro.tiles.key import TileKey
@@ -411,3 +411,76 @@ class TestShardedSyncCycle:
         assert same_shard[1] not in stored
         assert stored.issuperset(others)
         assert len(stored) == 4
+
+
+class TestShardedLRUCache:
+    def test_one_shard_matches_plain_lru_exactly(self):
+        """shards=1 must be operation-for-operation identical to LRUCache
+        (the sync figure benchmarks replay through this configuration)."""
+        import random
+
+        plain = LRUCache(4)
+        sharded = ShardedLRUCache(4, shards=1)
+        rng = random.Random(7)
+        for step in range(500):
+            key = rng.randrange(12)
+            op = rng.randrange(3)
+            if op == 0:
+                assert plain.put(key, step) == sharded.put(key, step)
+            elif op == 1:
+                assert plain.get(key) == sharded.get(key)
+            else:
+                assert plain.peek(key) == sharded.peek(key)
+            assert plain.keys() == sharded.keys()
+            assert plain.hits == sharded.hits
+            assert plain.misses == sharded.misses
+
+    def test_capacity_split_across_segments(self):
+        cache = ShardedLRUCache(10, shards=4)
+        assert cache.shards == 4
+        assert [seg.capacity for seg in cache._segments] == [3, 3, 2, 2]
+        assert cache.capacity == 10
+
+    def test_shards_clamped_to_capacity(self):
+        cache = ShardedLRUCache(2, shards=8)
+        assert cache.shards == 2
+
+    def test_total_occupancy_bounded(self):
+        cache = ShardedLRUCache(6, shards=3)
+        for n in range(50):
+            cache.put(n, n)
+        assert len(cache) <= 6
+
+    def test_counters_aggregate_segments(self):
+        cache = ShardedLRUCache(8, shards=4)
+        for n in range(8):
+            cache.put(n, n)
+        present = sum(1 for n in range(8) if cache.get(n) is not None)
+        assert cache.hits == present
+        cache.get(99)
+        assert cache.misses >= 1
+        assert 0.0 < cache.hit_rate < 1.0
+
+    def test_eviction_is_per_segment(self):
+        """An insert can only evict from its own key's segment."""
+        cache = ShardedLRUCache(4, shards=4)
+        keys = list(range(16))
+        for key in keys:
+            evicted = cache.put(key, key)
+            if evicted is not None:
+                same_segment = (
+                    cache._segments[hash(evicted) % cache.shards]
+                    is cache._segments[hash(key) % cache.shards]
+                )
+                assert same_segment
+
+    def test_clear_and_validation(self):
+        cache = ShardedLRUCache(4, shards=2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert "a" not in cache
+        with pytest.raises(ValueError):
+            ShardedLRUCache(0)
+        with pytest.raises(ValueError):
+            ShardedLRUCache(4, shards=0)

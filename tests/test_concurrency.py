@@ -438,6 +438,74 @@ class TestThreadSafeCaches:
         assert errors == []
         assert len(cache.prefetched_keys) <= 4
 
+    def test_sharded_recent_lru_hammer(self):
+        """get/put/evict churn across every segment of the sharded LRU:
+        occupancy stays bounded, values stay consistent, counters add up."""
+        from repro.cache.lru import ShardedLRUCache
+
+        cache: ShardedLRUCache[int, int] = ShardedLRUCache(16, shards=8)
+        gets_per_worker = 400
+
+        def churn(seed):
+            rng = random.Random(seed)
+            for _ in range(gets_per_worker):
+                n = rng.randrange(96)
+                cache.put(n, n)
+                found = cache.get(rng.randrange(96))
+                assert found is None or 0 <= found < 96
+                assert len(cache) <= 16
+
+        workers = 6
+        errors = run_threads([lambda s=s: churn(s) for s in range(workers)])
+        assert errors == []
+        assert len(cache) <= 16
+        for key in cache.keys():
+            assert cache.peek(key) == key
+        # Every get was counted exactly once, hit or miss.
+        assert cache.hits + cache.misses == workers * gets_per_worker
+
+    def test_sharded_tile_cache_promote_and_evict_hammer(self):
+        """Request/promote/admit/lookup churn over a fully sharded
+        TileCache (both regions striped): hits promote out of the
+        prefetch region, full shards evict, nothing tears."""
+        import numpy as np
+
+        def tile(key):
+            return DataTile(key=key, attributes={"v": np.zeros((2, 2))})
+
+        cache = TileCache(recent_capacity=12, prefetch_capacity=8, shards=8)
+        keys = [TileKey(3, x, y) for x in range(6) for y in range(6)]
+
+        def churn(seed):
+            rng = random.Random(seed)
+            for _ in range(400):
+                key = rng.choice(keys)
+                action = rng.randrange(4)
+                if action == 0:
+                    # A user request: promotes a prefetched tile into
+                    # the recent region and frees its slot.
+                    cache.record_request(tile(key))
+                    assert key in cache
+                elif action == 1:
+                    cache.admit_prefetched(tile(key), f"m{seed}")
+                elif action == 2:
+                    found = cache.lookup(key)
+                    assert found is None or found.key == key
+                else:
+                    usage = cache.model_usage()
+                    assert all(count >= 0 for count in usage.values())
+
+        errors = run_threads([lambda s=s: churn(s) for s in range(8)])
+        assert errors == []
+        assert len(cache.prefetched_keys) <= 8
+        assert len(cache.recent_keys) <= 12
+        # A final request per key promotes: afterwards nothing the user
+        # requested is still holding a prefetch slot.
+        for key in keys[:6]:
+            cache.record_request(tile(key))
+            assert key not in cache.prefetched_keys
+            assert key in cache.recent_keys
+
 
 class TestPriorityAdmission:
     """Rank-aware fair admission: the scheduler's heap is ordered by

@@ -12,6 +12,7 @@ from repro.experiments.crossval import (
 )
 from repro.experiments.latency import (
     LatencyPoint,
+    figure13_violations,
     improvement_percent,
     linear_fit,
     replay_latency,
@@ -178,3 +179,66 @@ class TestReport:
         comparison.add("metric", 0.82, 0.815)
         text = str(comparison)
         assert "0.820" in text and "0.815" in text
+
+
+class TestFigure13Shape:
+    """Pins the downscale behavior of the Figure 13 assertions.
+
+    The curves in ``DOWNSCALED`` are the measured REPRO_SIZE=512 /
+    REPRO_USERS=6 run that used to fail the bench tier: in the tiny
+    world the single-model baselines saturate at high k (momentum with
+    k=8 covers nearly every legal move) while the hybrid still splits
+    its budget — so hybrid dominance is a full-scale-only claim beyond
+    the headline k.
+    """
+
+    DOWNSCALED = {
+        "momentum": {1: 761.866, 3: 393.560, 5: 246.238, 7: 64.387, 8: 42.519},
+        "hotspot": {1: 742.300, 3: 317.597, 5: 193.294, 7: 64.387, 8: 42.519},
+        "hybrid": {1: 599.581, 3: 281.918, 5: 142.652, 7: 95.463, 8: 64.387},
+    }
+
+    FULL_SCALE = {
+        "momentum": {1: 761.0, 3: 393.0, 5: 349.0, 7: 250.0, 8: 220.0},
+        "hotspot": {1: 742.0, 3: 318.0, 5: 360.0, 7: 260.0, 8: 230.0},
+        "hybrid": {1: 599.0, 3: 282.0, 5: 185.0, 7: 170.0, 8: 160.0},
+    }
+
+    def test_downscaled_curves_pass_downscaled_checks(self):
+        assert figure13_violations(self.DOWNSCALED, full_scale=False) == []
+
+    def test_downscaled_curves_fail_full_scale_checks(self):
+        violations = figure13_violations(self.DOWNSCALED, full_scale=True)
+        assert violations  # the k=7/k=8 tail crossing is detected
+        assert any("k=7" in v for v in violations)
+
+    def test_full_scale_curves_pass_everywhere(self):
+        assert figure13_violations(self.FULL_SCALE, full_scale=True) == []
+        assert figure13_violations(self.FULL_SCALE, full_scale=False) == []
+
+    def test_headline_crossing_fails_even_downscaled(self):
+        crossed = {
+            model: dict(series)
+            for model, series in self.DOWNSCALED.items()
+        }
+        crossed["hybrid"][5] = crossed["momentum"][5] + 1.0
+        violations = figure13_violations(crossed, full_scale=False)
+        assert any("k=5" in v for v in violations)
+
+    def test_interactivity_bar_is_always_checked(self):
+        sluggish = {
+            model: dict(series)
+            for model, series in self.FULL_SCALE.items()
+        }
+        for model in sluggish:
+            sluggish[model][5] = 600.0
+        for full_scale in (True, False):
+            violations = figure13_violations(sluggish, full_scale=full_scale)
+            assert any("interactivity" in v for v in violations)
+
+    def test_missing_headline_k_is_an_error(self):
+        with pytest.raises(ValueError):
+            figure13_violations(
+                {"hybrid": {1: 1.0}, "momentum": {1: 1.0}, "hotspot": {1: 1.0}},
+                full_scale=False,
+            )

@@ -1,0 +1,683 @@
+"""The socket transport: framing, handshake, isolation, and resilience.
+
+Everything runs over loopback on ephemeral ports — no external network.
+The resilience tests are the ones the paper's client/server split makes
+load-bearing: a malformed frame, an oversized frame, a truncated frame,
+or a client that vanishes mid-request must never poison the service or
+any other client's session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.allocation import SingleModelStrategy
+from repro.core.engine import PredictionEngine
+from repro.middleware.client import BrowsingSession
+from repro.middleware.config import CacheConfig, PrefetchPolicy, ServiceConfig
+from repro.middleware.net import (
+    SocketTransport,
+    ThreadedSocketServer,
+)
+from repro.middleware.protocol import (
+    CloseSession,
+    FrameDecoder,
+    FramingError,
+    FrameTooLargeError,
+    InvalidRequestError,
+    ProtocolError,
+    SessionClosedError,
+    SessionNotFoundError,
+    TileRef,
+    TileRequest,
+    VersionMismatchError,
+    encode_frame,
+)
+from repro.recommenders.momentum import MomentumRecommender
+from repro.tiles.key import TileKey
+
+CONFIG = ServiceConfig(prefetch=PrefetchPolicy(k=5))
+
+
+def make_engine(grid) -> PredictionEngine:
+    model = MomentumRecommender()
+    return PredictionEngine(
+        grid, {model.name: model}, SingleModelStrategy(model.name)
+    )
+
+
+@pytest.fixture
+def server(small_dataset):
+    with ThreadedSocketServer(
+        small_dataset.pyramid,
+        CONFIG,
+        engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+    ) as server:
+        yield server
+
+
+def raw_connection(server, timeout=10.0) -> socket.socket:
+    sock = socket.create_connection(server.address, timeout=timeout)
+    return sock
+
+
+def send_line(sock, payload: dict) -> None:
+    sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+
+
+def recv_lines(sock, count=1) -> list[dict]:
+    decoder = FrameDecoder("lines")
+    frames: list[str] = []
+    while len(frames) < count:
+        data = sock.recv(65536)
+        if not data:
+            break
+        frames.extend(decoder.feed(data))
+    return [json.loads(frame) for frame in frames]
+
+
+def handshake(sock) -> dict:
+    send_line(sock, {"type": "hello", "versions": [1]})
+    (welcome,) = recv_lines(sock)
+    assert welcome["type"] == "welcome"
+    return welcome
+
+
+def wait_for(predicate, timeout=10.0, interval=0.01) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# frame decoder units (the fuzz lives in test_properties.py)
+# ----------------------------------------------------------------------
+class TestFrameDecoder:
+    @pytest.mark.parametrize("framing", ["lines", "length"])
+    def test_single_frame_round_trip(self, framing):
+        decoder = FrameDecoder(framing)
+        assert decoder.feed(encode_frame('{"a": 1}', framing)) == ['{"a": 1}']
+
+    @pytest.mark.parametrize("framing", ["lines", "length"])
+    def test_byte_at_a_time_reassembly(self, framing):
+        texts = ['{"a": 1}', '{"b": [2, 3]}', '{"c": "\\u00e9"}']
+        stream = b"".join(encode_frame(t, framing) for t in texts)
+        decoder = FrameDecoder(framing)
+        out: list[str] = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert out == texts
+        assert decoder.buffered == 0
+
+    def test_lines_skips_blank_keepalives(self):
+        decoder = FrameDecoder("lines")
+        assert decoder.feed(b"\n\r\n{\"a\": 1}\n\n") == ['{"a": 1}']
+
+    def test_lines_oversized_unterminated(self):
+        decoder = FrameDecoder("lines", max_frame_bytes=16)
+        with pytest.raises(FrameTooLargeError):
+            decoder.feed(b"A" * 17)
+
+    def test_lines_oversized_terminated(self):
+        decoder = FrameDecoder("lines", max_frame_bytes=16)
+        with pytest.raises(FrameTooLargeError):
+            decoder.feed(b"A" * 17 + b"\n")
+
+    def test_length_oversized_header(self):
+        decoder = FrameDecoder("length", max_frame_bytes=16)
+        with pytest.raises(FrameTooLargeError):
+            decoder.feed((17).to_bytes(4, "big"))
+
+    def test_length_zero_frame_rejected(self):
+        decoder = FrameDecoder("length")
+        with pytest.raises(FramingError):
+            decoder.feed((0).to_bytes(4, "big"))
+
+    def test_truncated_length_frame_stays_buffered(self):
+        decoder = FrameDecoder("length")
+        frame = encode_frame('{"a": 1}', "length")
+        assert decoder.feed(frame[:5]) == []
+        assert decoder.buffered == 5
+        assert decoder.feed(frame[5:]) == ['{"a": 1}']
+
+    @pytest.mark.parametrize("framing", ["lines", "length"])
+    def test_invalid_utf8_is_a_framing_error(self, framing):
+        decoder = FrameDecoder(framing)
+        bad = b"\xff\xfe\xfd"
+        payload = (
+            bad + b"\n" if framing == "lines"
+            else len(bad).to_bytes(4, "big") + bad
+        )
+        with pytest.raises(FramingError):
+            decoder.feed(payload)
+
+    def test_decoder_refuses_input_after_failure(self):
+        decoder = FrameDecoder("length", max_frame_bytes=16)
+        with pytest.raises(FrameTooLargeError):
+            decoder.feed((999).to_bytes(4, "big"))
+        with pytest.raises(FramingError):
+            decoder.feed(b"more")
+
+    def test_embedded_newline_rejected_on_encode(self):
+        with pytest.raises(FramingError):
+            encode_frame('{"a":\n1}', "lines")
+        # Length framing is binary-safe: embedded newlines are fine.
+        decoder = FrameDecoder("length")
+        assert decoder.feed(encode_frame('{"a":\n1}', "length")) == [
+            '{"a":\n1}'
+        ]
+
+    def test_oversized_rejected_on_encode(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame("A" * 32, "lines", max_frame_bytes=16)
+
+    def test_unknown_framing_rejected(self):
+        with pytest.raises(ValueError):
+            FrameDecoder("pigeon")
+        with pytest.raises(ValueError):
+            encode_frame("x", "pigeon")
+
+
+# ----------------------------------------------------------------------
+# handshake and control envelope
+# ----------------------------------------------------------------------
+class TestHandshake:
+    def test_welcome_reports_negotiated_version_and_limits(self, server):
+        sock = raw_connection(server)
+        welcome = handshake(sock)
+        assert welcome["version"] == 1
+        assert welcome["server"] == "forecache-repro"
+        assert welcome["max_frame_bytes"] == CONFIG.max_frame_bytes
+        sock.close()
+
+    def test_client_exposes_handshake_results(self, server, small_dataset):
+        with SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        ) as transport:
+            assert transport.server_version == 1
+            assert transport.server_name == "forecache-repro"
+            assert transport.server_max_frame_bytes == CONFIG.max_frame_bytes
+
+    def test_hello_picks_highest_common_version(self, server):
+        sock = raw_connection(server)
+        send_line(sock, {"type": "hello", "versions": [0, 1, 99]})
+        (welcome,) = recv_lines(sock)
+        assert welcome["version"] == 1
+        sock.close()
+
+    def test_version_mismatch_is_typed_and_fatal(self, server):
+        sock = raw_connection(server)
+        send_line(sock, {"type": "hello", "versions": [99]})
+        (error,) = recv_lines(sock)
+        assert error["type"] == "error"
+        assert error["code"] == VersionMismatchError.code
+        assert sock.recv(65536) == b""  # server hung up
+        sock.close()
+
+    def test_requests_before_hello_are_fatal(self, server):
+        sock = raw_connection(server)
+        send_line(sock, {"type": "open_session", "session_id": "sneaky"})
+        (error,) = recv_lines(sock)
+        assert error["code"] == InvalidRequestError.code
+        assert "hello" in error["message"]
+        assert sock.recv(65536) == b""
+        sock.close()
+
+    def test_unknown_fields_in_hello_are_tolerated(self, server):
+        # Forward compatibility: a newer client may say more.
+        sock = raw_connection(server)
+        send_line(
+            sock,
+            {
+                "type": "hello",
+                "versions": [1],
+                "client": "future",
+                "compression": "zstd",
+            },
+        )
+        (welcome,) = recv_lines(sock)
+        assert welcome["type"] == "welcome"
+        sock.close()
+
+    def test_open_session_replies_session_info(self, server):
+        sock = raw_connection(server)
+        handshake(sock)
+        send_line(sock, {"type": "open_session", "session_id": "s1"})
+        (info,) = recv_lines(sock)
+        assert info["type"] == "session_info"
+        assert info["session_id"] == "s1"
+        assert info["open"] is True
+        assert info["requests"] == 0
+        sock.close()
+
+    def test_close_session_replies_final_snapshot(self, server, small_dataset):
+        with SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        ) as transport:
+            conn = transport.connect(session_id="s2")
+            conn.handle_request(None, TileKey(0, 0, 0))
+            reply = transport.roundtrip(CloseSession("s2"))
+            assert reply.open is False
+            assert reply.requests == 1
+
+
+# ----------------------------------------------------------------------
+# resilience: bad frames, bad peers
+# ----------------------------------------------------------------------
+class TestResilience:
+    def test_malformed_frame_answered_and_connection_survives(self, server):
+        sock = raw_connection(server)
+        handshake(sock)
+        sock.sendall(b"{not json\n")
+        (error,) = recv_lines(sock)
+        assert error["code"] == InvalidRequestError.code
+        # Same connection still serves.
+        send_line(sock, {"type": "open_session", "session_id": "after"})
+        (info,) = recv_lines(sock)
+        assert info["type"] == "session_info"
+        sock.close()
+
+    def test_oversized_frame_typed_error_then_close(self, server):
+        sock = raw_connection(server)
+        handshake(sock)
+        sock.sendall(b"A" * (CONFIG.max_frame_bytes + 2))
+        (error,) = recv_lines(sock)
+        assert error["code"] == FrameTooLargeError.code
+        assert sock.recv(65536) == b""
+        sock.close()
+
+    def test_oversized_frame_does_not_poison_other_clients(
+        self, server, small_dataset
+    ):
+        with SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        ) as good:
+            conn = good.connect()
+            bad = raw_connection(server)
+            handshake(bad)
+            bad.sendall(b"B" * (CONFIG.max_frame_bytes + 2))
+            (error,) = recv_lines(bad)
+            assert error["code"] == FrameTooLargeError.code
+            bad.close()
+            # The well-behaved client's session is untouched.
+            response = conn.handle_request(None, TileKey(0, 0, 0))
+            assert response.tile.key == TileKey(0, 0, 0)
+
+    def test_truncated_frame_then_disconnect_leaves_service_healthy(
+        self, server, small_dataset
+    ):
+        sock = raw_connection(server)
+        handshake(sock)
+        # Half a length-prefixed frame... on a lines server this is an
+        # unterminated line; either way: never completed.
+        sock.sendall(b'{"type": "open_session"')
+        sock.close()
+        assert wait_for(lambda: server.server.connection_count == 0)
+        with SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        ) as transport:
+            conn = transport.connect()
+            assert conn.handle_request(None, TileKey(0, 0, 0)).hit is False
+
+    def test_disconnect_reaps_the_connections_sessions(
+        self, server, small_dataset
+    ):
+        transport = SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        )
+        transport.connect(session_id="doomed")
+        service = server.server.service
+        assert service.session_count == 1
+        transport.close()  # no close_session — just vanish
+        assert wait_for(lambda: service.session_count == 0)
+
+    def test_mid_request_disconnect_leaves_service_healthy(
+        self, small_dataset
+    ):
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=5),
+            cache=CacheConfig(backend_delay_seconds=0.2),
+        )
+        with ThreadedSocketServer(
+            small_dataset.pyramid,
+            config,
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        ) as server:
+            sock = raw_connection(server)
+            handshake(sock)
+            send_line(sock, {"type": "open_session", "session_id": "ghost"})
+            recv_lines(sock)
+            send_line(
+                sock,
+                {"type": "tile_request", "session_id": "ghost",
+                 "tile": [0, 0, 0], "move": None},
+            )
+            sock.close()  # vanish while the 200 ms backend query runs
+            service = server.server.service
+            assert wait_for(lambda: service.session_count == 0)
+            # The service keeps serving new clients.
+            with SocketTransport(
+                *server.address, pyramid=small_dataset.pyramid
+            ) as transport:
+                conn = transport.connect()
+                response = conn.handle_request(None, TileKey(0, 0, 0))
+                # The doomed client's query already populated the cache.
+                assert response.tile.key == TileKey(0, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# per-connection session isolation
+# ----------------------------------------------------------------------
+class TestIsolation:
+    def test_connections_cannot_touch_each_others_sessions(
+        self, server, small_dataset
+    ):
+        with SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        ) as alice, SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        ) as mallory:
+            alice.connect(session_id="alice")
+            # Request against someone else's session: typed rejection.
+            reply = mallory.roundtrip(
+                TileRequest(
+                    session_id="alice", tile=TileRef(0, 0, 0), move=None
+                )
+            )
+            assert reply.to_exception().__class__ is SessionNotFoundError
+            # Closing it is rejected the same way...
+            reply = mallory.roundtrip(CloseSession("alice"))
+            assert reply.to_exception().__class__ is SessionNotFoundError
+            # ...and the session is still alive for its owner.
+            assert server.server.service.session_count == 1
+
+    def test_client_send_limit_clamps_to_server_advertisement(
+        self, small_dataset
+    ):
+        """An over-budget request fails locally and recoverably instead
+        of tripping the server's decoder (which hangs up and would take
+        every session on the connection down)."""
+        budget = 256 * 1024  # fits a ~71 KB tile response, not a 260 KB request
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=5), max_frame_bytes=budget
+        )
+        with ThreadedSocketServer(
+            small_dataset.pyramid,
+            config,
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        ) as server:
+            with SocketTransport(
+                *server.address, pyramid=small_dataset.pyramid
+            ) as transport:
+                assert transport.server_max_frame_bytes == budget
+                assert transport._send_limit == budget  # clamped from 8 MiB
+                conn = transport.connect()
+                with pytest.raises(FrameTooLargeError):
+                    transport.roundtrip(
+                        TileRequest(
+                            session_id="x" * (budget + 1024),
+                            tile=TileRef(0, 0, 0),
+                            move=None,
+                        )
+                    )
+                # Local rejection: the connection is still perfectly
+                # usable — nothing was sent, nothing desynced.
+                response = conn.handle_request(None, TileKey(0, 0, 0))
+                assert response.tile.key == TileKey(0, 0, 0)
+
+    def test_small_client_limit_does_not_choke_on_large_replies(
+        self, server, small_dataset
+    ):
+        """The handshake aligns the client's receive limit with the
+        server's advertised budget, so a large-but-legal tile response
+        (~71 KB of JSON here) never kills the connection even when the
+        client was built with a tiny local limit."""
+        with SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid,
+            max_frame_bytes=8192,
+        ) as transport:
+            conn = transport.connect()
+            response = conn.handle_request(None, TileKey(0, 0, 0))
+            assert response.tile.key == TileKey(0, 0, 0)
+
+    def test_failed_bind_surfaces_and_leaks_nothing(self, server, small_dataset):
+        baseline = {
+            t.name for t in threading.enumerate() if "forecache" in t.name
+        }
+        taken_port = server.address[1]
+        doomed = ThreadedSocketServer(
+            small_dataset.pyramid,
+            CONFIG,
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+            port=taken_port,
+        )
+        with pytest.raises(OSError):
+            doomed.start()
+        assert wait_for(lambda: not doomed._thread.is_alive())
+        # The service built for the doomed server was torn down: no
+        # stray bridge-pool or scheduler threads remain.
+        leftover = {
+            t.name for t in threading.enumerate() if "forecache" in t.name
+        } - baseline
+        assert leftover == set()
+
+    def test_engine_argument_is_rejected(self, server, small_dataset):
+        with SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        ) as transport:
+            with pytest.raises(ValueError):
+                transport.connect(make_engine(small_dataset.pyramid.grid))
+
+
+# ----------------------------------------------------------------------
+# concurrency and lifecycle
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_concurrent_clients_replay_over_one_server(
+        self, server, small_dataset, small_study
+    ):
+        traces = sorted(small_study.traces, key=len, reverse=True)[:4]
+        results: dict[int, list] = {}
+        errors: list[BaseException] = []
+
+        def drive(index: int, trace) -> None:
+            try:
+                with SocketTransport(
+                    *server.address, pyramid=small_dataset.pyramid
+                ) as transport:
+                    conn = transport.connect(session_id=f"user-{index}")
+                    responses = BrowsingSession(conn).replay(trace)
+                    conn.close()
+                    results[index] = responses
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(i, trace))
+            for i, trace in enumerate(traces)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert len(results) == len(traces)
+        for index, trace in enumerate(traces):
+            assert [r.tile.key for r in results[index]] == trace.tiles()
+        service = server.server.service
+        assert wait_for(lambda: service.session_count == 0)
+
+    def test_one_transport_multiplexes_many_sessions(
+        self, server, small_dataset
+    ):
+        with SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        ) as transport:
+            sessions = [transport.connect() for _ in range(4)]
+            for conn in sessions:
+                assert conn.handle_request(
+                    None, TileKey(0, 0, 0)
+                ).tile.key == TileKey(0, 0, 0)
+            for conn in sessions:
+                conn.close()
+        assert wait_for(lambda: server.server.service.session_count == 0)
+
+    def test_graceful_shutdown_drains_in_flight_request(self, small_dataset):
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=5),
+            cache=CacheConfig(backend_delay_seconds=0.3),
+        )
+        server = ThreadedSocketServer(
+            small_dataset.pyramid,
+            config,
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        )
+        server.start()
+        transport = SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        )
+        conn = transport.connect()
+        response_box: list = []
+
+        def slow_request() -> None:
+            response_box.append(conn.handle_request(None, TileKey(2, 1, 1)))
+
+        requester = threading.Thread(target=slow_request)
+        requester.start()
+        time.sleep(0.1)  # let the request reach the backend
+        server.stop()  # must drain, not abort
+        requester.join(timeout=30)
+        assert response_box, "in-flight request was dropped on shutdown"
+        assert response_box[0].tile.key == TileKey(2, 1, 1)
+        transport.close()
+
+    def test_recv_timeout_poisons_the_transport(self, small_dataset):
+        """A timed-out roundtrip may leave its reply in flight; the
+        strict request/reply pairing is gone, so the transport must
+        close itself rather than serve request N+1 the reply to N."""
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=5),
+            cache=CacheConfig(backend_delay_seconds=0.5),
+        )
+        with ThreadedSocketServer(
+            small_dataset.pyramid,
+            config,
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        ) as server:
+            transport = SocketTransport(
+                *server.address, pyramid=small_dataset.pyramid, timeout=0.1
+            )
+            conn = transport.connect()
+            with pytest.raises(OSError):  # socket.timeout
+                conn.handle_request(None, TileKey(0, 0, 0))
+            # The stale reply must never answer a later request.
+            with pytest.raises(SessionClosedError):
+                conn.handle_request(None, TileKey(1, 0, 0))
+
+    def test_cancelled_async_roundtrip_poisons_the_transport(
+        self, small_dataset
+    ):
+        from repro.middleware.net import AsyncSocketTransport
+        from repro.middleware.protocol import SessionClosedError as Closed
+
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=5),
+            cache=CacheConfig(backend_delay_seconds=0.4),
+        )
+        with ThreadedSocketServer(
+            small_dataset.pyramid,
+            config,
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        ) as server:
+
+            async def scenario():
+                transport = await AsyncSocketTransport.open(
+                    *server.address, pyramid=small_dataset.pyramid
+                )
+                conn = await transport.connect()
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(
+                        conn.request(None, TileKey(0, 0, 0)), timeout=0.05
+                    )
+                # The cancelled request's reply is still in flight; the
+                # transport refuses to hand it to the next request.
+                with pytest.raises(Closed):
+                    await conn.request(None, TileKey(1, 0, 0))
+                await transport.aclose()
+
+            asyncio.run(scenario())
+
+    def test_threaded_server_stop_is_idempotent(self, small_dataset):
+        server = ThreadedSocketServer(
+            small_dataset.pyramid,
+            CONFIG,
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        )
+        server.start()
+        server.stop()
+        server.stop()
+
+    def test_transport_after_server_shutdown_raises_typed(
+        self, small_dataset
+    ):
+        server = ThreadedSocketServer(
+            small_dataset.pyramid,
+            CONFIG,
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        )
+        server.start()
+        transport = SocketTransport(
+            *server.address, pyramid=small_dataset.pyramid
+        )
+        conn = transport.connect()
+        server.stop()
+        # Depending on RST timing the failure surfaces as the typed
+        # "server closed the connection" ProtocolError or as the raw
+        # socket error — never as a hang or a bogus response.
+        with pytest.raises((ProtocolError, OSError)):
+            conn.handle_request(None, TileKey(0, 0, 0))
+        transport.close()
+
+
+class TestAsyncServerInOneLoop:
+    """The server used natively from a single event loop (no thread)."""
+
+    def test_server_and_client_share_a_loop(self, small_dataset):
+        from repro.middleware.aio import AsyncForeCacheService
+        from repro.middleware.client import AsyncBrowsingSession
+        from repro.middleware.net import (
+            AsyncSocketTransport,
+            ForeCacheSocketServer,
+        )
+
+        async def scenario():
+            service = AsyncForeCacheService.build(
+                small_dataset.pyramid,
+                CONFIG,
+                engine_factory=lambda: make_engine(
+                    small_dataset.pyramid.grid
+                ),
+            )
+            async with ForeCacheSocketServer(
+                service, owns_service=True
+            ) as server:
+                async with await AsyncSocketTransport.open(
+                    *server.address, pyramid=small_dataset.pyramid
+                ) as transport:
+                    conn = await transport.connect()
+                    session = AsyncBrowsingSession(conn)
+                    response = await session.start()
+                    assert response.tile.key == small_dataset.pyramid.grid.root
+                    await conn.close()
+            assert server.connection_count == 0
+
+        asyncio.run(scenario())

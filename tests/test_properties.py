@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.cache.lru import LRUCache
 from repro.core.roi import ROITracker
+from repro.middleware import protocol as protocol_module
 from repro.recommenders.smoothing import KneserNeyEstimator
 from repro.signatures.distance import chi_squared_distance, weighted_l2
 from repro.signatures.histogram import HistogramSignature
@@ -113,7 +114,15 @@ class TestDistanceProperties:
     def test_weighted_l2_nonnegative(self, distances):
         assert weighted_l2(distances) >= 0.0
 
-    @given(st.lists(st.floats(0.0, 5.0), min_size=1, max_size=8))
+    @given(
+        st.lists(
+            # Subnormals excluded: at 5e-324 one ulp is 50% relative
+            # error, so no rescaling can preserve homogeneity there.
+            st.floats(0.0, 5.0, allow_subnormal=False),
+            min_size=1,
+            max_size=8,
+        )
+    )
     def test_weighted_l2_absolutely_homogeneous(self, distances):
         doubled = [2.0 * d for d in distances]
         np.testing.assert_allclose(
@@ -213,3 +222,97 @@ class TestLRUProperties:
         for key in keys:
             cache.put(key, key)
             assert key in cache
+
+
+# ----------------------------------------------------------------------
+# wire-framing invariants
+# ----------------------------------------------------------------------
+framings = st.sampled_from(["lines", "length"])
+
+
+@st.composite
+def tile_requests(draw):
+    key = draw(tile_keys())
+    return protocol_module.TileRequest(
+        session_id=draw(st.text("abcdefgh-123", min_size=1, max_size=8)),
+        tile=protocol_module.TileRef.from_key(key),
+        move=draw(st.sampled_from([None, "pan_right", "zoom_out", "pan_up"])),
+    )
+
+
+def _feed_chunked(decoder, stream: bytes, sizes: list[int]) -> list[str]:
+    """Feed ``stream`` cut into the given chunk sizes (cycled)."""
+    frames: list[str] = []
+    start = 0
+    index = 0
+    while start < len(stream):
+        size = sizes[index % len(sizes)] if sizes else len(stream)
+        frames.extend(decoder.feed(stream[start : start + size]))
+        start += size
+        index += 1
+    return frames
+
+
+class TestFramingProperties:
+    """The fuzz bar: the decoder never fails untyped, and valid frames
+    split at arbitrary byte boundaries always reassemble exactly."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        data=st.binary(max_size=512),
+        framing=framings,
+        sizes=st.lists(st.integers(1, 64), max_size=8),
+    )
+    def test_garbage_never_crashes_untyped(self, data, framing, sizes):
+        decoder = protocol_module.FrameDecoder(framing, max_frame_bytes=256)
+        try:
+            frames = _feed_chunked(decoder, data, sizes)
+        except protocol_module.FramingError:
+            return  # a typed framing rejection is a pass
+        # Whatever came out is text; decoding it either yields a wire
+        # message or the typed malformed-message error — nothing else.
+        for text in frames:
+            try:
+                protocol_module.decode(text)
+            except protocol_module.InvalidRequestError:
+                pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        messages=st.lists(tile_requests(), min_size=1, max_size=5),
+        framing=framings,
+        sizes=st.lists(st.integers(1, 16), max_size=8),
+    )
+    def test_valid_frames_reassemble_exactly(self, messages, framing, sizes):
+        texts = [protocol_module.encode(m) for m in messages]
+        stream = b"".join(
+            protocol_module.encode_frame(t, framing) for t in texts
+        )
+        decoder = protocol_module.FrameDecoder(framing)
+        frames = _feed_chunked(decoder, stream, sizes)
+        assert frames == texts
+        assert [protocol_module.decode(t) for t in frames] == messages
+        assert decoder.buffered == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        prefix=st.lists(tile_requests(), min_size=1, max_size=3),
+        garbage=st.binary(min_size=1, max_size=64),
+        framing=framings,
+    )
+    def test_valid_prefix_survives_trailing_garbage(
+        self, prefix, garbage, framing
+    ):
+        """Frames completed before the stream went bad are still
+        delivered; the failure, if any, is typed."""
+        texts = [protocol_module.encode(m) for m in prefix]
+        stream = b"".join(
+            protocol_module.encode_frame(t, framing) for t in texts
+        )
+        decoder = protocol_module.FrameDecoder(framing, max_frame_bytes=4096)
+        delivered = decoder.feed(stream)
+        assert delivered == texts
+        try:
+            delivered.extend(decoder.feed(garbage))
+        except protocol_module.FramingError:
+            pass

@@ -8,10 +8,17 @@ import pytest
 from repro.middleware import protocol
 from repro.middleware.latency import LatencyRecorder
 from repro.middleware.protocol import (
+    ERROR_TYPES,
+    SUPPORTED_VERSIONS,
     AttributeBlock,
+    CloseSession,
     DuplicateSessionError,
     ErrorInfo,
+    FramingError,
+    FrameTooLargeError,
+    Hello,
     InvalidRequestError,
+    OpenSession,
     ProtocolError,
     SessionClosedError,
     SessionInfo,
@@ -20,6 +27,9 @@ from repro.middleware.protocol import (
     TileRef,
     TileRequest,
     TileResponse,
+    VersionMismatchError,
+    Welcome,
+    negotiate_version,
 )
 from repro.tiles.key import TileKey
 from repro.tiles.moves import Move
@@ -123,32 +133,194 @@ class TestMessages:
         )
         assert roundtrip(info) == info
 
-    def test_error_round_trip_and_reraise(self):
-        for exc_type in (
-            SessionNotFoundError,
-            DuplicateSessionError,
-            SessionClosedError,
-            InvalidRequestError,
-        ):
-            original = exc_type("boom", session_id="s3")
-            info = ErrorInfo.from_exception(original)
-            back = roundtrip(info)
-            assert back == info
-            raised = back.to_exception()
-            assert type(raised) is exc_type
-            assert raised.message == "boom"
-            assert raised.session_id == "s3"
+    @pytest.mark.parametrize(
+        "exc_type",
+        sorted(ERROR_TYPES.values(), key=lambda cls: cls.code),
+        ids=lambda cls: cls.code,
+    )
+    def test_error_round_trip_and_reraise(self, exc_type):
+        """Every typed exception survives the wire as exactly itself."""
+        original = exc_type("boom", session_id="s3")
+        info = ErrorInfo.from_exception(original)
+        back = roundtrip(info)
+        assert back == info
+        raised = back.to_exception()
+        assert type(raised) is exc_type
+        assert raised.message == "boom"
+        assert raised.session_id == "s3"
+
+    @pytest.mark.parametrize(
+        ("exc_type", "legacy_base"),
+        [
+            (SessionNotFoundError, KeyError),
+            (DuplicateSessionError, ValueError),
+            (SessionClosedError, RuntimeError),
+            (InvalidRequestError, ValueError),
+            (FramingError, ValueError),
+            (FrameTooLargeError, FramingError),
+            (VersionMismatchError, ValueError),
+        ],
+        ids=lambda arg: getattr(arg, "code", arg.__name__),
+    )
+    def test_reraised_errors_keep_their_legacy_bases(
+        self, exc_type, legacy_base
+    ):
+        """Catching by builtin base still works after a wire round trip."""
+        raised = roundtrip(
+            ErrorInfo.from_exception(exc_type("boom"))
+        ).to_exception()
+        assert isinstance(raised, legacy_base)
+        assert isinstance(raised, ProtocolError)
 
     def test_foreign_exception_maps_to_base_error(self):
         info = ErrorInfo.from_exception(ZeroDivisionError("np"))
         assert info.code == ProtocolError.code
         assert isinstance(info.to_exception(), ProtocolError)
 
+    def test_unknown_error_code_degrades_to_base_error(self):
+        """A newer server's error code still raises *something* typed."""
+        raised = ErrorInfo(code="quota_exceeded", message="nope").to_exception()
+        assert type(raised) is ProtocolError
+        assert raised.message == "nope"
+
+
+class TestPayloadEdgeCases:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [float("nan"), 1.0, 2.0],
+            [float("inf"), float("-inf"), 0.0],
+            [float("nan"), float("inf"), float("-inf")],
+        ],
+        ids=["nan", "inf", "mixed"],
+    )
+    def test_non_finite_floats_survive_the_wire(self, values):
+        tile = DataTile(
+            key=TileKey(1, 0, 0),
+            attributes={"v": np.asarray(values).reshape(1, len(values))},
+        )
+        payload = TilePayload.from_tile(tile)
+        rebuilt = TilePayload.from_dict(
+            json.loads(json.dumps(payload.to_dict()))
+        ).to_tile()
+        # assert_array_equal treats NaN as equal to NaN (exact positions).
+        np.testing.assert_array_equal(
+            rebuilt.attributes["v"], tile.attributes["v"]
+        )
+
+    @pytest.mark.parametrize(
+        "shape", [(0,), (0, 4), (4, 0)], ids=["0", "0x4", "4x0"]
+    )
+    def test_zero_size_arrays_survive_the_wire(self, shape):
+        array = np.zeros(shape, dtype="float32")
+        block = AttributeBlock.from_array("empty", array)
+        rebuilt = AttributeBlock.from_dict(
+            json.loads(json.dumps(block.to_dict()))
+        ).to_array()
+        assert rebuilt.shape == shape
+        assert rebuilt.dtype == np.float32
+        assert rebuilt.size == 0
+
+    def test_zero_size_payload_in_full_response(self):
+        tile = DataTile(
+            key=TileKey(2, 1, 1),
+            attributes={"v": np.zeros((0, 0), dtype="int16")},
+        )
+        response = TileResponse(
+            session_id="s1",
+            tile=TileRef(2, 1, 1),
+            latency_seconds=0.0195,
+            hit=True,
+            payload=TilePayload.from_tile(tile),
+        )
+        back = roundtrip(response)
+        restored = back.payload.to_tile()
+        assert restored.attributes["v"].shape == (0, 0)
+        assert restored.attributes["v"].dtype == np.int16
+
+
+class TestForwardCompatibility:
+    """Unknown fields from a newer peer are ignored, never fatal."""
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            TileRequest(session_id="s1", tile=TileRef(1, 0, 0), move="pan_right"),
+            TileResponse(
+                session_id="s1",
+                tile=TileRef(1, 0, 0),
+                latency_seconds=0.02,
+                hit=True,
+            ),
+            SessionInfo(
+                session_id="s1",
+                open=True,
+                prefetch_mode="sync",
+                requests=1,
+                hits=1,
+                hit_rate=1.0,
+                average_latency_seconds=0.02,
+            ),
+            ErrorInfo(code="error", message="boom"),
+            Hello(versions=(1,), client="c"),
+            Welcome(version=1, server="s", max_frame_bytes=4096),
+            OpenSession(session_id="s1"),
+            CloseSession(session_id="s1"),
+        ],
+        ids=lambda m: type(m).__name__,
+    )
+    def test_unknown_fields_are_ignored(self, message):
+        encoded = json.loads(protocol.encode(message))
+        encoded["x_future_extension"] = {"nested": [1, 2, 3]}
+        assert protocol.decode(json.dumps(encoded)) == message
+
+    def test_unknown_fields_inside_payload_blocks(self):
+        block = AttributeBlock.from_array("v", np.ones((2, 2)))
+        data = block.to_dict()
+        data["compression"] = "none"
+        assert AttributeBlock.from_dict(data) == block
+
+
+class TestControlEnvelope:
+    def test_hello_round_trip(self):
+        hello = Hello(versions=(1, 2), client="browser/9")
+        assert roundtrip(hello) == hello
+
+    def test_welcome_round_trip(self):
+        welcome = Welcome(version=1, server="forecache", max_frame_bytes=8192)
+        assert roundtrip(welcome) == welcome
+
+    def test_open_close_round_trip(self):
+        assert roundtrip(OpenSession(session_id=None)) == OpenSession()
+        assert roundtrip(OpenSession(session_id="s1")) == OpenSession("s1")
+        assert roundtrip(CloseSession(session_id="s1")) == CloseSession("s1")
+
+    def test_negotiate_picks_highest_common(self):
+        assert negotiate_version((0, 1, 99)) == max(SUPPORTED_VERSIONS)
+
+    def test_negotiate_rejects_disjoint_offer(self):
+        with pytest.raises(VersionMismatchError):
+            negotiate_version((99, 100))
+        with pytest.raises(VersionMismatchError):
+            negotiate_version(())
+
 
 class TestEnvelope:
     def test_decode_rejects_garbage(self):
         with pytest.raises(InvalidRequestError):
             protocol.decode("{not json")
+
+    def test_decode_rejects_non_string_type_tag(self):
+        # An unhashable tag must be a typed rejection, not a TypeError.
+        with pytest.raises(InvalidRequestError):
+            protocol.decode(json.dumps({"type": ["hello"], "versions": [1]}))
+        with pytest.raises(InvalidRequestError):
+            protocol.decode(json.dumps({"type": 7}))
+
+    def test_decode_rejects_deeply_nested_json(self):
+        # Deep nesting exhausts json.loads' recursion; typed, not a crash.
+        with pytest.raises(InvalidRequestError):
+            protocol.decode("[" * 100000)
 
     def test_decode_rejects_unknown_type(self):
         with pytest.raises(InvalidRequestError):

@@ -1,0 +1,242 @@
+"""One conformance harness, every transport.
+
+Each transport kind — the facade itself (the baseline), the in-process
+wire transport, the synchronous socket client (both framings), and the
+asyncio socket client — replays the same trace through a *fresh, cold*
+service and must produce numerically identical results: the same
+(tile, hit, latency, phase) sequence, the same reconstructed
+``LatencyRecorder``, and bit-identical tile payloads.  The second half
+checks the shared error contract: typed duplicate-session and
+unknown-session errors, idempotent close, on every transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import SingleModelStrategy
+from repro.core.engine import PredictionEngine
+from repro.middleware.client import AsyncBrowsingSession, BrowsingSession
+from repro.middleware.config import PrefetchPolicy, ServiceConfig
+from repro.middleware.latency import LatencyRecorder
+from repro.middleware.net import (
+    AsyncSocketTransport,
+    SocketTransport,
+    ThreadedSocketServer,
+)
+from repro.middleware.protocol import (
+    DuplicateSessionError,
+    SessionNotFoundError,
+)
+from repro.middleware.service import ForeCacheService
+from repro.middleware.transport import InProcessTransport, Transport
+from repro.recommenders.momentum import MomentumRecommender
+from repro.tiles.key import TileKey
+
+CONFIG = ServiceConfig(prefetch=PrefetchPolicy(k=5))
+
+#: Every client-facing transport kind the conformance suite exercises.
+TRANSPORT_KINDS = (
+    "inprocess",
+    "socket-sync-lines",
+    "socket-sync-length",
+    "socket-async",
+)
+
+
+def make_engine(grid) -> PredictionEngine:
+    model = MomentumRecommender()
+    return PredictionEngine(
+        grid, {model.name: model}, SingleModelStrategy(model.name)
+    )
+
+
+def engine_factory(pyramid):
+    return lambda: make_engine(pyramid.grid)
+
+
+def signature(responses):
+    """What must match across transports, per response."""
+    return [
+        (r.tile.key, r.hit, r.latency_seconds, r.phase) for r in responses
+    ]
+
+
+def client_recorder(responses) -> LatencyRecorder:
+    """The recorder a client can rebuild purely from wire responses."""
+    recorder = LatencyRecorder()
+    for response in responses:
+        recorder.record(response.latency_seconds, response.hit)
+    return recorder
+
+
+# ----------------------------------------------------------------------
+# one replay per transport kind, each over a fresh cold service
+# ----------------------------------------------------------------------
+def replay_facade(pyramid, trace):
+    with ForeCacheService(
+        pyramid, CONFIG, engine_factory=engine_factory(pyramid)
+    ) as service:
+        handle = service.open_session()
+        responses = BrowsingSession(handle).replay(trace)
+        # The facade's server-side recorder is the ground truth the
+        # client-side reconstruction must agree with.
+        assert client_recorder(responses).to_dict() == (
+            handle.recorder.to_dict()
+        )
+        return responses
+
+
+def replay_inprocess(pyramid, trace):
+    with ForeCacheService(
+        pyramid, CONFIG, engine_factory=engine_factory(pyramid)
+    ) as service:
+        conn = InProcessTransport(service).connect()
+        responses = BrowsingSession(conn).replay(trace)
+        conn.close()
+        return responses
+
+
+def replay_socket_sync(pyramid, trace, framing):
+    with ThreadedSocketServer(
+        pyramid, CONFIG, engine_factory=engine_factory(pyramid), framing=framing
+    ) as server:
+        with SocketTransport(
+            *server.address, pyramid=pyramid, framing=framing
+        ) as transport:
+            conn = transport.connect()
+            responses = BrowsingSession(conn).replay(trace)
+            conn.close()
+            return responses
+
+
+def replay_socket_async(pyramid, trace):
+    async def drive(address):
+        async with await AsyncSocketTransport.open(
+            *address, pyramid=pyramid
+        ) as transport:
+            conn = await transport.connect()
+            responses = await AsyncBrowsingSession(conn).replay(trace)
+            await conn.close()
+            return responses
+
+    with ThreadedSocketServer(
+        pyramid, CONFIG, engine_factory=engine_factory(pyramid)
+    ) as server:
+        return asyncio.run(drive(server.address))
+
+
+REPLAYS = {
+    "inprocess": replay_inprocess,
+    "socket-sync-lines": lambda p, t: replay_socket_sync(p, t, "lines"),
+    "socket-sync-length": lambda p, t: replay_socket_sync(p, t, "length"),
+    "socket-async": replay_socket_async,
+}
+
+
+@pytest.fixture(scope="module")
+def replay_trace(small_study):
+    return max(small_study.traces, key=len)
+
+
+@pytest.fixture(scope="module")
+def baseline(small_dataset, replay_trace):
+    return replay_facade(small_dataset.pyramid, replay_trace)
+
+
+class TestReplayEquivalence:
+    """The acceptance bar: identical replays through every transport."""
+
+    @pytest.mark.parametrize("kind", TRANSPORT_KINDS)
+    def test_replay_matches_facade(
+        self, kind, small_dataset, replay_trace, baseline
+    ):
+        responses = REPLAYS[kind](small_dataset.pyramid, replay_trace)
+        assert signature(responses) == signature(baseline)
+        # Latency statistics rebuilt client-side are numerically
+        # identical, including raw samples and percentiles.
+        assert client_recorder(responses).to_dict() == (
+            client_recorder(baseline).to_dict()
+        )
+
+    @pytest.mark.parametrize("kind", TRANSPORT_KINDS)
+    def test_payloads_survive_the_wire_losslessly(
+        self, kind, small_dataset, replay_trace, baseline
+    ):
+        responses = REPLAYS[kind](small_dataset.pyramid, replay_trace)
+        for wire, reference in zip(responses, baseline):
+            assert wire.tile.key == reference.tile.key
+            assert set(wire.tile.attributes) == set(reference.tile.attributes)
+            for name, array in reference.tile.attributes.items():
+                assert wire.tile.attributes[name].dtype == array.dtype
+                np.testing.assert_array_equal(
+                    wire.tile.attributes[name], array
+                )
+
+
+# ----------------------------------------------------------------------
+# the shared error contract
+# ----------------------------------------------------------------------
+@contextmanager
+def open_transport(kind, pyramid):
+    """A live, connect-capable transport of the requested kind."""
+    if kind == "inprocess":
+        with ForeCacheService(
+            pyramid, CONFIG, engine_factory=engine_factory(pyramid)
+        ) as service:
+            yield InProcessTransport(service)
+        return
+    framing = "length" if kind.endswith("length") else "lines"
+    with ThreadedSocketServer(
+        pyramid, CONFIG, engine_factory=engine_factory(pyramid), framing=framing
+    ) as server:
+        with SocketTransport(
+            *server.address, pyramid=pyramid, framing=framing
+        ) as transport:
+            yield transport
+
+
+SYNC_KINDS = ("inprocess", "socket-sync-lines", "socket-sync-length")
+
+
+class TestErrorContract:
+    @pytest.mark.parametrize("kind", SYNC_KINDS)
+    def test_transports_implement_the_shared_abc(self, kind, small_dataset):
+        with open_transport(kind, small_dataset.pyramid) as transport:
+            assert isinstance(transport, Transport)
+
+    @pytest.mark.parametrize("kind", SYNC_KINDS)
+    def test_duplicate_session_is_typed(self, kind, small_dataset):
+        with open_transport(kind, small_dataset.pyramid) as transport:
+            transport.connect(session_id="alice")
+            with pytest.raises(DuplicateSessionError):
+                transport.connect(session_id="alice")
+
+    @pytest.mark.parametrize("kind", SYNC_KINDS)
+    def test_request_after_close_is_typed(self, kind, small_dataset):
+        with open_transport(kind, small_dataset.pyramid) as transport:
+            conn = transport.connect()
+            conn.handle_request(None, TileKey(0, 0, 0))
+            conn.close()
+            # A closed session is forgotten by id on every transport.
+            with pytest.raises(SessionNotFoundError):
+                conn.handle_request(None, TileKey(0, 0, 0))
+
+    @pytest.mark.parametrize("kind", SYNC_KINDS)
+    def test_close_is_idempotent(self, kind, small_dataset):
+        with open_transport(kind, small_dataset.pyramid) as transport:
+            conn = transport.connect()
+            conn.close()
+            conn.close()
+
+    @pytest.mark.parametrize("kind", SYNC_KINDS)
+    def test_sessions_share_one_cache(self, kind, small_dataset):
+        with open_transport(kind, small_dataset.pyramid) as transport:
+            first = transport.connect()
+            second = transport.connect()
+            assert not first.handle_request(None, TileKey(2, 1, 1)).hit
+            assert second.handle_request(None, TileKey(2, 1, 1)).hit
