@@ -4,7 +4,7 @@ Run with::
 
     python examples/modis_exploration.py [--size 1024] [--users 8]
         [--frontend server|service|async|socket] [--models momentum,hybrid]
-        [--prefetch-mode sync|background]
+        [--prefetch-mode sync|background] [--shared-hotspots off|observe|boost]
 
 Reproduces the paper's evaluation loop end to end: build the NDSI
 dataset, run a simulated user study over the three search tasks, train
@@ -20,8 +20,11 @@ virtual-time numbers.  ``--prefetch-mode background`` routes every
 prefetch round through the rank-aware priority scheduler's worker pool
 instead of the inline sync path (a smoke path for the concurrent
 serving stack; latency numbers then depend on physical timing).
-``REPRO_SIZE`` / ``REPRO_USERS`` environment variables downscale the
-world (CI smoke runs use them).
+``--shared-hotspots`` turns on the cross-session popularity model
+(``observe`` collects the signal, ``boost`` also acts on it — live
+hotspot recommenders plus scheduler rank boost); ``off``/``observe``
+leave every number bit-identical.  ``REPRO_SIZE`` / ``REPRO_USERS``
+environment variables downscale the world (CI smoke runs use them).
 """
 
 import argparse
@@ -62,6 +65,12 @@ def main() -> None:
         choices=("sync", "background"),
         default="sync",
         help="who executes prefetch rounds during the latency replay",
+    )
+    parser.add_argument(
+        "--shared-hotspots",
+        choices=("off", "observe", "boost"),
+        default="off",
+        help="cross-session popularity sharing during the latency replay",
     )
     args = parser.parse_args()
 
@@ -107,7 +116,8 @@ def main() -> None:
 
     print(
         f"\nreplaying latency at k=5 (virtual clock, "
-        f"{args.frontend} front end, {args.prefetch_mode} prefetch)..."
+        f"{args.frontend} front end, {args.prefetch_mode} prefetch, "
+        f"shared hotspots {args.shared_hotspots})..."
     )
     latency_table = Table(["model", "avg_latency_ms"], title="")
     for name, factory in factories.items():
@@ -117,6 +127,7 @@ def main() -> None:
             k=5,
             frontend=args.frontend,
             prefetch_mode=args.prefetch_mode,
+            shared_hotspots=args.shared_hotspots,
         )
         latency_table.add_row(name, recorder.average_seconds * 1000.0)
     latency_table.add_row("(no prefetching)", 984.0)

@@ -16,6 +16,7 @@ from repro.core.allocation import (
 )
 from repro.core.engine import PredictionEngine, PredictionResult
 from repro.core.history import SessionHistory
+from repro.core.popularity import SharedHotspotRegistry
 from repro.core.roi import ROITracker
 
 __all__ = [
@@ -27,5 +28,6 @@ __all__ = [
     "PredictionResult",
     "ROITracker",
     "SessionHistory",
+    "SharedHotspotRegistry",
     "SingleModelStrategy",
 ]

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.allocation import AllocationStrategy
 from repro.core.history import SessionHistory
+from repro.core.popularity import SharedHotspotRegistry
 from repro.core.roi import ROITracker
 from repro.phases.model import AnalysisPhase
 from repro.recommenders.base import PredictionContext, Recommender
@@ -74,6 +75,7 @@ class PredictionEngine:
         phase_predictor: PhasePredictor | None = None,
         history_length: int = 10,
         prefetch_distance: int = 1,
+        hotspot_registry: SharedHotspotRegistry | None = None,
     ) -> None:
         if not recommenders:
             raise ValueError("the engine needs at least one recommender")
@@ -92,6 +94,9 @@ class PredictionEngine:
         #: committed set.  Fresh is the default: mid-Sensemaking, the
         #: region being explored right now is the most recent ROI.
         self.roi_source = "fresh"
+        #: Live cross-session popularity: when set, every observation is
+        #: mirrored into the shared registry (many engines, one model).
+        self.hotspot_registry = hotspot_registry
         self.history = SessionHistory(history_length)
         self.roi_tracker = ROITracker()
         # Recommender outputs are deterministic between observations, so
@@ -104,13 +109,41 @@ class PredictionEngine:
     # session state
     # ------------------------------------------------------------------
     def observe(self, move: Move | None, tile: TileKey) -> None:
-        """Record one user request (history + ROI update)."""
+        """Record one user request (history + ROI update).
+
+        With a bound :attr:`hotspot_registry` the request also feeds the
+        shared cross-session popularity model, before prediction — this
+        round's prediction already sees this request's weight.
+        """
         if not self.grid.valid(tile):
             raise ValueError(f"requested tile {tile} is not in the pyramid")
         self.history.record(move, tile)
         self.roi_tracker.update(move, tile)
+        if self.hotspot_registry is not None:
+            self.hotspot_registry.observe(tile)
         self._round_cache.clear()
         self._round_phase = None
+
+    def bind_hotspot_registry(
+        self,
+        registry: SharedHotspotRegistry | None,
+        live: bool = False,
+    ) -> None:
+        """Attach (or detach, with ``None``) the shared popularity model.
+
+        Observations feed the registry from the next request on.  With
+        ``live=True`` every recommender that understands a registry
+        (``bind_registry``, e.g. the live
+        :class:`~repro.recommenders.hotspot.HotspotRecommender`) starts
+        consulting it too, so this session's predictions are steered by
+        *all* sessions' traffic.
+        """
+        self.hotspot_registry = registry
+        if live:
+            for recommender in self.recommenders.values():
+                bind = getattr(recommender, "bind_registry", None)
+                if bind is not None:
+                    bind(registry)
 
     def reset(self) -> None:
         """Clear all per-session state."""

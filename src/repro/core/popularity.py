@@ -1,0 +1,252 @@
+"""Live cross-session tile popularity (the shared hotspot model).
+
+The paper's multi-user scheme (Section 6.2) shares *tiles* across
+sessions; this module shares the *signal*: every session's request
+stream feeds one :class:`SharedHotspotRegistry`, a thread-safe
+popularity model over :class:`~repro.tiles.key.TileKey` that prediction
+(live :class:`~repro.recommenders.hotspot.HotspotRecommender`) and
+prefetch scheduling (rank boost for globally hot tiles) consult in real
+time.  User A exploring a region teaches the system what user B is
+likely to want next — the cross-client coordination Khameleon-style
+continuous prefetching and Kyrix's shared backend exploit.
+
+Design constraints, in order:
+
+- **Determinism.**  ``snapshot(top_n)`` orders entries by
+  ``(count desc, key asc)``; with no decay (the default) the snapshot
+  is a pure function of the *multiset* of observations — any
+  interleaving of concurrent observers yields the same top-N, and the
+  shard count never changes the result (per-key arithmetic is
+  independent of shard membership).
+- **Current, not cumulative.**  Counts decay exponentially on a
+  *virtual monotonic tick*, never wall time: each ``advance()`` by the
+  owner multiplies every count by ``decay`` (applied lazily, per key),
+  so hotspots track current traffic and a burst from last epoch fades.
+  Tests and replays drive the tick explicitly; a live deployment can
+  advance it from a timer or a request counter.
+- **Concurrency.**  Counters are hash-sharded: each shard owns an
+  independent lock, so concurrent sessions observing different tiles do
+  not serialize on one mutex (the same striping discipline as the
+  middleware cache).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from collections.abc import Iterable
+
+from repro.tiles.key import TileKey
+
+
+def _hotness(item: tuple[TileKey, float]) -> tuple[float, TileKey]:
+    """Snapshot sort key: count descending, key ascending."""
+    return (-item[1], item[0])
+
+
+class SharedHotspotRegistry:
+    """Decaying, sharded request-popularity counters keyed by tile.
+
+    All public methods are thread-safe.  ``decay`` is the factor every
+    count is multiplied by per elapsed tick (1.0 = never forget, the
+    default — and the only setting whose snapshots are exactly
+    interleaving-independent under concurrent ``advance()``).
+    """
+
+    def __init__(self, shards: int = 1, decay: float = 1.0) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.shards = shards
+        self.decay = decay
+        #: Per-shard ``{key: [weight, tick_of_weight]}``.
+        self._entries: list[dict[TileKey, list]] = [{} for _ in range(shards)]
+        self._locks = [threading.Lock() for _ in range(shards)]
+        #: Per-shard observation tallies (each guarded by its shard lock,
+        #: so concurrent observers never race on one shared counter).
+        self._observed = [0] * shards
+        self._tick_lock = threading.Lock()
+        self._tick = 0
+
+    # ------------------------------------------------------------------
+    # virtual time
+    # ------------------------------------------------------------------
+    @property
+    def tick(self) -> int:
+        """The current virtual time (monotonic, caller-advanced)."""
+        with self._tick_lock:
+            return self._tick
+
+    def advance(self, ticks: int = 1) -> int:
+        """Advance virtual time; every count decays by ``decay**ticks``.
+
+        Decay is applied lazily (per key, on next touch), so advancing
+        is O(1) regardless of how many tiles are tracked.  Returns the
+        new tick.
+        """
+        if ticks < 0:
+            raise ValueError(f"ticks must be >= 0, got {ticks}")
+        with self._tick_lock:
+            self._tick += ticks
+            return self._tick
+
+    def _decayed(self, weight: float, elapsed: int) -> float:
+        if elapsed == 0 or self.decay == 1.0:
+            return weight
+        return weight * self.decay**elapsed
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def _shard(self, key: TileKey) -> int:
+        return hash(key) % self.shards
+
+    def observe(self, key: TileKey, weight: float = 1.0) -> float:
+        """Record one request for ``key``; returns its updated count."""
+        if weight <= 0:
+            raise ValueError(f"weight must be > 0, got {weight}")
+        with self._tick_lock:
+            tick = self._tick
+        index = self._shard(key)
+        with self._locks[index]:
+            entry = self._entries[index].get(key)
+            if entry is None:
+                self._entries[index][key] = [float(weight), tick]
+                new_weight = float(weight)
+            else:
+                # Lazy decay: bring the stored count to the current
+                # tick, then add.  The arithmetic per key is identical
+                # whatever the shard count.  A concurrent advance() may
+                # have stamped the entry with a tick newer than the one
+                # we captured; never "un-decay" in that case.
+                elapsed = tick - entry[1]
+                if elapsed > 0:
+                    entry[0] = self._decayed(entry[0], elapsed)
+                    entry[1] = tick
+                entry[0] += weight
+                new_weight = entry[0]
+            self._observed[index] += 1
+        return new_weight
+
+    def observe_many(self, keys: Iterable[TileKey], weight: float = 1.0) -> None:
+        """Record one request per key (convenience for replays)."""
+        for key in keys:
+            self.observe(key, weight)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def count(self, key: TileKey) -> float:
+        """The decayed count of ``key`` at the current tick (0 if unseen)."""
+        with self._tick_lock:
+            tick = self._tick
+        index = self._shard(key)
+        with self._locks[index]:
+            entry = self._entries[index].get(key)
+            if entry is None:
+                return 0.0
+            return self._decayed(entry[0], max(0, tick - entry[1]))
+
+    def _snapshot_at(
+        self, top_n: int | None
+    ) -> tuple[int, list[tuple[TileKey, float]]]:
+        """(tick, ordered entries) with both taken from one tick read."""
+        with self._tick_lock:
+            tick = self._tick
+        entries: list[tuple[TileKey, float]] = []
+        for index in range(self.shards):
+            with self._locks[index]:
+                for key, (weight, seen_tick) in self._entries[index].items():
+                    entries.append(
+                        (key, self._decayed(weight, max(0, tick - seen_tick)))
+                    )
+        if top_n is None:
+            entries.sort(key=_hotness)
+        else:
+            # O(T log top_n), not a full sort: this runs per prediction
+            # round on the request path.
+            entries = heapq.nsmallest(top_n, entries, key=_hotness)
+        return tick, entries
+
+    def snapshot(self, top_n: int | None = None) -> list[tuple[TileKey, float]]:
+        """The hottest tiles, deterministically ordered.
+
+        Entries are sorted by ``(count desc, key asc)`` — the tie-break
+        makes the top-N a pure function of the counter state, never of
+        insertion or shard order.  ``top_n=None`` returns everything.
+        """
+        if top_n is not None and top_n < 1:
+            raise ValueError(f"top_n must be >= 1, got {top_n}")
+        return self._snapshot_at(top_n)[1]
+
+    def hot_keys(self, top_n: int) -> list[TileKey]:
+        """Just the keys of :meth:`snapshot`, hottest first."""
+        return [key for key, _ in self.snapshot(top_n)]
+
+    @property
+    def total_observations(self) -> int:
+        """Observations absorbed so far (undecayed; merges count theirs)."""
+        total = 0
+        for index in range(self.shards):
+            with self._locks[index]:
+                total += self._observed[index]
+        return total
+
+    def __len__(self) -> int:
+        """Number of distinct tiles tracked."""
+        return sum(
+            len(self._entries[index]) for index in range(self.shards)
+        )
+
+    # ------------------------------------------------------------------
+    # combination / lifecycle
+    # ------------------------------------------------------------------
+    def merge(self, other: "SharedHotspotRegistry") -> None:
+        """Fold another registry's counts into this one.
+
+        Both registries' counts are aligned to ``max(self.tick,
+        other.tick)`` before adding, so merging is commutative (and,
+        with exactly representable weights, associative).  The decay
+        factors must match — merging differently-decaying counters has
+        no meaningful unit.
+        """
+        if other.decay != self.decay:
+            raise ValueError(
+                f"cannot merge registries with different decay factors "
+                f"({self.decay} vs {other.decay})"
+            )
+        # Tick and counts come from one atomic read — a concurrent
+        # advance() on ``other`` cannot mis-align the decay below.
+        other_tick, incoming = other._snapshot_at(None)
+        target = max(self.tick, other_tick)
+        if target > self.tick:
+            self.advance(target - self.tick)
+        elapsed = target - other_tick
+        merged_keys = 0
+        for key, weight in incoming:
+            decayed = self._decayed(weight, elapsed)
+            if decayed > 0:
+                self.observe(key, decayed)
+                merged_keys += 1
+        # observe() tallied each merged key as one observation; correct
+        # the total to carry the other registry's true history.
+        adjustment = other.total_observations - merged_keys
+        if adjustment and self.shards:
+            with self._locks[0]:
+                self._observed[0] += adjustment
+
+    def clear(self) -> None:
+        """Forget everything (counts, tick, totals)."""
+        for index in range(self.shards):
+            with self._locks[index]:
+                self._entries[index].clear()
+                self._observed[index] = 0
+        with self._tick_lock:
+            self._tick = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<SharedHotspotRegistry shards={self.shards} "
+            f"decay={self.decay} tiles={len(self)} tick={self.tick}>"
+        )

@@ -369,6 +369,7 @@ def replay_model_latency(
     k: int,
     frontend: str = "server",
     prefetch_mode: str = "sync",
+    shared_hotspots: str = "off",
 ):
     """LOO latency replay for one model and fetch size.
 
@@ -390,6 +391,14 @@ def replay_model_latency(
     scheduler's worker pool instead — numbers then depend on physical
     timing (a smoke path, exercised by CI, not a figure
     reproduction).
+
+    ``shared_hotspots`` threads the cross-session popularity knob
+    through whichever front end serves the replay.  ``"off"`` (the
+    default) and ``"observe"`` leave every figure number bit-identical;
+    ``"boost"`` lets live hotspot recommenders and the background
+    scheduler act on the shared signal (a smoke path, not a figure
+    reproduction — each trace replays against a cold service, so its
+    registry only ever sees that trace).
     """
     from repro.middleware.latency import LatencyRecorder
 
@@ -398,9 +407,13 @@ def replay_model_latency(
             f"frontend must be one of {REPLAY_FRONTENDS}, got {frontend!r}"
         )
     if frontend == "async":
-        return _replay_async_frontend(context, factory, k, prefetch_mode)
+        return _replay_async_frontend(
+            context, factory, k, prefetch_mode, shared_hotspots
+        )
     if frontend == "socket":
-        return _replay_socket_frontend(context, factory, k, prefetch_mode)
+        return _replay_socket_frontend(
+            context, factory, k, prefetch_mode, shared_hotspots
+        )
     recorder = LatencyRecorder()
     for _, train, test in leave_one_user_out(context.study):
         engine = factory(train)
@@ -408,20 +421,25 @@ def replay_model_latency(
 
             def server_factory(engine=engine):
                 engine.reset()
-                return _figure12_server(context, engine, k, prefetch_mode)
+                return _figure12_server(
+                    context, engine, k, prefetch_mode, shared_hotspots
+                )
 
             recorder.merge(replay_latency(server_factory, test))
         else:
             for trace in test:
                 recorder.merge(
                     _replay_service_trace(
-                        context, engine, trace, k, prefetch_mode
+                        context, engine, trace, k, prefetch_mode,
+                        shared_hotspots,
                     )
                 )
     return recorder
 
 
-def _figure12_config(k: int, prefetch_mode: str = "sync"):
+def _figure12_config(
+    k: int, prefetch_mode: str = "sync", shared_hotspots: str = "off"
+):
     """Section 5.2.2 cache shape: the k-tile prefetch region only."""
     from repro.middleware.config import (
         CacheConfig,
@@ -430,13 +448,19 @@ def _figure12_config(k: int, prefetch_mode: str = "sync"):
     )
 
     return ServiceConfig(
-        prefetch=PrefetchPolicy(k=k, mode=prefetch_mode),
+        prefetch=PrefetchPolicy(
+            k=k, mode=prefetch_mode, shared_hotspots=shared_hotspots
+        ),
         cache=CacheConfig(recent_capacity=1, prefetch_capacity=k),
     )
 
 
 def _figure12_server(
-    context, engine, k: int, prefetch_mode: str = "sync"
+    context,
+    engine,
+    k: int,
+    prefetch_mode: str = "sync",
+    shared_hotspots: str = "off",
 ) -> ForeCacheServer:
     """A cold legacy server in the Section 5.2.2 cache shape."""
     from repro.cache.manager import CacheManager
@@ -449,24 +473,38 @@ def _figure12_server(
         cache_manager=CacheManager(context.pyramid, cache),
         prefetch_k=k,
         prefetch_mode=prefetch_mode,
+        shared_hotspots=shared_hotspots,
     )
 
 
-def _replay_service_trace(context, engine, trace, k: int, prefetch_mode: str):
+def _replay_service_trace(
+    context,
+    engine,
+    trace,
+    k: int,
+    prefetch_mode: str,
+    shared_hotspots: str = "off",
+):
     """One trace through a cold facade session (sync front end)."""
     from repro.middleware.client import BrowsingSession
     from repro.middleware.service import ForeCacheService
 
     engine.reset()
     with ForeCacheService(
-        context.pyramid, _figure12_config(k, prefetch_mode)
+        context.pyramid, _figure12_config(k, prefetch_mode, shared_hotspots)
     ) as service:
         handle = service.open_session(engine)
         BrowsingSession(handle).replay(trace)
         return handle.recorder
 
 
-def _replay_async_frontend(context, factory, k: int, prefetch_mode: str = "sync"):
+def _replay_async_frontend(
+    context,
+    factory,
+    k: int,
+    prefetch_mode: str = "sync",
+    shared_hotspots: str = "off",
+):
     """The whole LOO replay on one event loop.
 
     Only the *service* (cache + session) must be cold per trace, so the
@@ -487,7 +525,7 @@ def _replay_async_frontend(context, factory, k: int, prefetch_mode: str = "sync"
                 engine.reset()
                 async with AsyncForeCacheService.build(
                     context.pyramid,
-                    _figure12_config(k, prefetch_mode),
+                    _figure12_config(k, prefetch_mode, shared_hotspots),
                     max_workers=1,
                 ) as service:
                     session = await service.open_session(engine)
@@ -499,7 +537,11 @@ def _replay_async_frontend(context, factory, k: int, prefetch_mode: str = "sync"
 
 
 def _replay_socket_frontend(
-    context, factory, k: int, prefetch_mode: str = "sync"
+    context,
+    factory,
+    k: int,
+    prefetch_mode: str = "sync",
+    shared_hotspots: str = "off",
 ):
     """The whole LOO replay over real loopback TCP.
 
@@ -521,7 +563,7 @@ def _replay_socket_frontend(
             engine.reset()
             with ThreadedSocketServer(
                 context.pyramid,
-                _figure12_config(k, prefetch_mode),
+                _figure12_config(k, prefetch_mode, shared_hotspots),
                 engine_factory=lambda: engine,
                 # The replay is sequential; don't spawn (and join) a full
                 # 8-thread bridge pool per trace.

@@ -17,6 +17,7 @@ from repro.middleware.aio import AsyncForeCacheService, AsyncSessionHandle
 from repro.middleware.client import AsyncBrowsingSession, BrowsingSession
 from repro.middleware.config import (
     PREFETCH_MODES,
+    SHARED_HOTSPOT_MODES,
     CacheConfig,
     PrefetchPolicy,
     ServiceConfig,
@@ -101,6 +102,7 @@ __all__ = [
     "PrefetchPolicy",
     "PrefetchScheduler",
     "ProtocolError",
+    "SHARED_HOTSPOT_MODES",
     "SessionClosedError",
     "SessionHandle",
     "SessionInfo",

@@ -33,6 +33,20 @@ from repro.tiles.pyramid import TilePyramid
 #: ("background", physical think-time overlap).
 PREFETCH_MODES = ("sync", "background")
 
+#: Cross-session popularity sharing:
+#: - "off"      — no shared registry at all (the default; replays and
+#:   figure numerics are bit-identical to the isolated-prediction
+#:   behavior),
+#: - "observe"  — every session's requests feed one
+#:   :class:`~repro.core.popularity.SharedHotspotRegistry`, but nothing
+#:   consults it yet (collect the signal, change no behavior — a canary
+#:   step, and the warm-up source for later "boost" services),
+#: - "boost"    — observe, plus the signal is *acted on*: live
+#:   :class:`~repro.recommenders.hotspot.HotspotRecommender` instances
+#:   re-read the registry's top-N on every prediction, and the
+#:   background scheduler boosts the queue rank of globally hot tiles.
+SHARED_HOTSPOT_MODES = ("off", "observe", "boost")
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -100,6 +114,23 @@ class PrefetchPolicy:
     #: Split ``k`` fairly across open sessions (the multi-user scheme of
     #: Section 6.2) instead of granting each session the full budget.
     share_budget: bool = False
+    #: Cross-session popularity sharing: "off", "observe", or "boost"
+    #: (:data:`SHARED_HOTSPOT_MODES`).
+    shared_hotspots: str = "off"
+    #: Per-tick decay factor of the shared registry's counts (1.0 keeps
+    #: counts forever; lower values make hotspots track recent traffic).
+    #: Ticks are virtual: set ``hotspot_tick_every`` (or call
+    #: ``service.hotspot_registry.advance()`` yourself) or decay < 1
+    #: never fires.
+    hotspot_decay: float = 1.0
+    #: How many globally hot tiles the scheduler's rank boost considers.
+    hotspot_top_n: int = 8
+    #: Queue-rank steps a globally hot tile jumps under "boost".
+    hotspot_boost: int = 2
+    #: Advance the registry's decay tick once every N served requests
+    #: (0 = never; the owner drives the tick explicitly).  Request-count
+    #: ticks keep replays deterministic where wall-clock ticks cannot.
+    hotspot_tick_every: int = 0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -118,10 +149,42 @@ class PrefetchPolicy:
                 f"prefetch_admission must be one of {ADMISSION_MODES}, got"
                 f" {self.admission!r}"
             )
+        if self.shared_hotspots not in SHARED_HOTSPOT_MODES:
+            raise ValueError(
+                f"shared_hotspots must be one of {SHARED_HOTSPOT_MODES}, "
+                f"got {self.shared_hotspots!r}"
+            )
+        if not 0.0 < self.hotspot_decay <= 1.0:
+            raise ValueError(
+                f"hotspot_decay must be in (0, 1], got {self.hotspot_decay}"
+            )
+        if self.hotspot_top_n < 1:
+            raise ValueError(
+                f"hotspot_top_n must be >= 1, got {self.hotspot_top_n}"
+            )
+        if self.hotspot_boost < 0:
+            raise ValueError(
+                f"hotspot_boost must be >= 0, got {self.hotspot_boost}"
+            )
+        if self.hotspot_tick_every < 0:
+            raise ValueError(
+                f"hotspot_tick_every must be >= 0, got"
+                f" {self.hotspot_tick_every}"
+            )
 
     @property
     def background(self) -> bool:
         return self.mode == "background"
+
+    @property
+    def shares_hotspots(self) -> bool:
+        """True when sessions feed the shared popularity registry."""
+        return self.shared_hotspots != "off"
+
+    @property
+    def hotspots_live(self) -> bool:
+        """True when the shared popularity signal steers behavior."""
+        return self.shared_hotspots == "boost"
 
 
 @dataclass(frozen=True)

@@ -75,6 +75,7 @@ class MultiUserServer:
         prefetch_workers: int = 2,
         prefetch_admission: str = "priority",
         cache_shards: int = 1,
+        shared_hotspots: str = "off",
     ) -> None:
         config = ServiceConfig(
             prefetch=PrefetchPolicy(
@@ -83,6 +84,7 @@ class MultiUserServer:
                 workers=prefetch_workers,
                 admission=prefetch_admission,
                 share_budget=True,
+                shared_hotspots=shared_hotspots,
             ),
             cache=CacheConfig(
                 recent_capacity=recent_capacity,
@@ -120,6 +122,11 @@ class MultiUserServer:
     @property
     def scheduler(self) -> PrefetchScheduler | None:
         return self._service.scheduler
+
+    @property
+    def hotspot_registry(self):
+        """The shared popularity model (None with shared_hotspots="off")."""
+        return self._service.hotspot_registry
 
     @property
     def prefetch_k(self) -> int:

@@ -38,6 +38,15 @@ session so a newcomer cannot monopolize the pool.  Rank dominates — a
 busy session's rank-0 tile still beats an idle session's rank-5 tile —
 because a top prediction is overwhelmingly more likely to be the next
 request (Figure 12's accuracy↔latency line).
+
+With a bound :class:`~repro.core.popularity.SharedHotspotRegistry`
+(``PrefetchPolicy(shared_hotspots="boost")``) priority admission also
+consults the *global* signal: a job whose tile is currently among the
+registry's hottest gets its queue rank boosted by ``hotspot_boost``
+steps, because a globally popular tile pays off even if this session's
+model ranked it low — some session will ask for it, and the shared
+cache serves everyone.  The job's own ``rank`` is untouched (it still
+reports the model's opinion); only the heap key moves.
 """
 
 from __future__ import annotations
@@ -46,10 +55,14 @@ import heapq
 import threading
 from collections.abc import Hashable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cache.manager import CacheManager
 from repro.tiles.key import TileKey
 from repro.tiles.tile import DataTile
+
+if TYPE_CHECKING:
+    from repro.core.popularity import SharedHotspotRegistry
 
 #: Job lifecycle states.
 PENDING = "pending"
@@ -97,6 +110,9 @@ class PrefetchScheduler:
         max_workers: int = 2,
         name: str = "prefetch",
         admission: str = "priority",
+        hotspot_registry: "SharedHotspotRegistry | None" = None,
+        hotspot_top_n: int = 8,
+        hotspot_boost: int = 2,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"worker pool needs >= 1 workers, got {max_workers}")
@@ -104,9 +120,16 @@ class PrefetchScheduler:
             raise ValueError(
                 f"admission must be one of {ADMISSION_MODES}, got {admission!r}"
             )
+        if hotspot_top_n < 1:
+            raise ValueError(f"hotspot_top_n must be >= 1, got {hotspot_top_n}")
+        if hotspot_boost < 0:
+            raise ValueError(f"hotspot_boost must be >= 0, got {hotspot_boost}")
         self.cache_manager = cache_manager
         self.max_workers = max_workers
         self.admission = admission
+        self.hotspot_registry = hotspot_registry
+        self.hotspot_top_n = hotspot_top_n
+        self.hotspot_boost = hotspot_boost
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         #: Heap of ``(sort_key, job)``; sort keys are unique (they end
@@ -163,6 +186,16 @@ class PrefetchScheduler:
                 (rank, key, model)
                 for rank, (key, model) in enumerate(predictions)
             ]
+        # One registry read per round, outside our lock (the registry
+        # has its own striped locks): the hot set is a snapshot — jobs
+        # queued this round keep the boost they were admitted with.
+        hot: frozenset[TileKey] = frozenset()
+        if (
+            self.hotspot_registry is not None
+            and self.hotspot_boost > 0
+            and self.admission == "priority"
+        ):
+            hot = frozenset(self.hotspot_registry.hot_keys(self.hotspot_top_n))
         with self._lock:
             if self._closed:
                 raise RuntimeError("scheduler is shut down")
@@ -196,7 +229,10 @@ class PrefetchScheduler:
             for job in jobs:
                 self._seq += 1
                 if self.admission == "priority":
-                    sort_key = (job.rank, deficit, -generation, self._seq)
+                    rank = job.rank
+                    if job.key in hot:
+                        rank = max(0, rank - self.hotspot_boost)
+                    sort_key = (rank, deficit, -generation, self._seq)
                 else:
                     sort_key = (self._seq,)
                 heapq.heappush(self._heap, (sort_key, job))

@@ -56,6 +56,7 @@ class ForeCacheServer:
         prefetch_workers: int = 2,
         prefetch_admission: str = "priority",
         cache_shards: int = 1,
+        shared_hotspots: str = "off",
         session_id: int | None = None,
     ) -> None:
         config = ServiceConfig(
@@ -65,6 +66,7 @@ class ForeCacheServer:
                 mode=prefetch_mode,
                 workers=prefetch_workers,
                 admission=prefetch_admission,
+                shared_hotspots=shared_hotspots,
             ),
             cache=CacheConfig(shards=cache_shards),
         )
@@ -108,6 +110,11 @@ class ForeCacheServer:
     @property
     def scheduler(self) -> PrefetchScheduler | None:
         return self._service.scheduler
+
+    @property
+    def hotspot_registry(self):
+        """The shared popularity model (None with shared_hotspots="off")."""
+        return self._service.hotspot_registry
 
     @property
     def recorder(self) -> LatencyRecorder:

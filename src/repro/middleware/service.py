@@ -18,6 +18,14 @@ fairly across open sessions and, in sync mode, every request refills the
 shared prefetch region with all sessions' predictions interleaved — the
 multi-user scheme of Section 6.2.
 
+Beyond shared *tiles*, sessions can share the *signal*:
+``PrefetchPolicy(shared_hotspots="observe" | "boost")`` gives the
+service one :class:`~repro.core.popularity.SharedHotspotRegistry` that
+every session's requests feed; under ``"boost"`` live
+:class:`~repro.recommenders.hotspot.HotspotRecommender` instances and
+the background scheduler consult it, so one user's traffic steers
+another user's prefetching (see README "Shared prediction").
+
 The legacy :class:`~repro.middleware.server.ForeCacheServer` and
 :class:`~repro.middleware.multiuser.MultiUserServer` are thin adapters
 over this facade; new code should use the facade (or its asyncio front
@@ -32,6 +40,7 @@ from dataclasses import dataclass, field
 
 from repro.cache.manager import CacheManager
 from repro.core.engine import PredictionEngine
+from repro.core.popularity import SharedHotspotRegistry
 from repro.middleware.config import PrefetchPolicy, ServiceConfig
 from repro.middleware.latency import LatencyModel, LatencyRecorder
 from repro.middleware.protocol import (
@@ -151,10 +160,25 @@ class ForeCacheService:
         scheduler: PrefetchScheduler | None = None,
         latency_model: LatencyModel | None = None,
         engine_factory: Callable[[], PredictionEngine] | None = None,
+        hotspot_registry: SharedHotspotRegistry | None = None,
     ) -> None:
         self.pyramid = pyramid
         self.config = config if config is not None else ServiceConfig()
         policy = self.config.prefetch
+        if hotspot_registry is not None and not policy.shares_hotspots:
+            raise ValueError(
+                "a hotspot_registry was provided but "
+                "PrefetchPolicy.shared_hotspots is 'off'; nothing would "
+                "ever feed or read it"
+            )
+        if policy.shares_hotspots and hotspot_registry is None:
+            # Shards match the cache striping: hot sessions observing
+            # different tiles stop serializing on one registry mutex.
+            hotspot_registry = SharedHotspotRegistry(
+                shards=self.config.cache.shards,
+                decay=policy.hotspot_decay,
+            )
+        self.hotspot_registry = hotspot_registry
         if cache_manager is None:
             # A provided scheduler's manager IS the serving cache;
             # building a second one would prefetch into the wrong cache.
@@ -189,9 +213,20 @@ class ForeCacheService:
                 self.cache_manager,
                 max_workers=policy.workers,
                 admission=policy.admission,
+                # Only "boost" acts on the shared signal; "observe"
+                # collects without changing any scheduling decision.
+                hotspot_registry=(
+                    self.hotspot_registry if policy.hotspots_live else None
+                ),
+                hotspot_top_n=policy.hotspot_top_n,
+                hotspot_boost=policy.hotspot_boost,
             )
             self._owns_scheduler = True
         self.scheduler = scheduler
+        #: Request-count decay ticking (policy.hotspot_tick_every); its
+        #: own lock so ticking never contends with the session table.
+        self._hotspot_tick_lock = threading.Lock()
+        self._hotspot_requests = 0
         self._lock = threading.Lock()
         self._sessions: dict[Hashable, _SessionRecord] = {}
         self._auto_session = 0
@@ -242,6 +277,13 @@ class ForeCacheService:
                 engine.reset()
             record = _SessionRecord(session_id=session_id, engine=engine)
             self._sessions[session_id] = record
+        # Only a successfully opened session joins the shared popularity
+        # model (a refused open must not rebind the caller's engine).
+        if self.hotspot_registry is not None:
+            engine.bind_hotspot_registry(
+                self.hotspot_registry,
+                live=self.config.prefetch.hotspots_live,
+            )
         return SessionHandle(self, record)
 
     def close_session(self, session_id: Hashable) -> None:
@@ -267,8 +309,26 @@ class ForeCacheService:
                     return
                 record.closed = True
                 self._sessions.pop(record.session_id, None)
+            self._unbind_engine(record.engine)
         if self.scheduler is not None:
             self.scheduler.cancel_session(record.session_id)
+
+    def _unbind_engine(self, engine: PredictionEngine) -> None:
+        """Detach a departing engine from *this service's* registry.
+
+        An engine leaving its session must stop feeding (and, when live,
+        predicting from) a registry it no longer belongs to — otherwise
+        reusing it under a later ``shared_hotspots="off"`` service would
+        silently keep the stale signal alive.  An engine the caller
+        bound to some *other* registry is none of our business.
+        """
+        if (
+            self.hotspot_registry is not None
+            and engine.hotspot_registry is self.hotspot_registry
+        ):
+            engine.bind_hotspot_registry(
+                None, live=self.config.prefetch.hotspots_live
+            )
 
     def _reset_session(self, record: _SessionRecord) -> None:
         if self.scheduler is not None:
@@ -376,6 +436,16 @@ class ForeCacheService:
                             " served",
                             session_id=str(record.session_id),
                         ) from None
+        if (
+            self.hotspot_registry is not None
+            and policy.hotspot_tick_every > 0
+        ):
+            # Request-count decay ticking: one registry tick every N
+            # served requests, whoever served them.
+            with self._hotspot_tick_lock:
+                self._hotspot_requests += 1
+                if self._hotspot_requests % policy.hotspot_tick_every == 0:
+                    self.hotspot_registry.advance()
         if policy.enabled and not (
             self.scheduler is not None and policy.background
         ):
@@ -465,6 +535,7 @@ class ForeCacheService:
             # cancel that round below.
             with record.lock:
                 record.closed = True
+                self._unbind_engine(record.engine)
         if self.scheduler is not None:
             if self._owns_scheduler:
                 self.scheduler.shutdown()

@@ -5,12 +5,21 @@ counts requests per tile across the study traces and keeps the most
 requested as *hotspots*.  When the user is near a hotspot, candidate
 tiles that bring her closer to it are ranked above the rest; otherwise
 the model behaves exactly like Momentum.
+
+Beyond the paper's offline-trained form, the model has a *live* mode:
+bind a :class:`~repro.core.popularity.SharedHotspotRegistry` and the
+hotspot set is re-read from the registry's current top-N on every
+prediction, so one user's traffic steers another user's prefetching in
+real time (cross-session prediction sharing, Section 6.2 extended).
+Offline-trained hotspots remain the default — and the fallback whenever
+the bound registry is still empty (cold start).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.recommenders.base import PredictionContext, Recommender
 from repro.recommenders.momentum import MomentumRecommender
@@ -18,13 +27,21 @@ from repro.tiles.key import TileKey
 from repro.tiles.moves import ALL_MOVES
 from repro.users.session import Trace
 
+if TYPE_CHECKING:  # circular-import guard: core.engine imports this package
+    from repro.core.popularity import SharedHotspotRegistry
+
 
 class HotspotRecommender(Recommender):
     """Momentum plus popularity-based pull toward hotspot tiles."""
 
     name = "hotspot"
 
-    def __init__(self, num_hotspots: int = 10, proximity: int = 4) -> None:
+    def __init__(
+        self,
+        num_hotspots: int = 10,
+        proximity: int = 4,
+        registry: "SharedHotspotRegistry | None" = None,
+    ) -> None:
         if num_hotspots < 1:
             raise ValueError(f"num_hotspots must be >= 1, got {num_hotspots}")
         if proximity < 1:
@@ -32,7 +49,14 @@ class HotspotRecommender(Recommender):
         self.num_hotspots = num_hotspots
         self.proximity = proximity
         self.hotspots: tuple[TileKey, ...] = ()
+        self.registry = registry
         self._momentum = MomentumRecommender()
+
+    def bind_registry(
+        self, registry: "SharedHotspotRegistry | None"
+    ) -> None:
+        """Enter (or, with ``None``, leave) live mode."""
+        self.registry = registry
 
     def train(self, traces: Sequence[Trace]) -> None:
         """Pick the most requested tiles in the training traces."""
@@ -43,16 +67,29 @@ class HotspotRecommender(Recommender):
         ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
         self.hotspots = tuple(key for key, _ in ordered[: self.num_hotspots])
 
+    def effective_hotspots(self) -> tuple[TileKey, ...]:
+        """The hotspot set this prediction uses: live top-N, else trained."""
+        if self.registry is not None:
+            live = self.registry.hot_keys(self.num_hotspots)
+            if live:
+                return tuple(live)
+        return self.hotspots
+
     def nearest_hotspot(self, tile: TileKey) -> TileKey | None:
-        """The closest hotspot within ``proximity`` moves, if any."""
-        best: TileKey | None = None
-        best_distance = self.proximity + 1
-        for hotspot in self.hotspots:
-            distance = tile.manhattan_distance(hotspot)
-            if distance < best_distance:
-                best = hotspot
-                best_distance = distance
-        return best
+        """The closest hotspot within ``proximity`` moves, if any.
+
+        Equidistant hotspots tie-break by key, explicitly — the choice
+        must be a function of the hotspot *set*, never of training (or
+        registry) iteration order.
+        """
+        within = [
+            (tile.manhattan_distance(hotspot), hotspot)
+            for hotspot in self.effective_hotspots()
+        ]
+        within = [item for item in within if item[0] <= self.proximity]
+        if not within:
+            return None
+        return min(within)[1]
 
     def predict(self, context: PredictionContext) -> list[TileKey]:
         hotspot = self.nearest_hotspot(context.current)

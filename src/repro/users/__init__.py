@@ -10,6 +10,11 @@ the 3 tasks to produce the study trace corpus.
 """
 
 from repro.users.behavior import BehaviorProfile, SimulatedUser
+from repro.users.convergent import (
+    convergent_walks,
+    cross_user_hit_rate,
+    replay_walks,
+)
 from repro.users.session import Request, StudyData, Trace
 from repro.users.study import run_study
 
@@ -19,5 +24,8 @@ __all__ = [
     "SimulatedUser",
     "StudyData",
     "Trace",
+    "convergent_walks",
+    "cross_user_hit_rate",
+    "replay_walks",
     "run_study",
 ]

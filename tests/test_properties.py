@@ -316,3 +316,100 @@ class TestFramingProperties:
             delivered.extend(decoder.feed(garbage))
         except protocol_module.FramingError:
             pass
+
+
+# ----------------------------------------------------------------------
+# shared hotspot registry invariants
+# ----------------------------------------------------------------------
+# Exactness discipline: weights are small integers, decay is 0.5, and
+# op lists are short, so every count is a dyadic rational well inside
+# the 53-bit mantissa — float addition is exact and therefore
+# commutative AND associative, letting the merge properties assert
+# bit-identical snapshots instead of approximations.
+registry_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("observe"), tile_keys(max_level=3), st.integers(1, 4)),
+        st.tuples(st.just("advance"), st.just(None), st.integers(1, 1)),
+    ),
+    max_size=12,
+)
+
+
+def _apply_registry_ops(registry, ops):
+    for kind, key, amount in ops:
+        if kind == "observe":
+            registry.observe(key, float(amount))
+        else:
+            registry.advance(amount)
+    return registry
+
+
+def _fresh_registry(ops, decay=0.5, shards=1):
+    from repro.core.popularity import SharedHotspotRegistry
+
+    return _apply_registry_ops(
+        SharedHotspotRegistry(shards=shards, decay=decay), ops
+    )
+
+
+class TestSharedHotspotProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(ops=registry_ops, decay=st.sampled_from([0.25, 0.5, 1.0]))
+    def test_decayed_counts_never_negative(self, ops, decay):
+        registry = _fresh_registry(ops, decay=decay)
+        registry.advance(3)
+        snap = registry.snapshot()
+        assert all(weight >= 0.0 for _, weight in snap)
+        assert snap == sorted(snap, key=lambda item: (-item[1], item[0]))
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=registry_ops, shards=st.integers(1, 6))
+    def test_shard_count_never_changes_the_snapshot(self, ops, shards):
+        assert (
+            _fresh_registry(ops, shards=shards).snapshot()
+            == _fresh_registry(ops, shards=1).snapshot()
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops_a=registry_ops, ops_b=registry_ops)
+    def test_merge_is_commutative(self, ops_a, ops_b):
+        ab = _fresh_registry(ops_a)
+        ab.merge(_fresh_registry(ops_b))
+        ba = _fresh_registry(ops_b)
+        ba.merge(_fresh_registry(ops_a))
+        assert ab.snapshot() == ba.snapshot()
+        assert ab.tick == ba.tick
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops_a=registry_ops, ops_b=registry_ops, ops_c=registry_ops)
+    def test_merge_is_associative(self, ops_a, ops_b, ops_c):
+        left = _fresh_registry(ops_a)
+        left.merge(_fresh_registry(ops_b))
+        left.merge(_fresh_registry(ops_c))
+        bc = _fresh_registry(ops_b)
+        bc.merge(_fresh_registry(ops_c))
+        right = _fresh_registry(ops_a)
+        right.merge(bc)
+        assert left.snapshot() == right.snapshot()
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=registry_ops, n=st.integers(1, 5))
+    def test_topn_is_a_prefix_of_the_full_snapshot(self, ops, n):
+        registry = _fresh_registry(ops)
+        assert registry.snapshot(n) == registry.snapshot()[:n]
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=registry_ops, n=st.integers(1, 5))
+    def test_topn_stable_under_lighter_unrelated_observations(self, ops, n):
+        """Observing a fresh key strictly lighter than the current N-th
+        entry must leave the top-N prefix untouched."""
+        registry = _fresh_registry(ops)
+        full = registry.snapshot()
+        if len(full) < n:
+            return  # the newcomer would enter the top-N legitimately
+        top_before = registry.snapshot(n)
+        cutoff = full[n - 1][1]
+        # Level 6 is outside the strategy's key space: guaranteed fresh.
+        unrelated = TileKey(6, 0, 0)
+        registry.observe(unrelated, cutoff / 2)
+        assert registry.snapshot(n) == top_before

@@ -168,6 +168,48 @@ class TestHotspot:
         with pytest.raises(ValueError):
             HotspotRecommender(proximity=0)
 
+    def test_equidistant_hotspots_tiebreak_by_key(self):
+        """Regression: equidistant hotspots must resolve by ``(distance,
+        key)``, never by training iteration order.
+
+        ``(2,0,2)`` and ``(2,2,0)`` are both 2 moves from ``(2,1,1)``;
+        the winner must be the smaller key whichever of them trained as
+        the more popular (and therefore earlier-iterated) hotspot.
+        """
+        low_key, high_key = TileKey(2, 0, 2), TileKey(2, 2, 0)
+        query = TileKey(2, 1, 1)
+        assert query.manhattan_distance(low_key) == query.manhattan_distance(
+            high_key
+        )
+        for favored in (low_key, high_key):
+            other = high_key if favored == low_key else low_key
+            traces = [trace_from_moves([], favored) for _ in range(5)]
+            traces += [trace_from_moves([], other) for _ in range(2)]
+            model = HotspotRecommender(num_hotspots=2, proximity=4)
+            model.train(traces)
+            # Popularity order differs between the two trainings...
+            assert model.hotspots == (favored, other)
+            # ...but the equidistant pick is always the smaller key.
+            assert model.nearest_hotspot(query) == low_key
+
+    def test_live_registry_overrides_training(self):
+        from repro.core.popularity import SharedHotspotRegistry
+
+        trained_tile = TileKey(2, 0, 0)
+        live_tile = TileKey(2, 3, 1)
+        model = HotspotRecommender(num_hotspots=1, proximity=4)
+        model.train([trace_from_moves([], trained_tile) for _ in range(3)])
+        registry = SharedHotspotRegistry()
+        model.bind_registry(registry)
+        # Empty registry: cold start falls back to the trained set.
+        assert model.effective_hotspots() == (trained_tile,)
+        registry.observe(live_tile)
+        assert model.effective_hotspots() == (live_tile,)
+        ctx = context_at(TileKey(2, 1, 1), (Move.PAN_LEFT,))
+        assert model.predict(ctx)[0] == TileKey(2, 2, 1)  # toward live tile
+        model.bind_registry(None)
+        assert model.effective_hotspots() == (trained_tile,)
+
 
 class TestSignatureBased:
     def test_requires_signatures(self, provider):
