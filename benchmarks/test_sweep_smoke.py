@@ -1,0 +1,114 @@
+"""End-to-end sweep harness smoke: real serving stack, real gate.
+
+The fast tier (``tests/test_sweep.py``) exercises the harness with
+injected fake runners; this bench-tier smoke runs an actual downscaled
+grid through :class:`~repro.middleware.service.ForeCacheService` (both
+front ends), snapshots it, and proves the regression gate's two
+acceptance behaviors on *real* numbers:
+
+- an unmodified re-run of the same sweep gates clean (determinism:
+  identical virtual metrics), and
+- a doctored snapshot with an above-tolerance latency regression makes
+  ``compare`` fail.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import (
+    SweepSpec,
+    build_snapshot,
+    compare_snapshots,
+    load_snapshot,
+    run_sweep,
+    write_snapshot,
+)
+
+pytestmark = pytest.mark.bench
+
+#: A mini CI-shaped grid: every workload, both front ends, background
+#: prefetch with settle — the exact determinism regime the committed
+#: trajectory uses, at ~1/8 the cell count.
+MINI_CI = {
+    "name": "mini-ci",
+    "parameters": {
+        "workload": ["study", "convergent", "adversarial", "flash_crowd"],
+        "frontend": ["inprocess", "socket"],
+    },
+    "fixed": {
+        "users": 2,
+        "size": 256,
+        "prefetch_mode": "background",
+        "prefetch_workers": 1,
+        "settle": True,
+        "shared_hotspots": "boost",
+        "steps": 24,
+        "max_requests": 30,
+        "seed": 7,
+    },
+}
+
+
+def test_sweep_snapshot_gate_end_to_end(tmp_path):
+    spec = SweepSpec.from_dict(MINI_CI)
+
+    first = run_sweep(spec, tmp_path / "a")
+    assert len(first.executed) == len(spec.cells())
+    for result in first.results:
+        assert result.metrics["requests"] > 0
+        assert 0.0 <= result.metrics["hit_rate"] <= 1.0
+
+    # Determinism across independent runs: the gate's foundation.
+    second = run_sweep(spec, tmp_path / "b")
+    for a, b in zip(first.results, second.results):
+        for metric in ("requests", "hits", "hit_rate", "avg_ms", "p95_ms", "p99_ms"):
+            assert a.metrics[metric] == b.metrics[metric], (
+                a.cell_id,
+                metric,
+            )
+
+    # Front-end equivalence: socket and in-process virtual numbers match.
+    by_id = {r.cell_id: r for r in first.results}
+    for cell_id, result in by_id.items():
+        if "frontend=socket" not in cell_id:
+            continue
+        twin = by_id[cell_id.replace("frontend=socket", "frontend=inprocess")]
+        assert result.metrics["hit_rate"] == twin.metrics["hit_rate"]
+        assert result.metrics["avg_ms"] == twin.metrics["avg_ms"]
+
+    baseline = build_snapshot(spec, first.results, git_sha="base")
+    current = build_snapshot(spec, second.results, git_sha="cur")
+    path = write_snapshot(baseline, tmp_path / "traj")
+    assert load_snapshot(path) == baseline
+
+    report = compare_snapshots(baseline, current)
+    assert report.ok, report.render()
+
+    doctored = json.loads(json.dumps(current))
+    victim = next(iter(doctored["cells"]))
+    doctored["cells"][victim]["metrics"]["p95_ms"] *= 2.0
+    bad = compare_snapshots(baseline, doctored)
+    assert not bad.ok
+    assert bad.regressions[0].cell_id == victim
+
+
+def test_committed_trajectory_gates_clean_on_this_tree():
+    """The committed ``benchmarks/trajectory`` snapshot must describe a
+    sweep this tree can still *load and self-compare* — the cheap
+    standing guarantee that ``compare`` passes on an unmodified tree."""
+    from pathlib import Path
+
+    from repro.experiments.sweep import latest_snapshot, resolve_spec
+
+    trajectory = Path(__file__).parent / "trajectory"
+    path = latest_snapshot(trajectory)
+    assert path is not None, "no committed BENCH_*.json snapshot"
+    snapshot = load_snapshot(path)
+    spec = SweepSpec.from_dict(snapshot["spec"])
+    assert {cell.cell_id for cell in spec.cells()} == set(snapshot["cells"])
+    assert spec.to_dict() == resolve_spec("ci").to_dict()
+    report = compare_snapshots(snapshot, snapshot)
+    assert report.ok and report.compared_cells == len(snapshot["cells"])

@@ -51,15 +51,35 @@ class SharedHotspotRegistry:
     count is multiplied by per elapsed tick (1.0 = never forget, the
     default — and the only setting whose snapshots are exactly
     interleaving-independent under concurrent ``advance()``).
+
+    ``prune_epsilon`` bounds memory under decaying traffic: a counter
+    whose decayed weight falls below it is *dropped* instead of being
+    carried forever.  Pruning happens during the same lazy-decay
+    arithmetic reads already perform (``observe``/``count``/snapshots),
+    so it adds no extra pass; snapshots therefore sweep dead entries as
+    a side effect, which keeps long adversarial random-walk sweeps from
+    growing the key set without bound.  Determinism is preserved: a
+    pruned entry is exactly one whose decayed weight would have been
+    below ``prune_epsilon`` anyway, so ``snapshot(top_n)`` equals the
+    unpruned registry's snapshot with sub-epsilon tails dropped (pass
+    ``prune_epsilon=0.0``, the default, for bit-identical legacy
+    behavior).
     """
 
-    def __init__(self, shards: int = 1, decay: float = 1.0) -> None:
+    def __init__(
+        self, shards: int = 1, decay: float = 1.0, prune_epsilon: float = 0.0
+    ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if not 0.0 < decay <= 1.0:
             raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if prune_epsilon < 0.0:
+            raise ValueError(
+                f"prune_epsilon must be >= 0, got {prune_epsilon}"
+            )
         self.shards = shards
         self.decay = decay
+        self.prune_epsilon = prune_epsilon
         #: Per-shard ``{key: [weight, tick_of_weight]}``.
         self._entries: list[dict[TileKey, list]] = [{} for _ in range(shards)]
         self._locks = [threading.Lock() for _ in range(shards)]
@@ -122,7 +142,13 @@ class SharedHotspotRegistry:
                 # we captured; never "un-decay" in that case.
                 elapsed = tick - entry[1]
                 if elapsed > 0:
-                    entry[0] = self._decayed(entry[0], elapsed)
+                    decayed = self._decayed(entry[0], elapsed)
+                    # Sub-epsilon pruning: a count that decayed to dust
+                    # restarts from scratch, exactly as if the key had
+                    # been dropped between requests.
+                    entry[0] = (
+                        0.0 if decayed < self.prune_epsilon else decayed
+                    )
                     entry[1] = tick
                 entry[0] += weight
                 new_weight = entry[0]
@@ -146,7 +172,11 @@ class SharedHotspotRegistry:
             entry = self._entries[index].get(key)
             if entry is None:
                 return 0.0
-            return self._decayed(entry[0], max(0, tick - entry[1]))
+            weight = self._decayed(entry[0], max(0, tick - entry[1]))
+            if weight < self.prune_epsilon:
+                del self._entries[index][key]
+                return 0.0
+            return weight
 
     def _snapshot_at(
         self, top_n: int | None
@@ -157,10 +187,19 @@ class SharedHotspotRegistry:
         entries: list[tuple[TileKey, float]] = []
         for index in range(self.shards):
             with self._locks[index]:
-                for key, (weight, seen_tick) in self._entries[index].items():
-                    entries.append(
-                        (key, self._decayed(weight, max(0, tick - seen_tick)))
-                    )
+                shard = self._entries[index]
+                dead: list[TileKey] = []
+                for key, (weight, seen_tick) in shard.items():
+                    decayed = self._decayed(weight, max(0, tick - seen_tick))
+                    if decayed < self.prune_epsilon:
+                        # Snapshots walk every entry anyway; sweeping the
+                        # sub-epsilon dead here is what bounds memory
+                        # for keys that are never touched again.
+                        dead.append(key)
+                        continue
+                    entries.append((key, decayed))
+                for key in dead:
+                    del shard[key]
         if top_n is None:
             entries.sort(key=_hotness)
         else:
@@ -235,6 +274,34 @@ class SharedHotspotRegistry:
         if adjustment and self.shards:
             with self._locks[0]:
                 self._observed[0] += adjustment
+
+    def prune(self, epsilon: float | None = None) -> int:
+        """Drop every counter whose decayed weight is below ``epsilon``.
+
+        ``epsilon`` defaults to the registry's ``prune_epsilon``.  The
+        lazy sweeps in :meth:`observe`/:meth:`snapshot` already bound
+        memory on touched paths; this is the explicit O(T) version for
+        owners that want the bound enforced *now* (e.g. between sweep
+        cells).  Returns the number of entries removed.
+        """
+        limit = self.prune_epsilon if epsilon is None else epsilon
+        if limit < 0.0:
+            raise ValueError(f"epsilon must be >= 0, got {limit}")
+        with self._tick_lock:
+            tick = self._tick
+        removed = 0
+        for index in range(self.shards):
+            with self._locks[index]:
+                shard = self._entries[index]
+                dead = [
+                    key
+                    for key, (weight, seen_tick) in shard.items()
+                    if self._decayed(weight, max(0, tick - seen_tick)) < limit
+                ]
+                for key in dead:
+                    del shard[key]
+                removed += len(dead)
+        return removed
 
     def clear(self) -> None:
         """Forget everything (counts, tick, totals)."""

@@ -1,0 +1,364 @@
+"""Sweep execution: run every grid cell, persisting one record per cell.
+
+Each cell is executed through the real serving stack — a
+:class:`~repro.middleware.service.ForeCacheService` (or the TCP socket
+transport over it) replaying the cell's workload with
+:class:`~repro.middleware.latency.LatencyRecorder` capture — and its
+result is written to ``<results_dir>/<cell_id>.json`` *immediately*.
+An interrupted sweep therefore resumes by re-running only the missing
+cells: a completed cell whose persisted parameters still match is
+skipped and its file is left byte-for-byte untouched (the
+skip-completed-simulations discipline of the ``MBradbury/slp`` runner).
+
+Determinism: workloads are seeded, sessions replay sequentially, and
+with the spec's ``settle`` flag every request drains the background
+scheduler before the next one — so hit rates and the virtual-latency
+percentiles are pure functions of the cell parameters.  Wall-clock
+throughput is also recorded but is *physical* (the regression gate
+treats it as warn-only).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+from repro.core.engine import PredictionEngine
+from repro.core.allocation import SingleModelStrategy
+from repro.experiments.sweep.spec import SweepCell, SweepSpec, SweepSpecError
+from repro.middleware.config import (
+    CacheConfig,
+    PrefetchPolicy,
+    ServiceConfig,
+)
+from repro.middleware.latency import LatencyRecorder
+from repro.middleware.service import ForeCacheService
+from repro.modis.dataset import MODISDataset
+from repro.recommenders.momentum import MomentumRecommender
+from repro.users.adversarial import adversarial_walks
+from repro.users.convergent import convergent_walks
+from repro.users.flashcrowd import flash_crowd_walks
+from repro.users.study import run_study
+
+#: Schema of one persisted cell record.
+RESULT_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# shared expensive state (one dataset/study per parameter set)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=4)
+def _dataset(size: int, tile_size: int, seed: int) -> MODISDataset:
+    return MODISDataset.build(size=size, tile_size=tile_size, days=2, seed=seed)
+
+
+@lru_cache(maxsize=8)
+def _study_walks(
+    size: int, tile_size: int, seed: int, users: int, max_requests: int
+) -> tuple:
+    dataset = _dataset(size, tile_size, seed)
+    study = run_study(
+        dataset, num_users=users, seed=seed, max_requests=max_requests
+    )
+    walks = []
+    for trace in study.traces:
+        walks.append(
+            [(request.move, request.tile) for request in trace.requests]
+        )
+    return tuple(tuple(walk) for walk in walks)
+
+
+def cell_walks(cell_params: dict, dataset: MODISDataset) -> list:
+    """The cell's workload as replayable ``(move, key)`` walks."""
+    grid = dataset.pyramid.grid
+    workload = cell_params["workload"]
+    users = cell_params["users"]
+    seed = cell_params["seed"]
+    steps = cell_params["steps"]
+    if workload == "study":
+        return [
+            list(walk)
+            for walk in _study_walks(
+                cell_params["size"],
+                cell_params["tile_size"],
+                seed,
+                users,
+                cell_params["max_requests"],
+            )
+        ]
+    if workload == "convergent":
+        n = 1 << grid.deepest_level
+        if n < 8:
+            raise SweepSpecError(
+                "the convergent workload needs >= 8 tiles per dimension "
+                f"at the deepest level; size={cell_params['size']} with "
+                f"tile_size={cell_params['tile_size']} gives {n}"
+            )
+        return convergent_walks(grid, num_users=users, leg=3, dwell=2)
+    if workload == "adversarial":
+        return adversarial_walks(grid, num_users=users, steps=steps, seed=seed)
+    if workload == "flash_crowd":
+        return flash_crowd_walks(
+            grid,
+            num_users=users,
+            bursts=2,
+            wander=max(2, steps // 6),
+            dwell=2,
+            seed=seed,
+        )
+    raise SweepSpecError(f"unknown workload {workload!r}")
+
+
+def cell_config(cell_params: dict) -> ServiceConfig:
+    """The cell's serving configuration."""
+    k = cell_params["k"]
+    return ServiceConfig(
+        prefetch=PrefetchPolicy(
+            k=k,
+            mode=cell_params["prefetch_mode"],
+            workers=cell_params["prefetch_workers"],
+            admission=cell_params["prefetch_admission"],
+            shared_hotspots=cell_params["shared_hotspots"],
+            hotspot_decay=cell_params["hotspot_decay"],
+            hotspot_top_n=cell_params["hotspot_top_n"],
+            hotspot_boost=cell_params["hotspot_boost"],
+            hotspot_tick_every=cell_params["hotspot_tick_every"],
+            hotspot_prune_epsilon=cell_params["hotspot_prune_epsilon"],
+        ),
+        cache=CacheConfig(
+            recent_capacity=cell_params["recent_capacity"],
+            prefetch_capacity=max(k, cell_params["prefetch_capacity"]),
+            shards=cell_params["cache_shards"],
+        ),
+    )
+
+
+def _engine_factory(grid):
+    """Per-session Momentum engines: train-free, so every workload
+    (including ones with no training corpus) replays identically."""
+
+    def factory() -> PredictionEngine:
+        model = MomentumRecommender()
+        return PredictionEngine(
+            grid=grid,
+            recommenders={model.name: model},
+            strategy=SingleModelStrategy(model.name),
+        )
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# cell execution
+# ----------------------------------------------------------------------
+def _replay_inprocess(
+    pyramid, config: ServiceConfig, walks, settle: bool
+) -> tuple[LatencyRecorder, float, int]:
+    recorder = LatencyRecorder()
+    with ForeCacheService(
+        pyramid, config, engine_factory=_engine_factory(pyramid.grid)
+    ) as service:
+        start = time.perf_counter()
+        for index, walk in enumerate(walks):
+            with service.open_session(
+                session_id=f"user-{index + 1}"
+            ) as handle:
+                for move, key in walk:
+                    handle.request(move, key)
+                    if settle:
+                        service.drain()
+                recorder.merge(handle.recorder)
+        wall = time.perf_counter() - start
+        registry = service.hotspot_registry
+        tracked = len(registry) if registry is not None else 0
+    return recorder, wall, tracked
+
+
+def _replay_socket(
+    pyramid, config: ServiceConfig, walks, settle: bool
+) -> tuple[LatencyRecorder, float, int]:
+    from repro.middleware.net import SocketTransport, ThreadedSocketServer
+
+    recorder = LatencyRecorder()
+    with ThreadedSocketServer(
+        pyramid,
+        config,
+        engine_factory=_engine_factory(pyramid.grid),
+        max_workers=2,
+    ) as server:
+        # The sync facade under the asyncio server — the sweep owns the
+        # whole stack, so draining it directly between requests is fair
+        # game (drain/wait_idle is thread-safe by design).
+        inner = server.server.service.service
+        with SocketTransport(*server.address, pyramid=pyramid) as transport:
+            start = time.perf_counter()
+            for index, walk in enumerate(walks):
+                client = transport.connect(session_id=f"user-{index + 1}")
+                try:
+                    for move, key in walk:
+                        response = client.handle_request(move, key)
+                        recorder.record(response.latency_seconds, response.hit)
+                        if settle:
+                            inner.drain()
+                finally:
+                    client.close()
+            wall = time.perf_counter() - start
+        registry = inner.hotspot_registry
+        tracked = len(registry) if registry is not None else 0
+    return recorder, wall, tracked
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One executed (or reloaded) cell."""
+
+    cell_id: str
+    params: dict
+    metrics: dict
+
+    def to_record(self) -> dict:
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "cell_id": self.cell_id,
+            "params": self.params,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "CellResult":
+        return cls(
+            cell_id=record["cell_id"],
+            params=record["params"],
+            metrics=record["metrics"],
+        )
+
+
+def run_cell(cell: SweepCell) -> CellResult:
+    """Execute one grid cell through the serving stack."""
+    params = cell.params
+    dataset = _dataset(params["size"], params["tile_size"], params["seed"])
+    walks = cell_walks(params, dataset)
+    config = cell_config(params)
+    settle = params["settle"] and config.prefetch.background
+    replay = (
+        _replay_socket if params["frontend"] == "socket" else _replay_inprocess
+    )
+    recorder, wall, tracked = replay(dataset.pyramid, config, walks, settle)
+    metrics = {
+        "requests": recorder.count,
+        "hits": recorder.hits,
+        "hit_rate": recorder.hit_rate,
+        "avg_ms": recorder.average_seconds * 1000.0,
+        "p50_ms": recorder.percentile(0.50) * 1000.0,
+        "p95_ms": recorder.percentile(0.95) * 1000.0,
+        "p99_ms": recorder.percentile(0.99) * 1000.0,
+        "wall_seconds": wall,
+        "throughput_rps": (recorder.count / wall) if wall > 0 else 0.0,
+        "registry_tiles": tracked,
+    }
+    return CellResult(cell_id=cell.cell_id, params=dict(params), metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# persistence + resume
+# ----------------------------------------------------------------------
+def cell_path(results_dir: str | Path, cell_id: str) -> Path:
+    return Path(results_dir) / f"{cell_id}.json"
+
+
+def load_cell_record(path: Path) -> dict | None:
+    """The persisted record at ``path``, or None if unreadable/foreign."""
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(record, dict)
+        or record.get("schema_version") != RESULT_SCHEMA_VERSION
+        or "params" not in record
+        or "metrics" not in record
+    ):
+        return None
+    return record
+
+
+def write_cell_record(path: Path, record: dict) -> None:
+    """Atomic write: a killed sweep never leaves a half-written cell."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(record, sort_keys=True, indent=2) + "\n"
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        encoding="utf-8",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+        os.replace(handle.name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(handle.name)
+        raise
+
+
+@dataclass
+class SweepRunSummary:
+    """What one ``run_sweep`` invocation did."""
+
+    spec_name: str
+    executed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    results: list[CellResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    results_dir: str | Path,
+    force: bool = False,
+    log=None,
+    runner=run_cell,
+) -> SweepRunSummary:
+    """Run every cell of ``spec``, resuming over ``results_dir``.
+
+    A cell whose record already exists with matching parameters is
+    skipped (``force=True`` re-runs everything); each executed cell's
+    record is persisted before the next cell starts, so an interrupted
+    sweep loses at most the in-flight cell.  ``runner`` is injectable
+    for tests.
+    """
+    results_dir = Path(results_dir)
+    summary = SweepRunSummary(spec_name=spec.name)
+    cells = spec.cells()
+    for index, cell in enumerate(cells, start=1):
+        path = cell_path(results_dir, cell.cell_id)
+        if not force:
+            record = load_cell_record(path)
+            if record is not None and record["params"] == cell.params:
+                summary.skipped.append(cell.cell_id)
+                summary.results.append(CellResult.from_record(record))
+                if log is not None:
+                    log(f"[{index}/{len(cells)}] skip {cell.cell_id}")
+                continue
+        result = runner(cell)
+        write_cell_record(path, result.to_record())
+        summary.executed.append(cell.cell_id)
+        summary.results.append(result)
+        if log is not None:
+            log(
+                f"[{index}/{len(cells)}] ran  {cell.cell_id} "
+                f"(hit_rate={result.metrics['hit_rate']:.3f}, "
+                f"p95={result.metrics['p95_ms']:.1f}ms)"
+            )
+    return summary

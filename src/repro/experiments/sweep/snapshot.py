@@ -1,0 +1,172 @@
+"""Perf-trajectory snapshots: one schema-versioned JSON per sweep run.
+
+A snapshot aggregates every cell record of one sweep into a single
+``BENCH_<date>_<git-sha>.json`` file — the unit the trajectory directory
+(``benchmarks/trajectory/``) accumulates over time and the regression
+gate (:mod:`repro.experiments.sweep.compare`) diffs.  The filename
+carries provenance (when, from which commit); the body carries the spec,
+the environment, and per-cell metrics.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import subprocess
+from pathlib import Path
+
+from repro.experiments.sweep.run import CellResult
+from repro.experiments.sweep.spec import SweepSpec
+
+#: Schema of one snapshot file.  Bump on incompatible layout changes;
+#: ``load_snapshot`` refuses unknown versions instead of mis-reading.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Discriminator so foreign JSON in the trajectory dir is rejected.
+SNAPSHOT_KIND = "forecache-bench-trajectory"
+
+
+class SnapshotError(ValueError):
+    """A snapshot could not be built or read."""
+
+
+def git_short_sha(repo_dir: str | Path | None = None) -> str:
+    """The short sha of HEAD, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_dir,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if sha else "unknown"
+
+
+def environment_info() -> dict:
+    """Where the numbers came from (context for cross-machine diffs)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def build_snapshot(
+    spec: SweepSpec,
+    results: list[CellResult],
+    git_sha: str | None = None,
+    created_utc: str | None = None,
+    allow_partial: bool = False,
+) -> dict:
+    """Aggregate cell results into one snapshot document.
+
+    Every cell of ``spec`` must be present (a partial sweep would make
+    the trajectory silently lossy) unless ``allow_partial`` is set, in
+    which case the missing ids are recorded in the document instead.
+    """
+    by_id = {result.cell_id: result for result in results}
+    expected = [cell.cell_id for cell in spec.cells()]
+    missing = [cell_id for cell_id in expected if cell_id not in by_id]
+    if missing and not allow_partial:
+        raise SnapshotError(
+            f"sweep {spec.name!r} is missing {len(missing)} of "
+            f"{len(expected)} cells (e.g. {missing[0]!r}); finish the "
+            "run or pass allow_partial"
+        )
+    foreign = sorted(set(by_id) - set(expected))
+    if foreign:
+        raise SnapshotError(
+            f"results contain cells not in spec {spec.name!r}: {foreign[:3]}"
+        )
+    if created_utc is None:
+        created_utc = (
+            datetime.datetime.now(datetime.timezone.utc)
+            .replace(microsecond=0)
+            .isoformat()
+        )
+    return {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "kind": SNAPSHOT_KIND,
+        "created_utc": created_utc,
+        "git_sha": git_sha if git_sha is not None else git_short_sha(),
+        "spec": spec.to_dict(),
+        "environment": environment_info(),
+        "missing_cells": missing,
+        "cells": {
+            cell_id: {
+                "params": by_id[cell_id].params,
+                "metrics": by_id[cell_id].metrics,
+            }
+            for cell_id in expected
+            if cell_id in by_id
+        },
+    }
+
+
+def snapshot_filename(snapshot: dict) -> str:
+    """``BENCH_<YYYY-MM-DD>_<sha>.json`` from the document's provenance."""
+    date = snapshot["created_utc"][:10]
+    return f"BENCH_{date}_{snapshot['git_sha']}.json"
+
+
+def write_snapshot(snapshot: dict, out_dir: str | Path) -> Path:
+    """Write the snapshot under its canonical name; returns the path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / snapshot_filename(snapshot)
+    path.write_text(
+        json.dumps(snapshot, sort_keys=True, indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_snapshot(path: str | Path) -> dict:
+    """Read and schema-check one snapshot file."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+    if not isinstance(document, dict) or document.get("kind") != SNAPSHOT_KIND:
+        raise SnapshotError(f"{path} is not a bench-trajectory snapshot")
+    if document.get("schema_version") != SNAPSHOT_SCHEMA_VERSION:
+        raise SnapshotError(
+            f"{path} has snapshot schema "
+            f"{document.get('schema_version')!r}; this build reads "
+            f"{SNAPSHOT_SCHEMA_VERSION}"
+        )
+    if not isinstance(document.get("cells"), dict):
+        raise SnapshotError(f"{path} carries no cells")
+    return document
+
+
+def find_snapshots(trajectory_dir: str | Path) -> list[Path]:
+    """Every ``BENCH_*.json`` in the directory, oldest first.
+
+    The ``BENCH_<date>_<sha>`` naming sorts lexicographically by date;
+    same-day snapshots tie-break by sha and then mtime, which is stable
+    enough for "latest vs. previous" selection.
+    """
+    directory = Path(trajectory_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        directory.glob("BENCH_*.json"),
+        key=lambda p: (p.name[: len("BENCH_YYYY-MM-DD")], p.stat().st_mtime, p.name),
+    )
+
+
+def latest_snapshot(trajectory_dir: str | Path) -> Path | None:
+    """The newest committed snapshot, or None if the dir is empty."""
+    found = find_snapshots(trajectory_dir)
+    return found[-1] if found else None

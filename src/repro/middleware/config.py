@@ -131,6 +131,12 @@ class PrefetchPolicy:
     #: (0 = never; the owner drives the tick explicitly).  Request-count
     #: ticks keep replays deterministic where wall-clock ticks cannot.
     hotspot_tick_every: int = 0
+    #: Registry counters whose decayed weight falls below this are
+    #: dropped during lazy decay (0.0 = never prune, bit-identical
+    #: legacy behavior).  Set together with ``hotspot_decay < 1`` so
+    #: long adversarial workloads cannot grow the registry without
+    #: bound.
+    hotspot_prune_epsilon: float = 0.0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -170,6 +176,11 @@ class PrefetchPolicy:
             raise ValueError(
                 f"hotspot_tick_every must be >= 0, got"
                 f" {self.hotspot_tick_every}"
+            )
+        if self.hotspot_prune_epsilon < 0:
+            raise ValueError(
+                f"hotspot_prune_epsilon must be >= 0, got"
+                f" {self.hotspot_prune_epsilon}"
             )
 
     @property

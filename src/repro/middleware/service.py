@@ -177,6 +177,7 @@ class ForeCacheService:
             hotspot_registry = SharedHotspotRegistry(
                 shards=self.config.cache.shards,
                 decay=policy.hotspot_decay,
+                prune_epsilon=policy.hotspot_prune_epsilon,
             )
         self.hotspot_registry = hotspot_registry
         if cache_manager is None:

@@ -9,12 +9,14 @@ sensemake among detail tiles → zoom back out), and
 the 3 tasks to produce the study trace corpus.
 """
 
+from repro.users.adversarial import adversarial_walks
 from repro.users.behavior import BehaviorProfile, SimulatedUser
 from repro.users.convergent import (
     convergent_walks,
     cross_user_hit_rate,
     replay_walks,
 )
+from repro.users.flashcrowd import flash_crowd_walks
 from repro.users.session import Request, StudyData, Trace
 from repro.users.study import run_study
 
@@ -24,8 +26,10 @@ __all__ = [
     "SimulatedUser",
     "StudyData",
     "Trace",
+    "adversarial_walks",
     "convergent_walks",
     "cross_user_hit_rate",
+    "flash_crowd_walks",
     "replay_walks",
     "run_study",
 ]

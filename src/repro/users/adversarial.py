@@ -1,0 +1,90 @@
+"""Adversarial random-walk workloads (the prediction-hostile scenario).
+
+The study traces and the convergent workload are *kind* to prediction:
+users follow visible structure, momentum persists, and popular tiles
+stay popular.  A production serving stack must also survive the
+opposite — traffic with no learnable structure at all.  This module
+generates seeded random walks engineered against each predictor class:
+
+- **Momentum-hostile** steps never repeat the previous move when any
+  alternative exists, so the Momentum baseline's single guess is wrong
+  by construction on almost every request.
+- **Hotspot-hostile** coverage: each user starts from a different
+  deterministic corner of the key space and drifts freely across levels,
+  so no small top-N of tiles ever accumulates a stable majority of the
+  traffic — the degenerate input that once grew
+  :class:`~repro.core.popularity.SharedHotspotRegistry` without bound
+  (bounded today by sub-epsilon pruning).
+
+Walks are deterministic for a given ``seed`` (per-user generators are
+seeded from ``SeedSequence([seed, user])``, the same discipline as the
+simulated study), making them usable in regression-gated sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.tiles.pyramid import TileGrid
+
+#: One walk: ``(move, key)`` request pairs, first move ``None``.
+Walk = list[tuple[Move | None, TileKey]]
+
+
+def _start_key(grid: TileGrid, user: int, level: int) -> TileKey:
+    """A deterministic, user-spread starting tile at ``level``."""
+    n = 1 << level
+    corner = user % 4
+    offset = (user // 4) % max(1, n // 2)
+    x = offset if corner in (0, 3) else n - 1 - offset
+    y = offset if corner in (0, 2) else n - 1 - offset
+    return TileKey(level, x, y)
+
+
+def adversarial_walks(
+    grid: TileGrid,
+    num_users: int = 4,
+    steps: int = 32,
+    seed: int = 0,
+    start_level: int | None = None,
+    momentum_hostile: bool = True,
+) -> list[Walk]:
+    """Seeded random walks with no learnable structure.
+
+    Each user takes ``steps`` moves drawn uniformly from the legal moves
+    at their current tile; with ``momentum_hostile`` (the default) the
+    move that produced the current tile is excluded whenever any other
+    legal move exists, so a repeat-last-move predictor mispredicts by
+    construction.  ``start_level`` defaults to the deepest level, where
+    the key space is largest.
+    """
+    if num_users < 1:
+        raise ValueError(f"num_users must be >= 1, got {num_users}")
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    level = grid.deepest_level if start_level is None else start_level
+    if not 0 <= level <= grid.deepest_level:
+        raise ValueError(
+            f"start_level must be in [0, {grid.deepest_level}], got {level}"
+        )
+    walks: list[Walk] = []
+    for user in range(num_users):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, user]))
+        current = _start_key(grid, user, level)
+        walk: Walk = [(None, current)]
+        previous: Move | None = None
+        for _ in range(steps):
+            options = grid.available_moves(current)
+            if momentum_hostile and previous is not None and len(options) > 1:
+                hostile = [
+                    (move, key) for move, key in options if move is not previous
+                ]
+                if hostile:
+                    options = hostile
+            move, current = options[int(rng.integers(len(options)))]
+            walk.append((move, current))
+            previous = move
+        walks.append(walk)
+    return walks

@@ -1,0 +1,129 @@
+"""Flash-crowd burst workloads (the breaking-news scenario).
+
+Convergent walks model *gradual* agreement: users approach one hot tile
+along fixed paths.  A flash crowd is the violent version — traffic is
+diffuse until, suddenly, everyone rushes the same tile at once (a
+breaking anomaly, a shared dashboard link), dwells briefly, and
+disperses again until the next burst.  This stresses exactly what a
+shared popularity model plus a shared cache must absorb: the hot set
+changes abruptly, and between bursts the signal is almost uniform.
+
+The workload is single-level (pans only), fully deterministic for a
+given ``seed``, and shaped in repeating phases per user::
+
+    wander (seeded random pans) -> rush (Manhattan path to the burst
+    tile, x-leg then y-leg) -> dwell (oscillate on the burst tile) -> ...
+
+Every user rushes the *same* burst tile in the same phase — the tiles
+differ per burst, so popularity must decay for prediction to follow the
+crowd (a decaying, pruning
+:class:`~repro.core.popularity.SharedHotspotRegistry` tracks it; an
+undecayed one blurs all bursts together).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move, PAN_OFFSETS, pan_move_for_offset
+from repro.tiles.pyramid import TileGrid
+
+#: One walk: ``(move, key)`` request pairs, first move ``None``.
+Walk = list[tuple[Move | None, TileKey]]
+
+_PAN_MOVE_ORDER = tuple(PAN_OFFSETS)
+
+
+def _pan_path(start: TileKey, target: TileKey) -> list[tuple[Move, TileKey]]:
+    """Single-pan steps from ``start`` to ``target`` (x-leg, then y-leg)."""
+    if start.level != target.level:
+        raise ValueError(
+            f"pan path needs one level, got {start.level} -> {target.level}"
+        )
+    steps: list[tuple[Move, TileKey]] = []
+    current = start
+    while current.x != target.x:
+        dx = 1 if target.x > current.x else -1
+        move = pan_move_for_offset(dx, 0)
+        current = TileKey(current.level, current.x + dx, current.y)
+        steps.append((move, current))
+    while current.y != target.y:
+        dy = 1 if target.y > current.y else -1
+        move = pan_move_for_offset(0, dy)
+        current = TileKey(current.level, current.x, current.y + dy)
+        steps.append((move, current))
+    return steps
+
+
+def flash_crowd_walks(
+    grid: TileGrid,
+    num_users: int = 4,
+    bursts: int = 2,
+    wander: int = 4,
+    dwell: int = 2,
+    seed: int = 0,
+    level: int | None = None,
+) -> list[Walk]:
+    """Deterministic walks that repeatedly rush a shared burst tile.
+
+    Each of the ``bursts`` phases draws one burst tile (shared by every
+    user, different per burst, interior so the dwell oscillation has a
+    neighbor); each user wanders ``wander`` seeded random pans from
+    their own position, rushes the burst tile along a Manhattan pan
+    path, then dwells ``dwell`` oscillations on it.  ``level`` defaults
+    to the grid's deepest level and must hold at least a 2x2 tile patch.
+    """
+    if num_users < 1:
+        raise ValueError(f"num_users must be >= 1, got {num_users}")
+    if bursts < 1:
+        raise ValueError(f"bursts must be >= 1, got {bursts}")
+    if wander < 0:
+        raise ValueError(f"wander must be >= 0, got {wander}")
+    if dwell < 0:
+        raise ValueError(f"dwell must be >= 0, got {dwell}")
+    level = grid.deepest_level if level is None else level
+    if not 0 <= level <= grid.deepest_level:
+        raise ValueError(
+            f"level must be in [0, {grid.deepest_level}], got {level}"
+        )
+    n = 1 << level
+    if n < 2:
+        raise ValueError(
+            f"flash crowds need >= 2 tiles per dimension, got {n} at "
+            f"level {level}"
+        )
+
+    burst_rng = np.random.default_rng(np.random.SeedSequence([seed, 0xB]))
+    burst_tiles = []
+    for _ in range(bursts):
+        # Interior-ish: y + 1 stays on the grid for the dwell neighbor.
+        x = int(burst_rng.integers(n))
+        y = int(burst_rng.integers(n - 1))
+        burst_tiles.append(TileKey(level, x, y))
+
+    walks: list[Walk] = []
+    for user in range(num_users):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 1 + user]))
+        current = TileKey(
+            level, int(rng.integers(n)), int(rng.integers(n))
+        )
+        walk: Walk = [(None, current)]
+        for burst_tile in burst_tiles:
+            for _ in range(wander):
+                options = [
+                    (move, key)
+                    for move in _PAN_MOVE_ORDER
+                    if (key := grid.apply(current, move)) is not None
+                ]
+                move, current = options[int(rng.integers(len(options)))]
+                walk.append((move, current))
+            for move, key in _pan_path(current, burst_tile):
+                walk.append((move, key))
+            current = burst_tile
+            neighbor = TileKey(level, burst_tile.x, burst_tile.y + 1)
+            for _ in range(dwell):
+                walk.append((current.move_to(neighbor), neighbor))
+                walk.append((neighbor.move_to(current), current))
+        walks.append(walk)
+    return walks

@@ -653,3 +653,155 @@ class TestEndToEnd:
                 recorder.count for recorder in
                 (handle.recorder for handle in handles)
             ) == num_users * (steps + 1)
+
+
+class TestSubEpsilonPruning:
+    """``prune_epsilon`` bounds memory without changing the top-N."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedHotspotRegistry(prune_epsilon=-0.1)
+        registry = SharedHotspotRegistry()
+        with pytest.raises(ValueError):
+            registry.prune(epsilon=-1.0)
+
+    def test_policy_knob_validated_and_threaded(self):
+        with pytest.raises(ValueError):
+            PrefetchPolicy(hotspot_prune_epsilon=-1e-9)
+        policy = PrefetchPolicy(
+            shared_hotspots="observe",
+            hotspot_decay=0.5,
+            hotspot_prune_epsilon=1e-3,
+        )
+        service = ForeCacheService(
+            _small_pyramid(), ServiceConfig(prefetch=policy)
+        )
+        try:
+            assert service.hotspot_registry.prune_epsilon == 1e-3
+        finally:
+            service.close()
+
+    def test_snapshot_sweeps_dead_entries(self):
+        registry = SharedHotspotRegistry(decay=0.5, prune_epsilon=0.05)
+        cold = keys_at(2)[:8]
+        for key in cold:
+            registry.observe(key)
+        hot = TileKey(0, 0, 0)
+        registry.observe(hot, weight=100.0)
+        assert len(registry) == 9
+        # After 6 ticks every cold count is 1 * 0.5**6 ~ 0.0156 < 0.05.
+        registry.advance(6)
+        top = registry.snapshot()
+        assert [key for key, _ in top] == [hot]
+        # The snapshot's lazy sweep dropped the dead counters for real.
+        assert len(registry) == 1
+
+    def test_count_prunes_dead_key(self):
+        registry = SharedHotspotRegistry(decay=0.5, prune_epsilon=0.1)
+        key = TileKey(1, 0, 1)
+        registry.observe(key)
+        registry.advance(5)
+        assert registry.count(key) == 0.0
+        assert len(registry) == 0
+
+    def test_observe_restarts_subepsilon_count_from_scratch(self):
+        registry = SharedHotspotRegistry(decay=0.5, prune_epsilon=0.1)
+        key = TileKey(1, 1, 0)
+        registry.observe(key)
+        registry.advance(10)  # decayed ~ 0.00098 << 0.1
+        # Re-observing must behave exactly as if the key was dropped:
+        # the new count is the fresh weight, not fresh + dust.
+        assert registry.observe(key) == 1.0
+
+    def test_explicit_prune_returns_removed_count(self):
+        registry = SharedHotspotRegistry(decay=0.5, prune_epsilon=0.05)
+        for key in keys_at(2)[:10]:
+            registry.observe(key)
+        survivor = TileKey(0, 0, 0)
+        registry.observe(survivor, weight=64.0)
+        registry.advance(6)
+        removed = registry.prune()
+        assert removed == 10
+        assert len(registry) == 1
+        assert registry.prune() == 0
+
+    def test_prune_with_explicit_epsilon_overrides_default(self):
+        registry = SharedHotspotRegistry(decay=0.5)  # no default pruning
+        for key in keys_at(1):
+            registry.observe(key)
+        registry.advance(4)
+        assert registry.prune() == 0  # default epsilon 0.0 keeps all
+        assert registry.prune(epsilon=0.125) == len(keys_at(1))
+
+    def test_pruned_snapshot_is_shard_invariant(self):
+        """Determinism: the pruned snapshot is a pure function of the
+        observation sequence — the shard count never changes it."""
+        snapshots = []
+        for shards in (1, 2, 4):
+            registry = SharedHotspotRegistry(
+                shards=shards, decay=0.6, prune_epsilon=0.03
+            )
+            rng = random.Random(99)
+            keys = keys_at(3)
+            for step in range(400):
+                registry.observe(rng.choice(keys))
+                if step % 25 == 24:
+                    registry.advance()
+            snapshots.append(registry.snapshot())
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_pruning_only_sheds_subepsilon_dust(self):
+        """Approximation: vs. an unpruned reference, pruning loses at
+        most the sub-epsilon dust a restart drops — never a hot count."""
+        epsilon = 0.03
+        pruned = SharedHotspotRegistry(decay=0.6, prune_epsilon=epsilon)
+        reference = SharedHotspotRegistry(decay=0.6)
+        rng = random.Random(99)
+        keys = keys_at(3)
+        for step in range(400):
+            key = rng.choice(keys)
+            pruned.observe(key)
+            reference.observe(key)
+            if step % 25 == 24:
+                pruned.advance()
+                reference.advance()
+        ref = dict(reference.snapshot())
+        pr = dict(pruned.snapshot())
+        assert set(pr) <= set(ref)
+        # Every surviving count is within one epsilon of the reference.
+        assert all(0 <= ref[key] - pr[key] < epsilon for key in pr)
+        # Nothing that still matters was lost.
+        assert all(key in pr for key, count in ref.items() if count >= 1.0)
+        assert pruned.hot_keys(1) == reference.hot_keys(1)
+
+    def test_memory_bounded_under_adversarial_sweep(self):
+        """A random walk over many tiles cannot grow the registry
+        without bound when decay + pruning are on."""
+        registry = SharedHotspotRegistry(decay=0.5, prune_epsilon=0.01)
+        keys = keys_at(4)  # 256 distinct tiles
+        rng = random.Random(7)
+        high_water = 0
+        for step in range(2000):
+            registry.observe(rng.choice(keys))
+            if step % 10 == 9:
+                registry.advance()
+            if step % 50 == 49:
+                registry.snapshot()  # the sweep that enforces the bound
+                high_water = max(high_water, len(registry))
+        # 0.5-decay with a tick every 10 observations keeps only a few
+        # recent epochs alive: ~10 fresh keys per epoch, 7 epochs to
+        # decay 1.0 below 0.01.
+        assert high_water < 120
+        unbounded = SharedHotspotRegistry(decay=0.5)
+        rng = random.Random(7)
+        for step in range(2000):
+            unbounded.observe(rng.choice(keys))
+            if step % 10 == 9:
+                unbounded.advance()
+        assert len(unbounded) == len(keys)  # what pruning prevents
+
+
+def _small_pyramid():
+    from repro.modis.dataset import MODISDataset
+
+    return MODISDataset.build(size=64, tile_size=8, days=1, seed=3).pyramid
