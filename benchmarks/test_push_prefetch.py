@@ -1,0 +1,159 @@
+"""Acceptance bench for continuous push prefetch.
+
+Two claims, per the Khameleon-style push design:
+
+1. Under cross-session cache contention, push-on strictly beats
+   pull-only on *client-observed* hit rate — and is no worse at the
+   p95 latency — on both the convergent and flash-crowd workloads with
+   four concurrent socket sessions sharing one bounded downstream
+   budget.  Contention is real: the shared server cache is sized so
+   that four interleaved users evict each other's prefetched tiles;
+   tiles pushed into a client's local cache are immune.
+
+2. The push machinery is invisible when off: with ``push="off"`` the
+   momentum figure replay is bit-identical on all four front ends
+   (server, service, async, socket) to the pre-push pinned value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocation import SingleModelStrategy
+from repro.core.engine import PredictionEngine
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runner import REPLAY_FRONTENDS, replay_model_latency
+from repro.middleware.config import CacheConfig, PrefetchPolicy, ServiceConfig
+from repro.middleware.latency import LatencyRecorder
+from repro.middleware.net import SocketTransport, ThreadedSocketServer
+from repro.modis.dataset import MODISDataset
+from repro.recommenders.momentum import MomentumRecommender
+from repro.users.convergent import convergent_walks
+from repro.users.flashcrowd import flash_crowd_walks
+
+pytestmark = pytest.mark.bench
+
+NUM_USERS = 4
+K = 4
+#: Bounded downstream budget shared by all sessions.  A 32x32-tile JSON
+#: frame is ~71 KiB at this scale, so the 160 KiB per-session round
+#: allowance streams at most 2 of the k=4 predicted tiles — the budget
+#: genuinely binds (the scheduler defers the rest every round).
+PUSH_BUDGET_BYTES = 640 * 1024
+
+#: Momentum LOO latency average at size=256/users=4, k=5 — pinned when
+#: the figure suite first went green, must survive the push subsystem.
+MOMENTUM_AVG_PIN = 0.22686750000000075
+
+
+@pytest.fixture(scope="module")
+def world() -> MODISDataset:
+    # 256px world, 32px tiles -> 8 tiles per dim at the deepest level:
+    # the minimum the convergent workload accepts.
+    return MODISDataset.build(size=256, tile_size=32, days=1, seed=7)
+
+
+def engine_factory(pyramid):
+    def factory() -> PredictionEngine:
+        model = MomentumRecommender()
+        return PredictionEngine(
+            pyramid.grid, {model.name: model}, SingleModelStrategy(model.name)
+        )
+
+    return factory
+
+
+def serving_config(push: bool) -> ServiceConfig:
+    return ServiceConfig(
+        prefetch=PrefetchPolicy(
+            k=K,
+            push="on" if push else "off",
+            push_budget_bytes=PUSH_BUDGET_BYTES,
+        ),
+        # Deliberately starved: one recent slot plus a k-tile prefetch
+        # region shared by four users guarantees cross-session eviction
+        # churn, the regime push is built for.
+        cache=CacheConfig(recent_capacity=1, prefetch_capacity=K),
+    )
+
+
+def workload_walks(name: str, grid) -> list:
+    if name == "convergent":
+        return convergent_walks(grid, num_users=NUM_USERS, leg=3, dwell=2)
+    if name == "flash_crowd":
+        return flash_crowd_walks(
+            grid, num_users=NUM_USERS, bursts=2, wander=4, dwell=2, seed=7
+        )
+    raise ValueError(name)
+
+
+def replay_concurrent(world, walks, push: bool) -> LatencyRecorder:
+    """Round-robin the walks across concurrent sessions on one wire.
+
+    All sessions live on one transport and interleave step by step, so
+    every user's requests contend for the same shared server cache (and,
+    with push on, the same downstream budget) at every instant.
+    """
+    pyramid = world.pyramid
+    recorder = LatencyRecorder()
+    with ThreadedSocketServer(
+        pyramid,
+        serving_config(push),
+        engine_factory=engine_factory(pyramid),
+    ) as server:
+        with SocketTransport(
+            *server.address, pyramid=pyramid, push=push
+        ) as transport:
+            assert transport.push_enabled is push
+            clients = [
+                transport.connect(session_id=f"user-{i + 1}")
+                for i in range(len(walks))
+            ]
+            cursors = [0] * len(walks)
+            remaining = sum(len(walk) for walk in walks)
+            while remaining:
+                for index, walk in enumerate(walks):
+                    if cursors[index] >= len(walk):
+                        continue
+                    move, key = walk[cursors[index]]
+                    response = clients[index].handle_request(move, key)
+                    recorder.record(response.latency_seconds, response.hit)
+                    cursors[index] += 1
+                    remaining -= 1
+            for client in clients:
+                client.close()
+    return recorder
+
+
+class TestPushBeatsPull:
+    @pytest.mark.parametrize("workload", ("convergent", "flash_crowd"))
+    def test_push_wins_hit_rate_without_hurting_p95(self, world, workload):
+        walks = workload_walks(workload, world.pyramid.grid)
+        assert len(walks) >= 4
+        pull = replay_concurrent(world, walks, push=False)
+        push = replay_concurrent(world, walks, push=True)
+        assert push.count == pull.count
+        print(
+            f"\n{workload}: pull hit_rate={pull.hit_rate:.3f} "
+            f"p95={pull.percentile(0.95) * 1000:.1f}ms | "
+            f"push hit_rate={push.hit_rate:.3f} "
+            f"p95={push.percentile(0.95) * 1000:.1f}ms"
+        )
+        assert push.hit_rate > pull.hit_rate
+        assert push.percentile(0.95) <= pull.percentile(0.95)
+
+
+class TestPushOffFigureNumerics:
+    @pytest.fixture(scope="class")
+    def context(self) -> ExperimentContext:
+        return ExperimentContext.build(size=256, num_users=4)
+
+    @pytest.mark.parametrize("frontend", REPLAY_FRONTENDS)
+    def test_momentum_average_is_bit_identical(self, context, frontend):
+        recorder = replay_model_latency(
+            context,
+            lambda train: context.momentum_engine(train),
+            k=5,
+            frontend=frontend,
+        )
+        assert recorder.average_seconds == MOMENTUM_AVG_PIN

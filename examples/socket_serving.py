@@ -3,12 +3,16 @@
 Run with::
 
     python examples/socket_serving.py [--framing lines|length] [--port 0]
+                                      [--push]
 
 Starts the ForeCache socket server on a loopback port (ephemeral by
 default), connects both clients — the blocking ``SocketTransport`` and
 the asyncio ``AsyncSocketTransport`` — replays a short browsing walk
 through each, and shuts the server down gracefully.  Every byte crosses
 a real socket: framed JSON requests in, framed JSON tile payloads out.
+With ``--push`` both sides negotiate continuous push prefetch: the
+server streams predicted tiles into each client's push cache and
+requests those tiles answer locally, without touching the wire.
 """
 
 import argparse
@@ -44,6 +48,11 @@ def main() -> None:
     )
     parser.add_argument("--framing", choices=("lines", "length"), default="lines")
     parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--push",
+        action="store_true",
+        help="negotiate continuous push prefetch on both clients",
+    )
     args = parser.parse_args()
 
     print(f"building a {args.size}px world...")
@@ -56,7 +65,9 @@ def main() -> None:
             pyramid.grid, {model.name: model}, SingleModelStrategy(model.name)
         )
 
-    config = ServiceConfig(prefetch=PrefetchPolicy(k=5))
+    config = ServiceConfig(
+        prefetch=PrefetchPolicy(k=5, push="on" if args.push else "off")
+    )
     with ThreadedSocketServer(
         pyramid,
         config,
@@ -69,11 +80,12 @@ def main() -> None:
 
         # --- blocking client ------------------------------------------
         with SocketTransport(
-            host, port, pyramid=pyramid, framing=args.framing
+            host, port, pyramid=pyramid, framing=args.framing, push=args.push
         ) as transport:
             print(
                 f"sync client: negotiated v{transport.server_version} "
                 f"with {transport.server_name!r}"
+                + (" (push enabled)" if transport.push_enabled else "")
             )
             conn = transport.connect(session_id="sync-browser")
             session = BrowsingSession(conn)
@@ -83,10 +95,23 @@ def main() -> None:
             for move in WALK:
                 if move not in session.available_moves:
                     continue
+                target = pyramid.grid.apply(session.current, move)
+                pushed = (
+                    conn.push_cache is not None
+                    and target is not None
+                    and target in conn.push_cache
+                )
                 response = session.move(move)
-                source = "cache" if response.hit else "DBMS"
+                source = "push" if pushed else (
+                    "cache" if response.hit else "DBMS"
+                )
                 print(f"  {move.value:<12} {str(session.current):>8}  "
                       f"{response.latency_seconds * 1000:7.1f} ms  ({source})")
+            if conn.push_cache is not None:
+                print(
+                    f"  push cache: {conn.push_cache.hits} local hits, "
+                    f"{len(conn.push_cache)} tiles held"
+                )
             conn.close()
 
         # --- asyncio client -------------------------------------------

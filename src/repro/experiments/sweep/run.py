@@ -130,6 +130,9 @@ def cell_config(cell_params: dict) -> ServiceConfig:
             hotspot_boost=cell_params["hotspot_boost"],
             hotspot_tick_every=cell_params["hotspot_tick_every"],
             hotspot_prune_epsilon=cell_params["hotspot_prune_epsilon"],
+            push=cell_params["push"],
+            push_budget_bytes=cell_params["push_budget_bytes"],
+            push_max_inflight=cell_params["push_max_inflight"],
         ),
         cache=CacheConfig(
             recent_capacity=cell_params["recent_capacity"],
@@ -196,7 +199,11 @@ def _replay_socket(
         # whole stack, so draining it directly between requests is fair
         # game (drain/wait_idle is thread-safe by design).
         inner = server.server.service.service
-        with SocketTransport(*server.address, pyramid=pyramid) as transport:
+        with SocketTransport(
+            *server.address,
+            pyramid=pyramid,
+            push=config.prefetch.push_enabled,
+        ) as transport:
             start = time.perf_counter()
             for index, walk in enumerate(walks):
                 client = transport.connect(session_id=f"user-{index + 1}")
@@ -242,6 +249,11 @@ class CellResult:
 def run_cell(cell: SweepCell) -> CellResult:
     """Execute one grid cell through the serving stack."""
     params = cell.params
+    if params["push"] == "on" and params["frontend"] != "socket":
+        raise SweepSpecError(
+            "push is a socket-transport behavior; cells with push='on' "
+            f"must fix frontend='socket', got {params['frontend']!r}"
+        )
     dataset = _dataset(params["size"], params["tile_size"], params["seed"])
     walks = cell_walks(params, dataset)
     config = cell_config(params)

@@ -37,6 +37,7 @@ from pathlib import Path
 
 from repro.middleware.config import (
     PREFETCH_MODES,
+    PUSH_MODES,
     SHARED_HOTSPOT_MODES,
 )
 from repro.middleware.scheduler import ADMISSION_MODES
@@ -145,6 +146,13 @@ PARAMETER_DOMAINS: dict[str, tuple[object, object]] = {
         1e-6,
         _check_float("hotspot_prune_epsilon", 0.0),
     ),
+    # push prefetch (socket front end only; run.py enforces the pairing)
+    "push": ("off", _check_choice("push", PUSH_MODES)),
+    "push_budget_bytes": (
+        256 * 1024,
+        _check_int("push_budget_bytes", 1024),
+    ),
+    "push_max_inflight": (4, _check_int("push_max_inflight", 1)),
     # world / workload shape
     "size": (256, _check_int("size", 64)),
     "tile_size": (32, _check_int("tile_size", 8)),
@@ -162,6 +170,8 @@ _SLUG_ALIASES = {
     "prefetch_admission": "admission",
     "cache_shards": "shards",
     "shared_hotspots": "hotspots",
+    "push_budget_bytes": "pushbudget",
+    "push_max_inflight": "pushinflight",
 }
 
 
@@ -380,11 +390,41 @@ SMOKE_SPEC = {
     },
 }
 
-BUILTIN_SPECS: dict[str, dict] = {"ci": CI_SPEC, "smoke": SMOKE_SPEC}
+#: The push-mode trajectory sweep: off/on over the socket front end (the
+#: only one that can push) on the two workloads where push matters most.
+#: Kept as its own spec — and its own snapshot directory in CI — so the
+#: 128-cell ``ci`` grid's snapshots stay byte-comparable across the
+#: push-introducing change.
+CI_PUSH_SPEC = {
+    "name": "ci-push",
+    "parameters": {
+        "push": ["off", "on"],
+        "users": [2, 4],
+        "workload": ["convergent", "flash_crowd"],
+    },
+    "fixed": {
+        "size": 256,
+        "k": 5,
+        "frontend": "socket",
+        "prefetch_mode": "background",
+        "prefetch_workers": 1,
+        "settle": True,
+        "steps": 24,
+        "max_requests": 30,
+        "seed": 7,
+    },
+}
+
+BUILTIN_SPECS: dict[str, dict] = {
+    "ci": CI_SPEC,
+    "ci-push": CI_PUSH_SPEC,
+    "smoke": SMOKE_SPEC,
+}
 
 
 def resolve_spec(ref: str | Path) -> SweepSpec:
-    """A spec from a built-in name (``ci``, ``smoke``) or a JSON file."""
+    """A spec from a built-in name (``ci``, ``ci-push``, ``smoke``) or a
+    JSON file."""
     if isinstance(ref, str) and ref in BUILTIN_SPECS:
         return SweepSpec.from_dict(BUILTIN_SPECS[ref])
     path = Path(ref)

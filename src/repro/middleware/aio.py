@@ -33,10 +33,12 @@ from repro.middleware.latency import LatencyRecorder
 from repro.middleware.protocol import SessionClosedError, SessionInfo
 from repro.middleware.service import (
     ForeCacheService,
+    PushHitResult,
     SessionHandle,
     TileResponse,
 )
 from repro.tiles.key import TileKey
+from repro.tiles.tile import DataTile
 from repro.tiles.moves import Move
 from repro.tiles.pyramid import TilePyramid
 
@@ -174,6 +176,30 @@ class AsyncForeCacheService:
 
     async def info(self, session_id: Hashable) -> SessionInfo:
         return await self._call(self.service.info, session_id)
+
+    # ------------------------------------------------------------------
+    # push support (socket-server hooks)
+    # ------------------------------------------------------------------
+    async def local_hit(
+        self, session_id: Hashable, move: Move | None, key: TileKey
+    ) -> PushHitResult:
+        """Absorb a client-side push-cache hit off the event loop."""
+        return await self._call(self.service.local_hit, session_id, move, key)
+
+    async def pending_predictions(
+        self, session_id: Hashable
+    ) -> list[tuple[TileKey, str]]:
+        """The session's latest attributed prediction list (ranked)."""
+        return await self._call(self.service.pending_predictions, session_id)
+
+    async def load_tile(self, key: TileKey, model: str = "push") -> DataTile:
+        """Materialize one tile for streaming (push path)."""
+        return await self._call(self.service.load_tile, key, model)
+
+    @property
+    def hotspot_registry(self):
+        """The facade's shared popularity registry (None when off)."""
+        return self.service.hotspot_registry
 
     # ------------------------------------------------------------------
     # lifecycle

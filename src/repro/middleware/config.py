@@ -25,6 +25,7 @@ from repro.cache.manager import CacheManager
 from repro.cache.tile_cache import TileCache
 from repro.middleware.latency import HIT_SECONDS, LatencyModel
 from repro.middleware.protocol import DEFAULT_MAX_FRAME_BYTES
+from repro.middleware.push import PUSH_UTILITIES
 from repro.middleware.scheduler import ADMISSION_MODES
 from repro.tiles.pyramid import TilePyramid
 
@@ -46,6 +47,16 @@ PREFETCH_MODES = ("sync", "background")
 #:   re-read the registry's top-N on every prediction, and the
 #:   background scheduler boosts the queue rank of globally hot tiles.
 SHARED_HOTSPOT_MODES = ("off", "observe", "boost")
+
+#: Continuous push prefetch (Khameleon-style):
+#: - "off" — pull-only; the wire protocol, replies, and figure numerics
+#:   are bit-identical to the pre-push serving stack,
+#: - "on"  — the socket server streams top-ranked predicted tiles as
+#:   unsolicited ``push_tile`` frames into each negotiated client's
+#:   :class:`~repro.middleware.push.PushCache`, budgeted by
+#:   ``push_budget_bytes`` / ``push_max_inflight``.  In-process front
+#:   ends ignore the knob (push is a transport-layer behavior).
+PUSH_MODES = ("off", "on")
 
 
 @dataclass(frozen=True)
@@ -137,6 +148,24 @@ class PrefetchPolicy:
     #: long adversarial workloads cannot grow the registry without
     #: bound.
     hotspot_prune_epsilon: float = 0.0
+    #: Wall-clock decay ticking for the socket server's registry: the
+    #: asyncio loop calls ``registry.advance()`` every this many real
+    #: seconds, so long-idle deployments decay popularity without
+    #: request traffic.  0 (default) = off; replays and tests stay on
+    #: the deterministic virtual tick (``hotspot_tick_every``).
+    hotspot_tick_seconds: float = 0.0
+    #: Continuous push prefetch: "off" or "on" (:data:`PUSH_MODES`).
+    #: Only the socket server acts on it — and only for clients that
+    #: negotiated the ``push`` capability in their hello.
+    push: str = "off"
+    #: Shared downstream budget one push round may stream, split fairly
+    #: across all live push sessions (bytes of encoded frames).
+    push_budget_bytes: int = 256 * 1024
+    #: Per-session cap on pushed-but-unacknowledged tiles in flight.
+    push_max_inflight: int = 4
+    #: Utility ordering for push jobs: "rank" or "density"
+    #: (:data:`~repro.middleware.push.PUSH_UTILITIES`).
+    push_utility: str = "rank"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -182,10 +211,40 @@ class PrefetchPolicy:
                 f"hotspot_prune_epsilon must be >= 0, got"
                 f" {self.hotspot_prune_epsilon}"
             )
+        if self.hotspot_tick_seconds < 0:
+            raise ValueError(
+                f"hotspot_tick_seconds must be >= 0, got"
+                f" {self.hotspot_tick_seconds}"
+            )
+        if self.push not in PUSH_MODES:
+            raise ValueError(
+                f"push must be one of {PUSH_MODES}, got {self.push!r}"
+            )
+        if self.push_budget_bytes < 1024:
+            # Below one small frame the budget can never stream anything.
+            raise ValueError(
+                f"push_budget_bytes must be >= 1024, got"
+                f" {self.push_budget_bytes}"
+            )
+        if self.push_max_inflight < 1:
+            raise ValueError(
+                f"push_max_inflight must be >= 1, got"
+                f" {self.push_max_inflight}"
+            )
+        if self.push_utility not in PUSH_UTILITIES:
+            raise ValueError(
+                f"push_utility must be one of {PUSH_UTILITIES}, got"
+                f" {self.push_utility!r}"
+            )
 
     @property
     def background(self) -> bool:
         return self.mode == "background"
+
+    @property
+    def push_enabled(self) -> bool:
+        """True when the socket server should offer the push capability."""
+        return self.push == "on"
 
     @property
     def shares_hotspots(self) -> bool:

@@ -59,15 +59,19 @@ from repro.middleware.protocol import (
     InvalidRequestError,
     OpenSession,
     ProtocolError,
+    PushAck,
+    PushTile,
     SessionClosedError,
     SessionInfo,
     SessionNotFoundError,
+    TilePayload,
     TileRef,
     TileRequest,
     Welcome,
     encode_frame,
     negotiate_version,
 )
+from repro.middleware.push import PUSH_MODEL, PushCache, PushScheduler
 from repro.middleware.service import TileResponse
 from repro.middleware.transport import Transport, response_to_client
 from repro.tiles.key import TileKey
@@ -81,6 +85,72 @@ def _check_framing(framing: str) -> str:
     if framing not in FRAMINGS:
         raise ValueError(f"framing must be one of {FRAMINGS}, got {framing!r}")
     return framing
+
+
+class HotspotDecayTicker:
+    """Wall-clock decay tick for a shared hotspot registry.
+
+    Long-idle deployments see no requests, so request-count ticking
+    (``PrefetchPolicy.hotspot_tick_every``) never fires and stale
+    hotspots linger.  This ticker advances the registry's virtual tick
+    from the asyncio loop every ``interval_seconds`` of *real* time.
+    Off by default (``hotspot_tick_seconds=0``); the ``sleep``
+    coroutine is injectable so tests drive the loop with a fake clock.
+    """
+
+    def __init__(
+        self,
+        registry,
+        interval_seconds: float,
+        *,
+        sleep=None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be > 0, got {interval_seconds}"
+            )
+        self.registry = registry
+        self.interval_seconds = interval_seconds
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._task: asyncio.Task | None = None
+        #: Decay ticks delivered so far (diagnostics/tests).
+        self.ticks = 0
+
+    async def _run(self) -> None:
+        while True:
+            await self._sleep(self.interval_seconds)
+            self.registry.advance()
+            self.ticks += 1
+
+    def start(self) -> None:
+        """Begin ticking on the running event loop."""
+        if self._task is not None:
+            raise RuntimeError("hotspot ticker already started")
+        self._task = asyncio.ensure_future(self._run())
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    async def stop(self) -> None:
+        """Cancel the tick task.  Idempotent."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._task
+        self._task = None
+
+
+class _ConnectionState:
+    """Per-connection serving state (sessions, negotiation, push)."""
+
+    __slots__ = ("sessions", "negotiated", "push")
+
+    def __init__(self) -> None:
+        self.sessions: set[str] = set()
+        self.negotiated = False
+        self.push = False
 
 
 # ----------------------------------------------------------------------
@@ -126,6 +196,33 @@ class ForeCacheSocketServer:
         self._closing: asyncio.Event | None = None
         self._closed = False
         self._conn_tasks: set[asyncio.Task] = set()
+        policy = config.prefetch
+        if policy.push_enabled and not self.include_payload:
+            raise ValueError(
+                "push streams tile payloads; a metadata-only server "
+                "(include_payload=False) cannot offer the push capability"
+            )
+        #: The server-wide push allocator, present iff the policy says
+        #: ``push="on"``.  One scheduler serves every connection, so the
+        #: downstream budget is shared across *all* live push sessions.
+        self.push_scheduler: PushScheduler | None = None
+        if policy.push_enabled:
+            registry = service.service.hotspot_registry
+            self.push_scheduler = PushScheduler(
+                budget_bytes=policy.push_budget_bytes,
+                max_inflight=policy.push_max_inflight,
+                utility=policy.push_utility,
+                # Mirror the prefetch scheduler: only "boost" acts on
+                # the shared signal.
+                hotspot_registry=(
+                    registry if policy.hotspots_live else None
+                ),
+                hotspot_top_n=policy.hotspot_top_n,
+                hotspot_boost=float(policy.hotspot_boost),
+            )
+        #: Wall-clock registry decay (``hotspot_tick_seconds``), started
+        #: with the server when configured.
+        self.hotspot_ticker: HotspotDecayTicker | None = None
 
     @classmethod
     def build(
@@ -162,6 +259,13 @@ class ForeCacheSocketServer:
         )
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
+        policy = self.service.config.prefetch
+        registry = self.service.service.hotspot_registry
+        if policy.hotspot_tick_seconds > 0 and registry is not None:
+            self.hotspot_ticker = HotspotDecayTicker(
+                registry, policy.hotspot_tick_seconds
+            )
+            self.hotspot_ticker.start()
         return self.address
 
     async def aclose(self) -> None:
@@ -172,6 +276,8 @@ class ForeCacheSocketServer:
         if self._closed:
             return
         self._closed = True
+        if self.hotspot_ticker is not None:
+            await self.hotspot_ticker.stop()
         if self._closing is not None:
             self._closing.set()
         if self._server is not None:
@@ -213,9 +319,8 @@ class ForeCacheSocketServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         assert self._closing is not None
-        sessions: set[str] = set()
+        conn = _ConnectionState()
         decoder = FrameDecoder(self.framing, self.max_frame_bytes)
-        negotiated = False
         closing_wait = asyncio.ensure_future(self._closing.wait())
         try:
             while not self._closing.is_set():
@@ -250,13 +355,13 @@ class ForeCacheSocketServer:
                     break
                 fatal = False
                 for text in frames:
-                    reply, fatal, negotiated = await self._dispatch(
-                        text, sessions, negotiated
-                    )
-                    if reply is not None and not await self._send(
-                        writer, reply
-                    ):
-                        fatal = True
+                    messages, fatal = await self._dispatch(text, conn)
+                    # Push frames (if any) precede the reply — the last
+                    # message is always the frame's actual answer.
+                    for message in messages:
+                        if not await self._send(writer, message):
+                            fatal = True
+                            break
                     if fatal:
                         break
                 if fatal:
@@ -265,7 +370,7 @@ class ForeCacheSocketServer:
             closing_wait.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await closing_wait
-            await self._close_sessions(sessions)
+            await self._close_sessions(conn.sessions)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
@@ -289,74 +394,98 @@ class ForeCacheSocketServer:
         except (ConnectionError, OSError):
             return False
 
-    async def _dispatch(
-        self, text: str, sessions: set[str], negotiated: bool
-    ):
-        """Serve one frame; returns ``(reply, fatal, negotiated)``."""
+    async def _dispatch(self, text: str, conn: _ConnectionState):
+        """Serve one frame; returns ``(messages, fatal)``.
+
+        ``messages`` is everything this frame produces, in wire order;
+        on push connections that is zero or more ``push_tile`` frames
+        *followed by* the frame's actual reply, so push delivery is
+        deterministic (fixed interleaving, no background writer task).
+        """
         try:
             message = protocol.decode(text)
         except ProtocolError as exc:
             # One malformed message on a healthy frame stream: answer
             # and keep serving the connection.
-            return ErrorInfo.from_exception(exc), False, negotiated
-        if not negotiated:
-            if not isinstance(message, Hello):
-                error = InvalidRequestError(
-                    "connection must open with a hello frame, got "
-                    f"{type(message).__name__}"
-                )
-                return ErrorInfo.from_exception(error), True, False
+            return [ErrorInfo.from_exception(exc)], False
+        if not conn.negotiated and not isinstance(message, Hello):
+            error = InvalidRequestError(
+                "connection must open with a hello frame, got "
+                f"{type(message).__name__}"
+            )
+            return [ErrorInfo.from_exception(error)], True
         if isinstance(message, Hello):
             try:
                 version = negotiate_version(message.versions)
             except ProtocolError as exc:
-                return ErrorInfo.from_exception(exc), True, negotiated
+                return [ErrorInfo.from_exception(exc)], True
+            conn.negotiated = True
+            # Push is granted only when both sides ask for it; legacy
+            # peers (push=False hello, or none at all) get the exact
+            # pre-push protocol.
+            conn.push = bool(message.push and self.push_scheduler is not None)
             welcome = Welcome(
                 version=version,
                 server=self.server_name,
                 max_frame_bytes=self.max_frame_bytes,
+                push=conn.push,
             )
-            return welcome, False, True
+            return [welcome], False
         try:
             if isinstance(message, OpenSession):
-                return await self._open_session(message, sessions)
+                return await self._open_session(message, conn)
             if isinstance(message, CloseSession):
-                return await self._close_session(message, sessions)
+                return await self._close_session(message, conn)
             if isinstance(message, TileRequest):
-                return await self._serve_request(message, sessions)
+                return await self._serve_request(message, conn)
+            if isinstance(message, PushAck):
+                return await self._serve_ack(message, conn)
             error = InvalidRequestError(
                 f"server cannot serve {type(message).__name__} messages"
             )
-            return ErrorInfo.from_exception(error), False, True
+            return [ErrorInfo.from_exception(error)], False
         except Exception as exc:
-            return ErrorInfo.from_exception(exc), False, True
+            return [ErrorInfo.from_exception(exc)], False
 
-    async def _open_session(self, message: OpenSession, sessions: set[str]):
-        handle = await self.service.open_session(None, message.session_id)
-        session_id = str(handle.session_id)
-        sessions.add(session_id)
-        return await handle.info(), False, True
-
-    async def _close_session(self, message: CloseSession, sessions: set[str]):
-        session_id = message.session_id
-        if session_id not in sessions:
+    def _require_session(self, session_id: str, conn: _ConnectionState):
+        if session_id not in conn.sessions:
             # Per-connection isolation: a session another client opened
             # is invisible here, even if it exists on the service.
             raise SessionNotFoundError(
                 f"session {session_id!r} is not open on this connection",
                 session_id=session_id,
             )
+
+    async def _open_session(self, message: OpenSession, conn: _ConnectionState):
+        handle = await self.service.open_session(None, message.session_id)
+        session_id = str(handle.session_id)
+        conn.sessions.add(session_id)
+        if conn.push and self.push_scheduler is not None:
+            self.push_scheduler.open_session(session_id)
+        return [await handle.info()], False
+
+    async def _close_session(
+        self, message: CloseSession, conn: _ConnectionState
+    ):
+        session_id = message.session_id
+        self._require_session(session_id, conn)
         final = await self.service.info(session_id)
         await self.service.close_session(session_id)
-        sessions.discard(session_id)
-        return replace(final, open=False), False, True
+        conn.sessions.discard(session_id)
+        if self.push_scheduler is not None:
+            self.push_scheduler.forget_session(session_id)
+        return [replace(final, open=False)], False
 
-    async def _serve_request(self, message: TileRequest, sessions: set[str]):
+    async def _serve_request(self, message: TileRequest, conn: _ConnectionState):
         session_id = message.session_id
-        if session_id not in sessions:
-            raise SessionNotFoundError(
-                f"session {session_id!r} is not open on this connection",
-                session_id=session_id,
+        self._require_session(session_id, conn)
+        if (
+            conn.push
+            and self.push_scheduler is not None
+            and message.held is not None
+        ):
+            self.push_scheduler.acknowledge(
+                session_id, [ref.to_key() for ref in message.held]
             )
         result = await self.service.request(
             session_id, message.to_move(), message.tile.to_key()
@@ -364,11 +493,95 @@ class ForeCacheSocketServer:
         response = protocol.TileResponse.from_result(
             session_id, result, include_payload=self.include_payload
         )
-        return response, False, True
+        messages: list = []
+        if conn.push and self.push_scheduler is not None:
+            messages.extend(await self._push_messages(session_id))
+        messages.append(response)
+        return messages, False
+
+    async def _serve_ack(self, message: PushAck, conn: _ConnectionState):
+        """Absorb a push-cache digest; with ``tile`` set, record the
+        client's locally answered (push-hit) request."""
+        session_id = message.session_id
+        self._require_session(session_id, conn)
+        if not conn.push or self.push_scheduler is None:
+            raise InvalidRequestError(
+                "push_ack on a connection that did not negotiate push",
+                session_id=session_id,
+            )
+        self.push_scheduler.acknowledge(
+            session_id, [ref.to_key() for ref in message.held]
+        )
+        if message.tile is None:
+            return [await self.service.info(session_id)], False
+        result = await self.service.local_hit(
+            session_id, message.to_move(), message.tile.to_key()
+        )
+        # Payload-less by construction: the client asked because it
+        # already holds the tile.
+        response = protocol.TileResponse(
+            session_id=session_id,
+            tile=message.tile,
+            latency_seconds=result.latency_seconds,
+            hit=result.hit,
+            phase=(
+                result.phase.value if result.phase is not None else None
+            ),
+            prefetched=tuple(
+                TileRef.from_key(k) for k in result.prefetched
+            ),
+            payload=None,
+        )
+        messages: list = list(await self._push_messages(session_id))
+        messages.append(response)
+        return messages, False
+
+    async def _push_messages(self, session_id: str) -> list[PushTile]:
+        """Run one push round for ``session_id``: queue the session's
+        latest prediction list, then stream jobs until the fair-share
+        byte budget or the in-flight cap stops the round."""
+        scheduler = self.push_scheduler
+        assert scheduler is not None
+        messages: list[PushTile] = []
+        try:
+            pending = await self.service.pending_predictions(session_id)
+        except Exception:
+            return messages  # session vanished mid-round; push nothing
+        scheduler.begin_round(session_id, pending)
+        generation = scheduler.generation(session_id)
+        while (job := scheduler.next_job(session_id)) is not None:
+            try:
+                tile = await self.service.load_tile(job.key, PUSH_MODEL)
+            except Exception:
+                scheduler.reject(job)
+                continue
+            push = PushTile(
+                session_id=session_id,
+                tile=TileRef.from_key(job.key),
+                rank=job.rank,
+                generation=generation,
+                utility=job.utility,
+                payload=TilePayload.from_tile(tile),
+            )
+            try:
+                frame = encode_frame(
+                    protocol.encode(push), self.framing, self.max_frame_bytes
+                )
+            except FrameTooLargeError:
+                # This tile can never fit a frame; skip it without
+                # charging the round's budget.
+                scheduler.reject(job)
+                continue
+            if not scheduler.commit(job, len(frame)):
+                break  # round budget spent
+            messages.append(push)
+        return messages
 
     async def _close_sessions(self, sessions: set[str]) -> None:
         """Drop the sessions a finished connection leaves behind."""
         for session_id in list(sessions):
+            if self.push_scheduler is not None:
+                self.push_scheduler.forget_session(session_id)
             with contextlib.suppress(Exception):
                 await self.service.close_session(session_id)
         sessions.clear()
@@ -513,6 +726,8 @@ class SocketTransport(Transport):
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         timeout: float | None = 30.0,
         client_name: str = "forecache-python",
+        push: bool = False,
+        push_cache_capacity: int = 32,
     ) -> None:
         self.pyramid = pyramid
         self._framing = _check_framing(framing)
@@ -528,10 +743,19 @@ class SocketTransport(Transport):
         # roundtrip holds self._lock blocked in recv.
         self._close_lock = threading.Lock()
         self._closed = False
+        self._push_cache_capacity = push_cache_capacity
+        #: Per-session push caches (only populated on push connections).
+        self._push_caches: dict[str, PushCache] = {}
+        #: True once both sides agreed on push (requested AND granted).
+        self.push_enabled = False
         self._sock = socket.create_connection((host, port), timeout=timeout)
         try:
             welcome = self.roundtrip(
-                Hello(versions=SUPPORTED_VERSIONS, client=client_name)
+                Hello(
+                    versions=SUPPORTED_VERSIONS,
+                    client=client_name,
+                    push=push,
+                )
             )
             if isinstance(welcome, ErrorInfo):
                 raise welcome.to_exception()
@@ -546,6 +770,7 @@ class SocketTransport(Transport):
         self.server_version = welcome.version
         self.server_name = welcome.server
         self.server_max_frame_bytes = welcome.max_frame_bytes
+        self.push_enabled = bool(push and welcome.push)
         if welcome.max_frame_bytes > 0:
             self._send_limit = min(self._send_limit, welcome.max_frame_bytes)
             # Receiving is sized to the server's budget too: the server
@@ -569,6 +794,11 @@ class SocketTransport(Transport):
         possibly still in flight — the pairing is unrecoverable, so the
         transport closes itself rather than hand request N+1 the answer
         to request N; later calls raise ``SessionClosedError``.
+
+        On push connections the server may precede the reply with
+        ``push_tile`` frames; those are absorbed into the addressed
+        session's :class:`PushCache` here, under the same lock, before
+        the reply is returned.
         """
         with self._lock:
             if self._closed:
@@ -578,15 +808,37 @@ class SocketTransport(Transport):
             frame = encode_frame(
                 protocol.encode(message), self._framing, self._send_limit
             )
+            if not self.push_enabled:
+                try:
+                    self._sock.sendall(frame)
+                    text = self._recv_frame()
+                except BaseException:
+                    self.close()  # RLock: safe while held
+                    raise
+                # The frame was fully consumed, so the stream stays in
+                # sync even if its content fails to decode.
+                return protocol.decode(text)
             try:
                 self._sock.sendall(frame)
-                text = self._recv_frame()
+                while True:
+                    # Unlike the pull-only path, decode failures are
+                    # fatal here: an undecodable frame might have been a
+                    # push, so "which frame answers the request" is no
+                    # longer knowable.
+                    reply = protocol.decode(self._recv_frame())
+                    if isinstance(reply, PushTile):
+                        self._absorb_push(reply)
+                        continue
+                    return reply
             except BaseException:
                 self.close()  # RLock: safe while held
                 raise
-            # The frame was fully consumed, so the stream stays in sync
-            # even if its content fails to decode.
-            return protocol.decode(text)
+
+    def _absorb_push(self, message: PushTile) -> None:
+        """File one unsolicited pushed tile into its session's cache."""
+        cache = self._push_caches.get(message.session_id)
+        if cache is not None and message.payload is not None:
+            cache.put(message.payload.to_tile())
 
     def _recv_frame(self) -> str:
         while not self._pending:
@@ -625,7 +877,14 @@ class SocketTransport(Transport):
             raise ProtocolError(
                 f"expected session_info, got {type(reply).__name__}"
             )
-        return SocketSessionClient(self, reply.session_id)
+        push_cache: PushCache | None = None
+        if self.push_enabled:
+            push_cache = PushCache(capacity=self._push_cache_capacity)
+            self._push_caches[reply.session_id] = push_cache
+        return SocketSessionClient(self, reply.session_id, push_cache)
+
+    def _drop_push_cache(self, session_id: str) -> None:
+        self._push_caches.pop(session_id, None)
 
     def close(self) -> None:
         """Drop the connection (server closes its sessions).  Idempotent.
@@ -644,27 +903,78 @@ class SocketTransport(Transport):
 
 
 class SocketSessionClient:
-    """One session's client stub over a :class:`SocketTransport`."""
+    """One session's client stub over a :class:`SocketTransport`.
 
-    def __init__(self, transport: SocketTransport, session_id: str) -> None:
+    On push connections the stub consults its :class:`PushCache` before
+    touching the wire: a held tile is answered locally and the server is
+    told via ``push_ack`` (so its prediction engine still observes the
+    move); every wire request carries the cache digest so the server
+    never re-streams a held tile.
+    """
+
+    def __init__(
+        self,
+        transport: SocketTransport,
+        session_id: str,
+        push_cache: PushCache | None = None,
+    ) -> None:
         self.transport = transport
         self.session_id = session_id
+        self.push_cache = push_cache
         self._closed = False
 
     @property
     def pyramid(self) -> TilePyramid | None:
         return self.transport.pyramid
 
+    def _digest(self) -> tuple[TileRef, ...]:
+        assert self.push_cache is not None
+        return tuple(TileRef.from_key(k) for k in self.push_cache.digest())
+
     def handle_request(self, move: Move | None, key: TileKey) -> TileResponse:
-        """Round-trip one request over the socket."""
+        """Round-trip one request over the socket (or answer it from the
+        push cache when the tile was already streamed here)."""
+        held: tuple[TileRef, ...] | None = None
+        if self.push_cache is not None:
+            tile = self.push_cache.get(key)
+            if tile is not None:
+                return self._local_hit(move, tile)
+            held = self._digest()
         reply = self.transport.roundtrip(
             TileRequest(
                 session_id=self.session_id,
                 tile=TileRef.from_key(key),
                 move=move.value if move is not None else None,
+                held=held,
             )
         )
         return response_to_client(reply)
+
+    def _local_hit(self, move: Move | None, tile) -> TileResponse:
+        """Answer from the push cache; report the hit to the server."""
+        reply = self.transport.roundtrip(
+            PushAck(
+                session_id=self.session_id,
+                held=self._digest(),
+                move=move.value if move is not None else None,
+                tile=TileRef.from_key(tile.key),
+            )
+        )
+        if isinstance(reply, ErrorInfo):
+            raise reply.to_exception()
+        if not isinstance(reply, protocol.TileResponse):
+            raise ProtocolError(
+                f"expected tile_response, got {type(reply).__name__}"
+            )
+        # The reply is payload-less by design — materialize the
+        # in-process response from the tile this cache already holds.
+        return TileResponse(
+            tile=tile,
+            latency_seconds=reply.latency_seconds,
+            hit=reply.hit,
+            phase=reply.to_phase(),
+            prefetched=tuple(ref.to_key() for ref in reply.prefetched),
+        )
 
     # The connection contract every front end shares.
     request = handle_request
@@ -675,6 +985,7 @@ class SocketSessionClient:
         if self._closed:
             return
         self._closed = True
+        self.transport._drop_push_cache(self.session_id)
         try:
             reply = self.transport.roundtrip(CloseSession(self.session_id))
         except (ProtocolError, OSError):
@@ -714,6 +1025,11 @@ class AsyncSocketTransport:
         self.server_version: int | None = None
         self.server_name = ""
         self.server_max_frame_bytes = 0
+        self._push_cache_capacity = 32
+        #: Per-session push caches (only populated on push connections).
+        self._push_caches: dict[str, PushCache] = {}
+        #: True once both sides agreed on push (requested AND granted).
+        self.push_enabled = False
 
     @classmethod
     async def open(
@@ -725,14 +1041,21 @@ class AsyncSocketTransport:
         framing: str = "lines",
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         client_name: str = "forecache-python-aio",
+        push: bool = False,
+        push_cache_capacity: int = 32,
     ) -> "AsyncSocketTransport":
         """Connect and run the hello/welcome handshake."""
         _check_framing(framing)
         reader, writer = await asyncio.open_connection(host, port)
         self = cls(reader, writer, pyramid, framing, max_frame_bytes)
+        self._push_cache_capacity = push_cache_capacity
         try:
             welcome = await self.roundtrip(
-                Hello(versions=SUPPORTED_VERSIONS, client=client_name)
+                Hello(
+                    versions=SUPPORTED_VERSIONS,
+                    client=client_name,
+                    push=push,
+                )
             )
             if isinstance(welcome, ErrorInfo):
                 raise welcome.to_exception()
@@ -746,6 +1069,7 @@ class AsyncSocketTransport:
         self.server_version = welcome.version
         self.server_name = welcome.server
         self.server_max_frame_bytes = welcome.max_frame_bytes
+        self.push_enabled = bool(push and welcome.push)
         if welcome.max_frame_bytes > 0:
             self._send_limit = min(self._send_limit, welcome.max_frame_bytes)
             # See SocketTransport: receive limit follows the server's
@@ -776,7 +1100,19 @@ class AsyncSocketTransport:
             try:
                 self._writer.write(frame)
                 await self._writer.drain()
-                text = await self._recv_frame()
+                if not self.push_enabled:
+                    text = await self._recv_frame()
+                else:
+                    # Push connections absorb unsolicited push_tile
+                    # frames until the actual reply arrives; a decode
+                    # failure is fatal here (the undecodable frame might
+                    # have been a push — pairing is unrecoverable).
+                    while True:
+                        reply = protocol.decode(await self._recv_frame())
+                        if isinstance(reply, PushTile):
+                            self._absorb_push(reply)
+                            continue
+                        return reply
             except BaseException:
                 # No awaits here: this must complete even while a
                 # cancellation is being delivered.
@@ -786,6 +1122,12 @@ class AsyncSocketTransport:
             # A fully consumed frame keeps the stream in sync even if
             # its content fails to decode.
             return protocol.decode(text)
+
+    def _absorb_push(self, message: PushTile) -> None:
+        """File one unsolicited pushed tile into its session's cache."""
+        cache = self._push_caches.get(message.session_id)
+        if cache is not None and message.payload is not None:
+            cache.put(message.payload.to_tile())
 
     async def _recv_frame(self) -> str:
         while not self._pending:
@@ -817,7 +1159,14 @@ class AsyncSocketTransport:
             raise ProtocolError(
                 f"expected session_info, got {type(reply).__name__}"
             )
-        return AsyncSocketSessionClient(self, reply.session_id)
+        push_cache: PushCache | None = None
+        if self.push_enabled:
+            push_cache = PushCache(capacity=self._push_cache_capacity)
+            self._push_caches[reply.session_id] = push_cache
+        return AsyncSocketSessionClient(self, reply.session_id, push_cache)
+
+    def _drop_push_cache(self, session_id: str) -> None:
+        self._push_caches.pop(session_id, None)
 
     async def aclose(self) -> None:
         """Drop the connection (server closes its sessions).  Idempotent."""
@@ -843,32 +1192,75 @@ class AsyncSocketSessionClient:
     """
 
     def __init__(
-        self, transport: AsyncSocketTransport, session_id: str
+        self,
+        transport: AsyncSocketTransport,
+        session_id: str,
+        push_cache: PushCache | None = None,
     ) -> None:
         self.transport = transport
         self.session_id = session_id
+        self.push_cache = push_cache
         self._closed = False
 
     @property
     def pyramid(self) -> TilePyramid | None:
         return self.transport.pyramid
 
+    def _digest(self) -> tuple[TileRef, ...]:
+        assert self.push_cache is not None
+        return tuple(TileRef.from_key(k) for k in self.push_cache.digest())
+
     async def request(self, move: Move | None, key: TileKey) -> TileResponse:
-        """Round-trip one request over the socket."""
+        """Round-trip one request over the socket (or answer it from the
+        push cache when the tile was already streamed here)."""
+        held: tuple[TileRef, ...] | None = None
+        if self.push_cache is not None:
+            tile = self.push_cache.get(key)
+            if tile is not None:
+                return await self._local_hit(move, tile)
+            held = self._digest()
         reply = await self.transport.roundtrip(
             TileRequest(
                 session_id=self.session_id,
                 tile=TileRef.from_key(key),
                 move=move.value if move is not None else None,
+                held=held,
             )
         )
         return response_to_client(reply)
+
+    async def _local_hit(self, move: Move | None, tile) -> TileResponse:
+        """Answer from the push cache; report the hit to the server."""
+        reply = await self.transport.roundtrip(
+            PushAck(
+                session_id=self.session_id,
+                held=self._digest(),
+                move=move.value if move is not None else None,
+                tile=TileRef.from_key(tile.key),
+            )
+        )
+        if isinstance(reply, ErrorInfo):
+            raise reply.to_exception()
+        if not isinstance(reply, protocol.TileResponse):
+            raise ProtocolError(
+                f"expected tile_response, got {type(reply).__name__}"
+            )
+        # The reply is payload-less by design — materialize the
+        # in-process response from the tile this cache already holds.
+        return TileResponse(
+            tile=tile,
+            latency_seconds=reply.latency_seconds,
+            hit=reply.hit,
+            phase=reply.to_phase(),
+            prefetched=tuple(ref.to_key() for ref in reply.prefetched),
+        )
 
     async def close(self) -> None:
         """Close the server-side session.  Idempotent."""
         if self._closed:
             return
         self._closed = True
+        self.transport._drop_push_cache(self.session_id)
         try:
             reply = await self.transport.roundtrip(
                 CloseSession(self.session_id)

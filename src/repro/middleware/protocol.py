@@ -24,7 +24,11 @@ back out of the byte stream by the incremental :class:`FrameDecoder`.
 A connection starts with a :class:`Hello`/:class:`Welcome`
 version-negotiation handshake, then drives sessions with the
 :class:`OpenSession`/:class:`CloseSession` control envelope (the reply
-to both is a :class:`SessionInfo`).
+to both is a :class:`SessionInfo`).  The handshake also negotiates the
+optional ``push`` capability: when both peers opt in, the server may
+stream unsolicited :class:`PushTile` frames (always *before* the reply
+they accompany) and the client reports its push-cache state via
+:class:`PushAck` / ``TileRequest.held`` digests.
 
 All ``from_dict`` constructors tolerate unknown fields (they extract
 the fields they know and ignore the rest), so a newer peer can add
@@ -239,6 +243,12 @@ class TileRequest:
     #: The interface move that led here (``Move.value``), or None for
     #: the session-opening request.
     move: str | None = None
+    #: Push-negotiated clients attach their push-cache digest (the tiles
+    #: they already hold) so the server never re-streams a held tile.
+    #: ``None`` — the default, and the only value a non-push client ever
+    #: sends — is omitted from the wire form entirely, keeping the frame
+    #: byte-identical to the pre-push protocol.
+    held: tuple[TileRef, ...] | None = None
 
     def to_move(self) -> Move | None:
         if self.move is None:
@@ -251,18 +261,27 @@ class TileRequest:
             ) from None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "session_id": self.session_id,
             "tile": self.tile.to_list(),
             "move": self.move,
         }
+        if self.held is not None:
+            data["held"] = [ref.to_list() for ref in self.held]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "TileRequest":
+        held = data.get("held")
         return cls(
             session_id=data["session_id"],
             tile=TileRef.from_list(data["tile"]),
             move=data.get("move"),
+            held=(
+                tuple(TileRef.from_list(ref) for ref in held)
+                if held is not None
+                else None
+            ),
         )
 
 
@@ -327,6 +346,106 @@ class TileResponse:
                 TileRef.from_list(ref) for ref in data.get("prefetched", [])
             ),
             payload=TilePayload.from_dict(payload) if payload else None,
+        )
+
+
+@dataclass(frozen=True)
+class PushTile:
+    """An unsolicited server→client frame: one predicted tile, streamed
+    ahead of need (Khameleon-style continuous prefetch).
+
+    Push frames only travel on connections that negotiated the ``push``
+    capability, and always *precede* the reply to the request whose
+    prediction round produced them — the strict request/reply pairing of
+    every other message is untouched.
+    """
+
+    session_id: str
+    tile: TileRef
+    #: Position in the prediction round that produced this push (0 = the
+    #: model's best guess).
+    rank: int
+    #: The server-side push round (generation) this frame belongs to; a
+    #: newer request bumps it and cancels what the old round still had
+    #: queued.
+    generation: int
+    #: The scheduler's computed utility for this tile (diagnostic).
+    utility: float
+    payload: TilePayload | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "tile": self.tile.to_list(),
+            "rank": self.rank,
+            "generation": self.generation,
+            "utility": self.utility,
+            "payload": self.payload.to_dict() if self.payload else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PushTile":
+        payload = data.get("payload")
+        return cls(
+            session_id=data["session_id"],
+            tile=TileRef.from_list(data["tile"]),
+            rank=int(data["rank"]),
+            generation=int(data["generation"]),
+            utility=float(data["utility"]),
+            payload=TilePayload.from_dict(payload) if payload else None,
+        )
+
+
+@dataclass(frozen=True)
+class PushAck:
+    """Client → server: the push-cache digest, optionally reporting a
+    locally answered (push-hit) request.
+
+    ``held`` is the authoritative list of tiles the client's push cache
+    holds right now — the server clears its in-flight accounting from it
+    and never re-streams a held tile.  When ``tile`` is set the client
+    answered a request locally from the push cache: the server records
+    the zero-latency hit, feeds its prediction engine, and replies with
+    a payload-less :class:`TileResponse` (the client already holds the
+    tile).  With ``tile`` unset the reply is the session's
+    :class:`SessionInfo`.
+    """
+
+    session_id: str
+    held: tuple[TileRef, ...] = field(default_factory=tuple)
+    #: Move that led to the locally served tile (``Move.value``).
+    move: str | None = None
+    #: The locally served tile, when this ack reports a push hit.
+    tile: TileRef | None = None
+
+    def to_move(self) -> Move | None:
+        if self.move is None:
+            return None
+        try:
+            return Move(self.move)
+        except ValueError:
+            raise InvalidRequestError(
+                f"unknown move {self.move!r}", session_id=self.session_id
+            ) from None
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "held": [ref.to_list() for ref in self.held],
+            "move": self.move,
+            "tile": self.tile.to_list() if self.tile is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PushAck":
+        tile = data.get("tile")
+        return cls(
+            session_id=data["session_id"],
+            held=tuple(
+                TileRef.from_list(ref) for ref in data.get("held", [])
+            ),
+            move=data.get("move"),
+            tile=TileRef.from_list(tile) if tile is not None else None,
         )
 
 
@@ -419,15 +538,24 @@ class Hello:
 
     versions: tuple[int, ...] = SUPPORTED_VERSIONS
     client: str = ""
+    #: Client opts into server-streamed ``push_tile`` frames.  Older
+    #: peers simply omit the field (``from_dict`` defaults it off), so
+    #: the capability degrades to plain pull without a version bump.
+    push: bool = False
 
     def to_dict(self) -> dict:
-        return {"versions": list(self.versions), "client": self.client}
+        return {
+            "versions": list(self.versions),
+            "client": self.client,
+            "push": self.push,
+        }
 
     @classmethod
     def from_dict(cls, data: dict) -> "Hello":
         return cls(
             versions=tuple(int(v) for v in data["versions"]),
             client=data.get("client", ""),
+            push=bool(data.get("push", False)),
         )
 
 
@@ -438,12 +566,16 @@ class Welcome:
     version: int
     server: str = ""
     max_frame_bytes: int = 0
+    #: Push capability granted: True only when the client asked for it
+    #: *and* this server runs with ``PrefetchPolicy.push="on"``.
+    push: bool = False
 
     def to_dict(self) -> dict:
         return {
             "version": self.version,
             "server": self.server,
             "max_frame_bytes": self.max_frame_bytes,
+            "push": self.push,
         }
 
     @classmethod
@@ -452,6 +584,7 @@ class Welcome:
             version=int(data["version"]),
             server=data.get("server", ""),
             max_frame_bytes=int(data.get("max_frame_bytes", 0)),
+            push=bool(data.get("push", False)),
         )
 
 
@@ -507,6 +640,8 @@ class CloseSession:
 MESSAGE_TYPES: dict[str, type] = {
     "tile_request": TileRequest,
     "tile_response": TileResponse,
+    "push_tile": PushTile,
+    "push_ack": PushAck,
     "session_info": SessionInfo,
     "error": ErrorInfo,
     "hello": Hello,

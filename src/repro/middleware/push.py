@@ -1,0 +1,411 @@
+"""Continuous push prefetch: the server streams ranked tiles to clients.
+
+ForeCache as published is pull-only — prediction quality is capped by
+whether the *next* request happens to hit the warmed middleware cache.
+Khameleon's insight is to invert the loop: after every request the
+server keeps streaming its top-ranked predicted tiles into a
+client-side cache as unsolicited ``push_tile`` frames, under a shared
+downstream budget, so prediction quality converts directly into
+response time (a push hit never touches the wire again).
+
+Two pieces live here, one per side of the connection:
+
+- :class:`PushScheduler` — the server-side allocator.  One scheduler
+  serves every live push session of a socket server and splits a shared
+  downstream byte budget fairly across them.  Within a session, each
+  request starts a new *round* (generation): the prediction list is
+  turned into :class:`PushJob` entries ordered by utility
+  (rank-decayed confidence × hotspot boost, optionally divided by the
+  estimated tile cost), deduplicated against everything the client
+  already holds (its acked digest) or has in flight (pushed, not yet
+  acked).  A new round cancels whatever the previous round still had
+  queued — exactly the generation discipline of
+  :class:`~repro.middleware.scheduler.PrefetchScheduler`.  The
+  scheduler is *driven by* the event loop (the socket server calls it
+  between awaits) and does no locking or I/O of its own; all methods
+  are synchronous and deterministic.
+
+- :class:`PushCache` — the client-side bounded LRU holding pushed
+  tiles.  The session clients consult it before touching the wire; a
+  hit is answered locally at zero virtual latency and reported to the
+  server via ``push_ack`` so the server's engine still observes the
+  move.  Its ``digest()`` is the authoritative held-tiles list the
+  client attaches to every request.
+
+Neither class touches sockets, threads, or the service — they are pure
+state machines, which is what makes push delivery deterministic enough
+for the conformance suite and the perf-trajectory gate to pin.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.tiles.key import TileKey
+from repro.tiles.tile import DataTile
+
+if TYPE_CHECKING:  # imported for type hints only
+    from repro.core.popularity import SharedHotspotRegistry
+
+#: Utility orderings the scheduler understands: ``"rank"`` scores by
+#: rank-decayed confidence (hotspot-boosted), ``"density"`` divides
+#: that score by the estimated frame cost so small tiles win ties —
+#: useful when tile sizes vary across pyramid levels.
+PUSH_UTILITIES: tuple[str, ...] = ("rank", "density")
+
+#: Cache-attribution label for tiles loaded on the push path (shows up
+#: in cache stats next to the per-model prefetch attributions).
+PUSH_MODEL = "push"
+
+#: Per-rank geometric confidence decay: the model's best guess gets
+#: utility 1.0, the next 0.8, then 0.64, ...  Chosen to keep several
+#: ranks in contention rather than collapsing onto rank 0.
+CONFIDENCE_DECAY = 0.8
+
+
+@dataclass(frozen=True)
+class PushJob:
+    """One queued push: a predicted tile and its scheduling facts."""
+
+    session_id: str
+    key: TileKey
+    model: str
+    #: Rank in the prediction round that produced it (0 = best).
+    rank: int
+    #: The session's push generation when the job was queued.
+    generation: int
+    utility: float
+
+
+@dataclass
+class _PushSession:
+    """Server-side push state of one live session."""
+
+    generation: int = 0
+    #: Tiles the client's last digest confirmed it holds.
+    held: set[TileKey] = field(default_factory=set)
+    #: Pushed this connection, not yet confirmed by a digest: key ->
+    #: frame bytes (counts against ``max_inflight``).
+    unacked: dict[TileKey, int] = field(default_factory=dict)
+    #: Jobs of the current round still waiting to be streamed.
+    queued: list[PushJob] = field(default_factory=list)
+    #: Bytes streamed in the current round (reset by ``begin_round``).
+    round_bytes: int = 0
+
+
+class PushScheduler:
+    """Allocates a shared downstream push budget across live sessions.
+
+    The budget is *per round*: every request's round may stream at most
+    ``budget_bytes // live_sessions`` bytes to its session (fair share
+    of the downstream pipe), and a session may never have more than
+    ``max_inflight`` pushed-but-unacked tiles outstanding.  The caller
+    drives the loop::
+
+        scheduler.acknowledge(sid, digest)         # from the request
+        scheduler.begin_round(sid, predictions)    # new generation
+        while (job := scheduler.next_job(sid)) is not None:
+            frame = ...load + encode...
+            if not scheduler.commit(job, len(frame)):
+                break                              # round budget spent
+            ...stream frame...
+
+    Everything is synchronous and deterministic — same inputs, same
+    pushes, regardless of how connections interleave between calls.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        max_inflight: int,
+        utility: str = "rank",
+        *,
+        hotspot_registry: "SharedHotspotRegistry | None" = None,
+        hotspot_top_n: int = 8,
+        hotspot_boost: float = 2.0,
+        confidence_decay: float = CONFIDENCE_DECAY,
+    ) -> None:
+        if budget_bytes < 1:
+            raise ValueError(f"budget_bytes must be >= 1, got {budget_bytes}")
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if utility not in PUSH_UTILITIES:
+            raise ValueError(
+                f"utility must be one of {PUSH_UTILITIES}, got {utility!r}"
+            )
+        if hotspot_top_n < 1:
+            raise ValueError(f"hotspot_top_n must be >= 1, got {hotspot_top_n}")
+        if hotspot_boost < 0:
+            raise ValueError(f"hotspot_boost must be >= 0, got {hotspot_boost}")
+        if not 0.0 < confidence_decay <= 1.0:
+            raise ValueError(
+                f"confidence_decay must be in (0, 1], got {confidence_decay}"
+            )
+        self.budget_bytes = budget_bytes
+        self.max_inflight = max_inflight
+        self.utility = utility
+        self.hotspot_registry = hotspot_registry
+        self.hotspot_top_n = hotspot_top_n
+        self.hotspot_boost = hotspot_boost
+        self.confidence_decay = confidence_decay
+        self._sessions: dict[str, _PushSession] = {}
+        #: Per-level average committed frame bytes (the "density" cost
+        #: estimate; levels not yet seen fall back to the global mean).
+        self._level_cost: dict[int, float] = {}
+        # counters (monotonic; exposed via stats())
+        self.rounds = 0
+        self.pushed_tiles = 0
+        self.pushed_bytes = 0
+        self.cancelled_jobs = 0
+        self.deduped_jobs = 0
+        self.deferred_jobs = 0
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+    def open_session(self, session_id: str) -> None:
+        """Register a live push session (joins the fair share)."""
+        self._sessions.setdefault(str(session_id), _PushSession())
+
+    def forget_session(self, session_id: str) -> None:
+        """Drop a departed session and everything it had queued or in
+        flight.  Idempotent — a mid-push disconnect calls this from the
+        connection's cleanup path."""
+        state = self._sessions.pop(str(session_id), None)
+        if state is not None:
+            self.cancelled_jobs += len(state.queued)
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    def has_session(self, session_id: str) -> bool:
+        return str(session_id) in self._sessions
+
+    # ------------------------------------------------------------------
+    # the push loop
+    # ------------------------------------------------------------------
+    def allowance_bytes(self) -> int:
+        """One session's fair share of the round's downstream budget."""
+        return self.budget_bytes // max(1, len(self._sessions))
+
+    def acknowledge(self, session_id: str, held) -> None:
+        """Absorb the client's digest: ``held`` is authoritative.
+
+        Every unacked tile is settled — confirmed tiles move to the
+        held set, tiles the digest *lacks* were evicted client-side and
+        become pushable again.  Unknown sessions are ignored (a stale
+        ack racing a disconnect must not resurrect state).
+        """
+        state = self._sessions.get(str(session_id))
+        if state is None:
+            return
+        state.held = set(held)
+        state.unacked.clear()
+
+    def begin_round(self, session_id: str, predictions) -> int:
+        """Start a new push round from a prediction list.
+
+        Bumps the session's generation — whatever the previous round
+        still had queued is cancelled (the new observation invalidated
+        it) — and queues utility-ordered jobs for every predicted tile
+        the client neither holds nor has in flight.  Returns the number
+        of jobs queued.  ``predictions`` is the engine's attributed
+        ranking: ``[(TileKey, model), ...]``, best first.
+        """
+        state = self._sessions.get(str(session_id))
+        if state is None:
+            raise KeyError(f"push session {session_id!r} is not registered")
+        self.cancelled_jobs += len(state.queued)
+        state.queued = []
+        state.round_bytes = 0
+        state.generation += 1
+        self.rounds += 1
+        hot: frozenset[TileKey] = frozenset()
+        if self.hotspot_registry is not None:
+            hot = frozenset(
+                self.hotspot_registry.hot_keys(self.hotspot_top_n)
+            )
+        jobs: list[PushJob] = []
+        seen: set[TileKey] = set()
+        for rank, (key, model) in enumerate(predictions):
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in state.held or key in state.unacked:
+                self.deduped_jobs += 1
+                continue
+            jobs.append(
+                PushJob(
+                    session_id=str(session_id),
+                    key=key,
+                    model=model,
+                    rank=rank,
+                    generation=state.generation,
+                    utility=self._utility(key, rank, hot),
+                )
+            )
+        # Utility descending; rank then key break ties deterministically.
+        jobs.sort(key=lambda job: (-job.utility, job.rank, job.key))
+        state.queued = jobs
+        return len(jobs)
+
+    def _utility(self, key: TileKey, rank: int, hot: frozenset[TileKey]) -> float:
+        confidence = self.confidence_decay**rank
+        if key in hot:
+            confidence *= 1.0 + self.hotspot_boost
+        if self.utility == "density":
+            confidence /= self._estimated_cost(key.level)
+        return confidence
+
+    def _estimated_cost(self, level: int) -> float:
+        cost = self._level_cost.get(level)
+        if cost is None and self._level_cost:
+            cost = sum(self._level_cost.values()) / len(self._level_cost)
+        return cost if cost else 1.0
+
+    def next_job(self, session_id: str) -> PushJob | None:
+        """The round's next streamable job, or None when the session's
+        in-flight cap (or queue) is exhausted."""
+        state = self._sessions.get(str(session_id))
+        if state is None or not state.queued:
+            return None
+        if len(state.unacked) >= self.max_inflight:
+            return None
+        return state.queued.pop(0)
+
+    def commit(self, job: PushJob, frame_bytes: int) -> bool:
+        """Account one encoded push frame against the round's budget.
+
+        Returns True when the frame fits the session's fair share (the
+        caller streams it; the tile becomes in-flight), False when the
+        round's budget is spent (the caller stops the round; the job is
+        counted as deferred — the *next* round will re-rank the tile if
+        the model still wants it).
+        """
+        state = self._sessions.get(job.session_id)
+        if state is None:
+            return False
+        if state.round_bytes + frame_bytes > self.allowance_bytes():
+            self.deferred_jobs += 1
+            return False
+        state.round_bytes += frame_bytes
+        state.unacked[job.key] = frame_bytes
+        self.pushed_tiles += 1
+        self.pushed_bytes += frame_bytes
+        # Running per-level cost average feeds the "density" utility.
+        previous = self._level_cost.get(job.key.level)
+        self._level_cost[job.key.level] = (
+            float(frame_bytes)
+            if previous is None
+            else 0.5 * previous + 0.5 * frame_bytes
+        )
+        return True
+
+    def reject(self, job: PushJob) -> None:
+        """Drop an unstreamable job (e.g. its frame exceeds the frame
+        limit) without charging the budget."""
+        self.deferred_jobs += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def queued_jobs(self, session_id: str) -> int:
+        state = self._sessions.get(str(session_id))
+        return len(state.queued) if state is not None else 0
+
+    def inflight_tiles(self, session_id: str) -> int:
+        state = self._sessions.get(str(session_id))
+        return len(state.unacked) if state is not None else 0
+
+    def generation(self, session_id: str) -> int:
+        state = self._sessions.get(str(session_id))
+        return state.generation if state is not None else 0
+
+    def stats(self) -> dict:
+        """A counters snapshot (diagnostics, tests, the example)."""
+        return {
+            "sessions": len(self._sessions),
+            "rounds": self.rounds,
+            "pushed_tiles": self.pushed_tiles,
+            "pushed_bytes": self.pushed_bytes,
+            "cancelled_jobs": self.cancelled_jobs,
+            "deduped_jobs": self.deduped_jobs,
+            "deferred_jobs": self.deferred_jobs,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<PushScheduler sessions={len(self._sessions)} "
+            f"budget={self.budget_bytes} inflight<={self.max_inflight} "
+            f"pushed={self.pushed_tiles}>"
+        )
+
+
+class PushCache:
+    """The client-side bounded LRU of server-pushed tiles.
+
+    ``get`` answers a request locally (and promotes the tile); ``put``
+    admits a pushed tile, evicting the least-recently-useful one beyond
+    ``capacity``.  ``digest()`` — the sorted key list — is what the
+    client reports to the server as its held set, so eviction here is
+    automatically reconciled server-side (an evicted tile becomes
+    pushable again).
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._tiles: OrderedDict[TileKey, DataTile] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.pushed = 0
+        self.evicted = 0
+
+    def put(self, tile: DataTile) -> None:
+        """Admit one pushed tile (refreshes recency on re-push)."""
+        key = tile.key
+        if key in self._tiles:
+            self._tiles.move_to_end(key)
+        self._tiles[key] = tile
+        self.pushed += 1
+        while len(self._tiles) > self.capacity:
+            self._tiles.popitem(last=False)
+            self.evicted += 1
+
+    def get(self, key: TileKey) -> DataTile | None:
+        """The held tile for ``key`` (promoted), or None."""
+        tile = self._tiles.get(key)
+        if tile is None:
+            self.misses += 1
+            return None
+        self._tiles.move_to_end(key)
+        self.hits += 1
+        return tile
+
+    def digest(self) -> list[TileKey]:
+        """The held tiles, sorted — the wire-ready ``held`` list."""
+        return sorted(self._tiles)
+
+    def clear(self) -> None:
+        self._tiles.clear()
+
+    def __contains__(self, key: TileKey) -> bool:
+        return key in self._tiles
+
+    def __len__(self) -> int:
+        return len(self._tiles)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<PushCache {len(self._tiles)}/{self.capacity} tiles "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -68,6 +68,21 @@ class TileResponse:
     prefetched: tuple[TileKey, ...] = field(default_factory=tuple)
 
 
+@dataclass(frozen=True)
+class PushHitResult:
+    """Outcome of a client-side push-cache hit reported to the server.
+
+    The client already holds the tile, so no tile (and no cache fetch)
+    is involved — the server records the zero-latency hit, feeds the
+    session's engine, and returns the new prediction round's metadata.
+    """
+
+    phase: AnalysisPhase | None
+    prefetched: tuple[TileKey, ...] = field(default_factory=tuple)
+    latency_seconds: float = 0.0
+    hit: bool = True
+
+
 @dataclass
 class _SessionRecord:
     """Server-side state of one open session."""
@@ -389,12 +404,33 @@ class ForeCacheService:
                 f"session {record.session_id!r} is closed",
                 session_id=str(record.session_id),
             )
-        policy = self.config.prefetch
         outcome = self.cache_manager.fetch(key)
         latency = self.latency_model.response_seconds(
             outcome.hit, outcome.backend_seconds
         )
+        phase, prefetched = self._observe_and_predict(
+            record, move, key, latency, outcome.hit
+        )
+        return TileResponse(
+            tile=outcome.tile,
+            latency_seconds=latency,
+            hit=outcome.hit,
+            phase=phase,
+            prefetched=prefetched,
+        )
 
+    def _observe_and_predict(
+        self,
+        record: _SessionRecord,
+        move: Move | None,
+        key: TileKey,
+        latency: float,
+        hit: bool,
+    ) -> tuple[AnalysisPhase | None, tuple[TileKey, ...]]:
+        """The post-fetch half of a request: record, observe, predict,
+        and run/schedule the prefetch round.  Shared by the normal
+        request path and the push-hit path (which has no fetch)."""
+        policy = self.config.prefetch
         phase: AnalysisPhase | None = None
         prefetched: tuple[TileKey, ...] = ()
         pending: list[tuple[TileKey, str]] = []
@@ -408,7 +444,7 @@ class ForeCacheService:
                     f"session {record.session_id!r} is closed",
                     session_id=str(record.session_id),
                 )
-            record.recorder.record(latency, outcome.hit)
+            record.recorder.record(latency, hit)
             record.engine.observe(move, key)
             if policy.enabled:
                 result = record.engine.predict(self._budget(policy))
@@ -458,13 +494,49 @@ class ForeCacheService:
                 if policy.share_budget
                 else pending
             )
-        return TileResponse(
-            tile=outcome.tile,
-            latency_seconds=latency,
-            hit=outcome.hit,
-            phase=phase,
-            prefetched=prefetched,
+        return phase, prefetched
+
+    # ------------------------------------------------------------------
+    # push support (the socket server's continuous-prefetch hooks)
+    # ------------------------------------------------------------------
+    def local_hit(
+        self, session_id: Hashable, move: Move | None, key: TileKey
+    ) -> PushHitResult:
+        """Absorb a client-side push-cache hit.
+
+        The client answered the request locally from a pushed tile;
+        the server still must see the move — engine history, the latency
+        recorder (a zero-latency hit), the shared popularity signal, and
+        the next prefetch/push round all flow from it.  No cache fetch
+        happens (the tile never touches the middleware cache).
+        """
+        record = self._record(session_id)
+        if record.closed:
+            raise SessionClosedError(
+                f"session {record.session_id!r} is closed",
+                session_id=str(record.session_id),
+            )
+        phase, prefetched = self._observe_and_predict(
+            record, move, key, 0.0, True
         )
+        return PushHitResult(phase=phase, prefetched=prefetched)
+
+    def pending_predictions(
+        self, session_id: Hashable
+    ) -> list[tuple[TileKey, str]]:
+        """The session's latest attributed prediction list (ranked)."""
+        record = self._record(session_id)
+        with record.lock:
+            return list(record.pending)
+
+    def load_tile(self, key: TileKey, model: str = "push") -> DataTile:
+        """Materialize one tile for streaming (push path).
+
+        Loads through the cache manager's coalesced prefetch path, so a
+        pushed tile also warms the shared prefetch region under the
+        given attribution label.
+        """
+        return self.cache_manager.prefetch_one(key, model)
 
     def _budget(self, policy: PrefetchPolicy) -> int:
         """This round's per-session prediction budget."""

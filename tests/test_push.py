@@ -1,0 +1,709 @@
+"""Continuous push prefetch: scheduler, cache, wire, and lifecycle.
+
+The unit half exercises the two pure state machines —
+:class:`~repro.middleware.push.PushScheduler` (budget fairness, ack
+dedup, generation cancellation, in-flight caps) and
+:class:`~repro.middleware.push.PushCache` (LRU, digest) — with no
+sockets involved.  The end-to-end half drives the real TCP stack:
+negotiated capability, pushed tiles answering locally, a tile never
+streamed twice while held, cancellation on a new request, a mid-push
+client disconnect leaving the service healthy, and the wall-clock
+hotspot decay ticker on a fake clock.  The hypothesis fuzz interleaves
+push and reply frames through the client's decoder to prove absorption
+never misparies request/reply.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import SingleModelStrategy
+from repro.core.engine import PredictionEngine
+from repro.core.popularity import SharedHotspotRegistry
+from repro.middleware import protocol
+from repro.middleware.config import CacheConfig, PrefetchPolicy, ServiceConfig
+from repro.middleware.net import (
+    AsyncSocketTransport,
+    HotspotDecayTicker,
+    SocketTransport,
+    ThreadedSocketServer,
+)
+from repro.middleware.protocol import (
+    FrameDecoder,
+    Hello,
+    InvalidRequestError,
+    PushAck,
+    PushTile,
+    TilePayload,
+    TileRef,
+    Welcome,
+    encode_frame,
+)
+from repro.middleware.push import PushCache, PushScheduler
+from repro.recommenders.hotspot import HotspotRecommender
+from repro.recommenders.momentum import MomentumRecommender
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+
+PUSH_CONFIG = ServiceConfig(
+    prefetch=PrefetchPolicy(k=4, push="on"),
+    cache=CacheConfig(recent_capacity=4, prefetch_capacity=8),
+)
+
+
+def make_engine(grid) -> PredictionEngine:
+    model = MomentumRecommender()
+    return PredictionEngine(
+        grid, {model.name: model}, SingleModelStrategy(model.name)
+    )
+
+
+def engine_factory(pyramid):
+    return lambda: make_engine(pyramid.grid)
+
+
+def key(level: int, x: int, y: int) -> TileKey:
+    return TileKey(level, x, y)
+
+
+# ----------------------------------------------------------------------
+# PushCache units
+# ----------------------------------------------------------------------
+class TestPushCache:
+    def tile(self, dataset, k: TileKey):
+        return dataset.pyramid.fetch_tile(k, charge=False)
+
+    def test_put_get_promote_and_digest(self, small_dataset):
+        cache = PushCache(capacity=2)
+        a, b = key(1, 0, 0), key(1, 1, 0)
+        cache.put(self.tile(small_dataset, a))
+        cache.put(self.tile(small_dataset, b))
+        assert cache.digest() == sorted([a, b])
+        assert cache.get(a).key == a  # promotes a over b
+        cache.put(self.tile(small_dataset, key(1, 0, 1)))
+        assert b not in cache  # LRU: b was least recently useful
+        assert a in cache
+        assert cache.evicted == 1
+
+    def test_miss_and_hit_rate(self, small_dataset):
+        cache = PushCache(capacity=2)
+        assert cache.get(key(0, 0, 0)) is None
+        cache.put(self.tile(small_dataset, key(0, 0, 0)))
+        assert cache.get(key(0, 0, 0)) is not None
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PushCache(capacity=0)
+
+    def test_clear(self, small_dataset):
+        cache = PushCache()
+        cache.put(self.tile(small_dataset, key(0, 0, 0)))
+        cache.clear()
+        assert len(cache) == 0 and cache.digest() == []
+
+
+# ----------------------------------------------------------------------
+# PushScheduler units
+# ----------------------------------------------------------------------
+def predictions(*keys: TileKey) -> list[tuple[TileKey, str]]:
+    return [(k, "momentum") for k in keys]
+
+
+class TestPushScheduler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PushScheduler(budget_bytes=0, max_inflight=1)
+        with pytest.raises(ValueError):
+            PushScheduler(budget_bytes=1024, max_inflight=0)
+        with pytest.raises(ValueError):
+            PushScheduler(budget_bytes=1024, max_inflight=1, utility="nope")
+
+    def test_begin_round_requires_registration(self):
+        scheduler = PushScheduler(budget_bytes=1024, max_inflight=2)
+        with pytest.raises(KeyError):
+            scheduler.begin_round("ghost", predictions(key(0, 0, 0)))
+
+    def test_budget_is_split_fairly_across_sessions(self):
+        scheduler = PushScheduler(budget_bytes=9000, max_inflight=8)
+        scheduler.open_session("a")
+        assert scheduler.allowance_bytes() == 9000
+        scheduler.open_session("b")
+        scheduler.open_session("c")
+        assert scheduler.allowance_bytes() == 3000
+        # One session cannot stream past its fair share in one round.
+        scheduler.begin_round(
+            "a", predictions(key(1, 0, 0), key(1, 1, 0), key(1, 0, 1))
+        )
+        streamed = 0
+        while (job := scheduler.next_job("a")) is not None:
+            if not scheduler.commit(job, 1400):
+                break
+            streamed += 1
+        assert streamed == 2  # 3 x 1400 > 3000, 2 x 1400 fits
+        assert scheduler.deferred_jobs == 1
+        # The other sessions' allowance is unaffected by a's spending.
+        assert scheduler.allowance_bytes() == 3000
+
+    def test_max_inflight_caps_unacked_tiles(self):
+        scheduler = PushScheduler(budget_bytes=10**6, max_inflight=2)
+        scheduler.open_session("a")
+        scheduler.begin_round(
+            "a",
+            predictions(key(1, 0, 0), key(1, 1, 0), key(1, 0, 1), key(1, 1, 1)),
+        )
+        sent = []
+        while (job := scheduler.next_job("a")) is not None:
+            assert scheduler.commit(job, 100)
+            sent.append(job.key)
+        assert len(sent) == 2
+        assert scheduler.inflight_tiles("a") == 2
+        # An ack confirming both frees the cap for the next round.
+        scheduler.acknowledge("a", sent)
+        assert scheduler.inflight_tiles("a") == 0
+
+    def test_ack_dedup_held_and_inflight_never_requeued(self):
+        scheduler = PushScheduler(budget_bytes=10**6, max_inflight=4)
+        scheduler.open_session("a")
+        held = [key(1, 0, 0)]
+        scheduler.acknowledge("a", held)
+        scheduler.begin_round("a", predictions(key(1, 0, 0), key(1, 1, 0)))
+        job = scheduler.next_job("a")
+        assert job.key == key(1, 1, 0)  # the held tile was deduped
+        assert scheduler.deduped_jobs == 1
+        assert scheduler.commit(job, 100)
+        # Still unacked -> deduped again next round.
+        scheduler.begin_round("a", predictions(key(1, 1, 0)))
+        assert scheduler.next_job("a") is None
+        assert scheduler.deduped_jobs == 2
+
+    def test_eviction_makes_a_tile_pushable_again(self):
+        scheduler = PushScheduler(budget_bytes=10**6, max_inflight=4)
+        scheduler.open_session("a")
+        scheduler.acknowledge("a", [key(1, 0, 0)])
+        # The digest is authoritative: an ack *without* the tile means
+        # the client evicted it, so it may be streamed again.
+        scheduler.acknowledge("a", [])
+        scheduler.begin_round("a", predictions(key(1, 0, 0)))
+        assert scheduler.next_job("a").key == key(1, 0, 0)
+
+    def test_new_round_cancels_what_the_old_round_queued(self):
+        scheduler = PushScheduler(budget_bytes=10**6, max_inflight=4)
+        scheduler.open_session("a")
+        scheduler.begin_round("a", predictions(key(1, 0, 0), key(1, 1, 0)))
+        generation = scheduler.generation("a")
+        assert scheduler.queued_jobs("a") == 2
+        scheduler.begin_round("a", predictions(key(1, 0, 1)))
+        assert scheduler.generation("a") == generation + 1
+        assert scheduler.cancelled_jobs == 2
+        assert scheduler.queued_jobs("a") == 1
+
+    def test_forget_session_counts_leftovers_and_is_idempotent(self):
+        scheduler = PushScheduler(budget_bytes=10**6, max_inflight=4)
+        scheduler.open_session("a")
+        scheduler.begin_round("a", predictions(key(1, 0, 0)))
+        scheduler.forget_session("a")
+        assert scheduler.cancelled_jobs == 1
+        assert not scheduler.has_session("a")
+        scheduler.forget_session("a")  # idempotent
+        assert scheduler.session_count == 0
+
+    def test_rank_utility_orders_by_confidence_decay(self):
+        scheduler = PushScheduler(
+            budget_bytes=10**6, max_inflight=8, confidence_decay=0.5
+        )
+        scheduler.open_session("a")
+        scheduler.begin_round(
+            "a", predictions(key(1, 0, 0), key(1, 1, 0), key(1, 0, 1))
+        )
+        jobs = []
+        while (job := scheduler.next_job("a")) is not None:
+            jobs.append(job)
+            scheduler.commit(job, 10)
+        assert [j.rank for j in jobs] == [0, 1, 2]
+        assert [j.utility for j in jobs] == [1.0, 0.5, 0.25]
+
+    def test_hotspot_boost_reorders_jobs(self):
+        registry = SharedHotspotRegistry()
+        for _ in range(5):
+            registry.observe(key(1, 1, 0))
+        scheduler = PushScheduler(
+            budget_bytes=10**6,
+            max_inflight=8,
+            hotspot_registry=registry,
+            hotspot_boost=9.0,
+        )
+        scheduler.open_session("a")
+        scheduler.begin_round("a", predictions(key(1, 0, 0), key(1, 1, 0)))
+        # Rank 1 is globally hot: 0.8 * 10 = 8.0 > 1.0, so it leads.
+        assert scheduler.next_job("a").key == key(1, 1, 0)
+
+    def test_density_utility_prefers_cheap_levels(self):
+        scheduler = PushScheduler(
+            budget_bytes=10**6, max_inflight=8, utility="density"
+        )
+        scheduler.open_session("a")
+        # Teach the cost model: level 1 tiles are 10x level 2 tiles.
+        scheduler.begin_round("a", predictions(key(1, 0, 0), key(2, 0, 0)))
+        scheduler.commit(scheduler.next_job("a"), 10_000)  # level-1 cost
+        scheduler.commit(scheduler.next_job("a"), 1_000)  # level-2 cost
+        scheduler.acknowledge("a", [])
+        scheduler.begin_round("a", predictions(key(1, 1, 0), key(2, 1, 0)))
+        # Same confidence gap (1.0 vs 0.8) but 10x cost gap: the cheap
+        # level-2 tile wins under density scoring.
+        assert scheduler.next_job("a").key == key(2, 1, 0)
+
+    def test_stats_snapshot(self):
+        scheduler = PushScheduler(budget_bytes=1024, max_inflight=1)
+        scheduler.open_session("a")
+        stats = scheduler.stats()
+        assert stats["sessions"] == 1 and stats["rounds"] == 0
+
+
+# ----------------------------------------------------------------------
+# protocol envelope
+# ----------------------------------------------------------------------
+class TestPushProtocol:
+    def test_push_tile_round_trip(self, small_dataset):
+        tile = small_dataset.pyramid.fetch_tile(key(1, 0, 0), charge=False)
+        message = PushTile(
+            session_id="s",
+            tile=TileRef.from_key(tile.key),
+            rank=2,
+            generation=7,
+            utility=0.64,
+            payload=TilePayload.from_tile(tile),
+        )
+        decoded = protocol.decode(protocol.encode(message))
+        assert decoded == message
+        assert decoded.payload.to_tile().key == tile.key
+
+    def test_push_ack_round_trip(self):
+        message = PushAck(
+            session_id="s",
+            held=(TileRef.from_key(key(1, 0, 0)),),
+            move=Move.PAN_RIGHT.value,
+            tile=TileRef.from_key(key(1, 1, 0)),
+        )
+        assert protocol.decode(protocol.encode(message)) == message
+        assert message.to_move() is Move.PAN_RIGHT
+
+    def test_hello_welcome_negotiate_push(self):
+        hello = protocol.decode(
+            protocol.encode(Hello(versions=(1,), push=True))
+        )
+        assert hello.push is True
+        # Legacy peers omit the field entirely; it defaults off.
+        legacy = protocol.decode('{"type": "hello", "versions": [1]}')
+        assert legacy.push is False
+        welcome = protocol.decode(
+            protocol.encode(Welcome(version=1, server="s", push=True))
+        )
+        assert welcome.push is True
+
+
+# ----------------------------------------------------------------------
+# end-to-end over real sockets
+# ----------------------------------------------------------------------
+def push_walk(start: TileKey, moves: list[Move]) -> list:
+    walk = [(None, start)]
+    current = start
+    for move in moves:
+        current = current.apply(move)
+        walk.append((move, current))
+    return walk
+
+
+PAN_WALK = push_walk(
+    TileKey(3, 0, 1), [Move.PAN_RIGHT] * 4 + [Move.PAN_DOWN] * 2
+)
+
+
+@pytest.fixture
+def push_server(small_dataset):
+    with ThreadedSocketServer(
+        small_dataset.pyramid,
+        PUSH_CONFIG,
+        engine_factory=engine_factory(small_dataset.pyramid),
+    ) as server:
+        yield server
+
+
+class TestPushEndToEnd:
+    def test_negotiation_grants_push_only_when_both_sides_ask(
+        self, push_server, small_dataset
+    ):
+        pyramid = small_dataset.pyramid
+        with SocketTransport(
+            *push_server.address, pyramid=pyramid, push=True
+        ) as transport:
+            assert transport.push_enabled
+        with SocketTransport(*push_server.address, pyramid=pyramid) as legacy:
+            assert not legacy.push_enabled
+            assert legacy.connect().push_cache is None
+
+    def test_push_off_server_declines_a_push_client(self, small_dataset):
+        with ThreadedSocketServer(
+            small_dataset.pyramid,
+            ServiceConfig(prefetch=PrefetchPolicy(k=4, push="off")),
+            engine_factory=engine_factory(small_dataset.pyramid),
+        ) as server:
+            with SocketTransport(
+                *server.address, pyramid=small_dataset.pyramid, push=True
+            ) as transport:
+                assert not transport.push_enabled
+                conn = transport.connect()
+                assert conn.push_cache is None
+                assert conn.handle_request(None, TileKey(0, 0, 0)).tile.key == (
+                    TileKey(0, 0, 0)
+                )
+
+    def test_pushed_tiles_answer_locally(self, push_server, small_dataset):
+        with SocketTransport(
+            *push_server.address, pyramid=small_dataset.pyramid, push=True
+        ) as transport:
+            conn = transport.connect()
+            for move, k in PAN_WALK:
+                response = conn.handle_request(move, k)
+                assert response.tile.key == k
+            cache = conn.push_cache
+            assert cache.hits > 0  # pans were answered from the cache
+            # Local hits report zero latency and count as hits
+            # server-side too.
+            info = conn.transport.roundtrip(
+                protocol.OpenSession(session_id=None)
+            )
+            scheduler = push_server.server.push_scheduler
+            assert scheduler.pushed_tiles > 0
+            assert info is not None
+
+    def test_held_tile_is_never_streamed_twice(
+        self, push_server, small_dataset
+    ):
+        with SocketTransport(
+            *push_server.address,
+            pyramid=small_dataset.pyramid,
+            push=True,
+            push_cache_capacity=64,
+        ) as transport:
+            conn = transport.connect()
+            for move, k in PAN_WALK:
+                conn.handle_request(move, k)
+            cache = conn.push_cache
+            # With no client-side eviction, every put must be a distinct
+            # key: a re-push of a held tile would raise pushed above the
+            # number of tiles actually held.
+            assert cache.evicted == 0
+            assert cache.pushed == len(cache)
+            assert push_server.server.push_scheduler.deduped_jobs > 0
+
+    def test_new_request_cancels_stale_queued_pushes(self, small_dataset):
+        # A tiny in-flight cap leaves jobs queued after every round; the
+        # next request must cancel them (generation bump), not stream
+        # a stale round.
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=4, push="on", push_max_inflight=1),
+            cache=CacheConfig(recent_capacity=4, prefetch_capacity=8),
+        )
+        with ThreadedSocketServer(
+            small_dataset.pyramid,
+            config,
+            engine_factory=engine_factory(small_dataset.pyramid),
+        ) as server:
+            with SocketTransport(
+                *server.address, pyramid=small_dataset.pyramid, push=True
+            ) as transport:
+                conn = transport.connect()
+                for move, k in PAN_WALK:
+                    conn.handle_request(move, k)
+                scheduler = server.server.push_scheduler
+                assert scheduler.cancelled_jobs > 0
+                assert scheduler.inflight_tiles(conn.session_id) <= 1
+
+    def test_mid_push_disconnect_leaves_service_healthy(
+        self, push_server, small_dataset
+    ):
+        pyramid = small_dataset.pyramid
+        transport = SocketTransport(
+            *push_server.address, pyramid=pyramid, push=True
+        )
+        conn = transport.connect()
+        conn.handle_request(None, TileKey(3, 0, 1))
+        # Vanish abruptly: no close_session, no goodbye — the server's
+        # connection cleanup must reap the session and its push state.
+        transport.close()
+        scheduler = push_server.server.push_scheduler
+
+        deadline = 50
+        while scheduler.session_count and deadline:
+            deadline -= 1
+            time.sleep(0.1)
+        assert scheduler.session_count == 0
+        # And a fresh client is served as if nothing happened.
+        with SocketTransport(
+            *push_server.address, pyramid=pyramid, push=True
+        ) as fresh:
+            replacement = fresh.connect()
+            for move, k in PAN_WALK:
+                assert replacement.handle_request(move, k).tile.key == k
+            replacement.close()
+
+    def test_push_ack_without_negotiation_is_rejected(
+        self, push_server, small_dataset
+    ):
+        with SocketTransport(
+            *push_server.address, pyramid=small_dataset.pyramid
+        ) as legacy:
+            conn = legacy.connect()
+            reply = legacy.roundtrip(
+                PushAck(session_id=conn.session_id, held=())
+            )
+            assert isinstance(reply, protocol.ErrorInfo)
+            with pytest.raises(InvalidRequestError):
+                raise reply.to_exception()
+
+    def test_async_client_mirrors_the_sync_push_path(
+        self, push_server, small_dataset
+    ):
+        pyramid = small_dataset.pyramid
+
+        async def drive():
+            async with await AsyncSocketTransport.open(
+                *push_server.address, pyramid=pyramid, push=True
+            ) as transport:
+                assert transport.push_enabled
+                conn = await transport.connect()
+                for move, k in PAN_WALK:
+                    response = await conn.request(move, k)
+                    assert response.tile.key == k
+                hits = conn.push_cache.hits
+                await conn.close()
+                return hits
+
+        assert asyncio.run(drive()) > 0
+
+    def test_push_requires_payload_serving(self, small_dataset):
+        with pytest.raises(ValueError, match="metadata-only"):
+            ThreadedSocketServer(
+                small_dataset.pyramid,
+                PUSH_CONFIG,
+                engine_factory=engine_factory(small_dataset.pyramid),
+                include_payload=False,
+            ).start()
+
+
+# ----------------------------------------------------------------------
+# wall-clock hotspot decay ticker (fake clock)
+# ----------------------------------------------------------------------
+class TestHotspotDecayTicker:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            HotspotDecayTicker(SharedHotspotRegistry(), 0.0)
+
+    def test_fake_clock_ticks_advance_the_registry(self):
+        async def drive() -> tuple[int, int]:
+            registry = SharedHotspotRegistry(decay=0.5)
+            registry.observe(TileKey(0, 0, 0))
+            gate = asyncio.Semaphore(0)
+            intervals = []
+
+            async def fake_sleep(seconds: float) -> None:
+                intervals.append(seconds)
+                await gate.acquire()
+
+            ticker = HotspotDecayTicker(registry, 2.5, sleep=fake_sleep)
+            ticker.start()
+            assert ticker.running
+            for _ in range(3):
+                gate.release()
+            while ticker.ticks < 3:
+                await asyncio.sleep(0)
+            await ticker.stop()
+            assert not ticker.running
+            assert set(intervals) == {2.5}
+            return ticker.ticks, registry.tick
+
+        ticks, registry_tick = asyncio.run(drive())
+        assert ticks == 3
+        assert registry_tick == 3  # each tick advanced virtual time once
+
+    def test_stop_is_idempotent_and_restart_is_refused(self):
+        async def drive() -> None:
+            ticker = HotspotDecayTicker(SharedHotspotRegistry(), 1.0)
+            ticker.start()
+            with pytest.raises(RuntimeError):
+                ticker.start()
+            await ticker.stop()
+            await ticker.stop()
+
+        asyncio.run(drive())
+
+    def test_server_starts_and_stops_the_ticker(self, small_dataset):
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(
+                k=4,
+                shared_hotspots="observe",
+                hotspot_tick_seconds=3600.0,  # never actually fires
+            )
+        )
+        with ThreadedSocketServer(
+            small_dataset.pyramid,
+            config,
+            engine_factory=engine_factory(small_dataset.pyramid),
+        ) as server:
+            assert server.server.hotspot_ticker is not None
+            assert server.server.hotspot_ticker.running
+        assert not server.server.hotspot_ticker.running
+
+    def test_no_ticker_without_registry_or_interval(self, small_dataset):
+        with ThreadedSocketServer(
+            small_dataset.pyramid,
+            ServiceConfig(prefetch=PrefetchPolicy(k=4)),
+            engine_factory=engine_factory(small_dataset.pyramid),
+        ) as server:
+            assert server.server.hotspot_ticker is None
+
+
+# ----------------------------------------------------------------------
+# cold-start blending (hotspot warmup)
+# ----------------------------------------------------------------------
+class TestHotspotWarmupBlend:
+    TRAINED = (key(1, 0, 0), key(1, 1, 0), key(1, 0, 1), key(1, 1, 1))
+
+    def recommender(self, registry, warmup: int) -> HotspotRecommender:
+        model = HotspotRecommender(
+            num_hotspots=4, registry=registry, hotspot_warmup=warmup
+        )
+        model.hotspots = self.TRAINED
+        return model
+
+    def observe(self, registry, k: TileKey, times: int) -> None:
+        for _ in range(times):
+            registry.observe(k)
+
+    def test_blend_schedule_is_linear_in_observations(self):
+        registry = SharedHotspotRegistry()
+        model = self.recommender(registry, warmup=8)
+        live = key(2, 3, 3)
+        # 0 observations: fully trained.
+        assert model.effective_hotspots() == self.TRAINED
+        # 2/8 observed -> 4*2//8 = 1 live slot leads, trained fills.
+        self.observe(registry, live, 2)
+        assert model.effective_hotspots() == (live,) + self.TRAINED[:3]
+        # 4/8 observed -> 2 live slots; the heavier live key leads.
+        self.observe(registry, live, 1)
+        self.observe(registry, key(2, 2, 2), 1)
+        assert model.effective_hotspots() == (
+            live,
+            key(2, 2, 2),
+            self.TRAINED[0],
+            self.TRAINED[1],
+        )
+        # 8/8 observed: fully live.
+        self.observe(registry, live, 4)
+        assert model.effective_hotspots() == (live, key(2, 2, 2))
+
+    def test_warmup_zero_keeps_the_legacy_hard_switch(self):
+        registry = SharedHotspotRegistry()
+        model = self.recommender(registry, warmup=0)
+        assert model.effective_hotspots() == self.TRAINED
+        registry.observe(key(2, 3, 3))
+        assert model.effective_hotspots() == (key(2, 3, 3),)
+
+    def test_empty_registry_always_falls_back_to_trained(self):
+        model = self.recommender(SharedHotspotRegistry(), warmup=8)
+        assert model.effective_hotspots() == self.TRAINED
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            HotspotRecommender(hotspot_warmup=-1)
+
+    def test_blend_dedups_trained_keys_already_live(self):
+        registry = SharedHotspotRegistry()
+        model = self.recommender(registry, warmup=4)
+        # The live key IS a trained key: it must not appear twice.
+        self.observe(registry, self.TRAINED[0], 2)
+        blended = model.effective_hotspots()
+        assert blended[0] == self.TRAINED[0]
+        assert len(blended) == len(set(blended)) == 4
+
+
+# ----------------------------------------------------------------------
+# fuzz: interleaved push/reply frames through the decoder
+# ----------------------------------------------------------------------
+def _reply_frame(index: int) -> str:
+    return protocol.encode(
+        protocol.SessionInfo(
+            session_id=f"reply-{index}",
+            open=True,
+            prefetch_mode="sync",
+            requests=index,
+            hits=0,
+            hit_rate=0.0,
+            average_latency_seconds=0.0,
+        )
+    )
+
+
+def _push_frame(index: int) -> str:
+    return protocol.encode(
+        PushTile(
+            session_id=f"push-{index}",
+            tile=TileRef.from_key(TileKey(1, index % 2, 0)),
+            rank=index,
+            generation=1,
+            utility=0.8**index,
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    kinds=st.lists(st.booleans(), min_size=1, max_size=12),
+    framing=st.sampled_from(["lines", "length"]),
+    chunk=st.integers(min_value=1, max_value=64),
+)
+def test_interleaved_push_and_reply_frames_decode_in_order(
+    kinds, framing, chunk
+):
+    """However pushes interleave with replies — and however the bytes
+    fragment — the decoder yields every frame once, in order, and the
+    client-side absorption rule (skip pushes, return the first
+    non-push) always pairs the right reply."""
+    texts = [
+        _push_frame(i) if is_push else _reply_frame(i)
+        for i, is_push in enumerate(kinds)
+    ]
+    stream = b"".join(encode_frame(text, framing) for text in texts)
+    decoder = FrameDecoder(framing)
+    received: list[str] = []
+    for start in range(0, len(stream), chunk):
+        received.extend(decoder.feed(stream[start : start + chunk]))
+    assert received == texts
+    assert decoder.buffered == 0
+    # The absorption rule: pushes are consumed, the first reply wins.
+    pushes, reply = [], None
+    for text in received:
+        message = protocol.decode(text)
+        if isinstance(message, PushTile):
+            pushes.append(message)
+            continue
+        reply = message
+        break
+    expected_pushes = 0
+    for is_push in kinds:
+        if not is_push:
+            break
+        expected_pushes += 1
+    assert len(pushes) == expected_pushes
+    if expected_pushes < len(kinds):
+        assert reply is not None
+        assert reply.session_id == f"reply-{expected_pushes}"
+    else:
+        assert reply is None

@@ -240,3 +240,53 @@ class TestErrorContract:
             second = transport.connect()
             assert not first.handle_request(None, TileKey(2, 1, 1)).hit
             assert second.handle_request(None, TileKey(2, 1, 1)).hit
+
+
+# ----------------------------------------------------------------------
+# push stays invisible unless both sides opt in
+# ----------------------------------------------------------------------
+class TestPushOffConformance:
+    """``push="off"`` (and denied negotiation) must be bit-identical to
+    the pre-push stack: same signatures, same client-side latency
+    statistics, no push state anywhere."""
+
+    def test_explicit_push_off_config_matches_facade(
+        self, small_dataset, replay_trace, baseline
+    ):
+        config = ServiceConfig(prefetch=PrefetchPolicy(k=5, push="off"))
+        pyramid = small_dataset.pyramid
+        with ThreadedSocketServer(
+            pyramid, config, engine_factory=engine_factory(pyramid)
+        ) as server:
+            assert server.server.push_scheduler is None
+            with SocketTransport(*server.address, pyramid=pyramid) as transport:
+                conn = transport.connect()
+                responses = BrowsingSession(conn).replay(replay_trace)
+                conn.close()
+        assert signature(responses) == signature(baseline)
+        assert client_recorder(responses).to_dict() == (
+            client_recorder(baseline).to_dict()
+        )
+
+    def test_denied_negotiation_replays_identically(
+        self, small_dataset, replay_trace, baseline
+    ):
+        # A push-requesting client against a push-off server falls back
+        # to the plain pull protocol: capability denied, no push cache,
+        # replay bit-identical to the facade.
+        pyramid = small_dataset.pyramid
+        with ThreadedSocketServer(
+            pyramid, CONFIG, engine_factory=engine_factory(pyramid)
+        ) as server:
+            with SocketTransport(
+                *server.address, pyramid=pyramid, push=True
+            ) as transport:
+                assert not transport.push_enabled
+                conn = transport.connect()
+                assert conn.push_cache is None
+                responses = BrowsingSession(conn).replay(replay_trace)
+                conn.close()
+        assert signature(responses) == signature(baseline)
+        assert client_recorder(responses).to_dict() == (
+            client_recorder(baseline).to_dict()
+        )
