@@ -179,3 +179,183 @@ def test_loopback_socket_throughput(world, benchmark):
                 iterations=1,
             )
             conn.close()
+
+
+# ----------------------------------------------------------------------
+# negotiated binary payloads vs. the JSON wire
+# ----------------------------------------------------------------------
+def run_payload_walk(
+    world: MODISDataset,
+    payload: str,
+    clients: int = NUM_USERS,
+    steps: int = STEPS_PER_USER,
+):
+    """Replay seeded walks over loopback with one payload encoding.
+
+    Returns ``(waits, requests, wall_seconds, bytes_received)`` where
+    ``bytes_received`` is every server->client byte that crossed the
+    socket, summed over all clients (the transports' always-on wire
+    counters).
+    """
+    from repro.middleware.client import BrowsingSession
+
+    pyramid = world.pyramid
+    all_waits: list[list[float]] = [[] for _ in range(clients)]
+    received = [0] * clients
+    errors: list[BaseException] = []
+
+    with ThreadedSocketServer(
+        pyramid,
+        CONFIG,
+        engine_factory=lambda: make_engine(pyramid.grid),
+        framing="length",
+    ) as server:
+
+        def body(index: int) -> None:
+            try:
+                with SocketTransport(
+                    *server.address,
+                    pyramid=pyramid,
+                    framing="length",
+                    payload=payload,
+                ) as transport:
+                    assert transport.payload == payload
+                    conn = transport.connect()
+                    all_waits[index] = random_walk(
+                        BrowsingSession(conn), steps, seed=1000 + index
+                    )
+                    conn.close()
+                    received[index] = transport.bytes_received
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=body, args=(i,)) for i in range(clients)
+        ]
+        begin = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - begin
+    assert errors == []
+    waits = [w for per_user in all_waits for w in per_user]
+    return waits, len(waits), wall, sum(received)
+
+
+def test_binary_payload_beats_json(world, benchmark):
+    """Equal workload, both encodings: binary must strictly win on both
+    bytes-per-tile and median latency (it ships raw array bytes instead
+    of ~70 KB of JSON float lists per tile)."""
+    results = {}
+    for payload in ("json", "binary"):
+        waits, count, wall, received = run_payload_walk(world, payload)
+        results[payload] = {
+            "requests": count,
+            "p50_ms": percentile(waits, 0.50) * 1000.0,
+            "p95_ms": percentile(waits, 0.95) * 1000.0,
+            "rps": count / wall if wall else float("inf"),
+            "bytes_per_tile": received / count,
+        }
+
+    print("\npayload   requests   p50(ms)   p95(ms)     req/s   bytes/tile")
+    for payload, row in results.items():
+        print(
+            f"{payload:<9} {row['requests']:>7} {row['p50_ms']:>9.3f} "
+            f"{row['p95_ms']:>9.3f} {row['rps']:>9.0f} "
+            f"{row['bytes_per_tile']:>12.0f}"
+        )
+
+    # Identical seeded walks serve identical request counts.
+    assert results["json"]["requests"] == results["binary"]["requests"]
+    # The headline claims, both strict: fewer wire bytes per tile AND a
+    # better median round trip at the same workload.
+    assert (
+        results["binary"]["bytes_per_tile"]
+        < results["json"]["bytes_per_tile"]
+    ), results
+    assert results["binary"]["p50_ms"] < results["json"]["p50_ms"], results
+
+    # One representative binary round trip for the benchmark table.
+    pyramid = world.pyramid
+    with ThreadedSocketServer(
+        pyramid, CONFIG, engine_factory=lambda: make_engine(pyramid.grid)
+    ) as server:
+        with SocketTransport(
+            *server.address, pyramid=pyramid, payload="binary"
+        ) as transport:
+            conn = transport.connect()
+            root = pyramid.grid.root
+            benchmark.pedantic(
+                lambda: conn.handle_request(None, root),
+                rounds=30,
+                iterations=1,
+            )
+            conn.close()
+
+
+def test_binary_frame_bytes_reduced_5x_on_256px_block():
+    """The acceptance bar from the wire redesign: on the 256px days=1
+    attribute block (four float64 32x32 attributes) the binary frame
+    must be at least 5x smaller than its JSON form."""
+    from repro.middleware import protocol
+
+    dataset = MODISDataset.build(size=256, tile_size=32, days=1, seed=7)
+    pyramid = dataset.pyramid
+    tile, _ = pyramid.fetch_tile_timed(pyramid.grid.root)
+    json_response = protocol.TileResponse(
+        session_id="bench",
+        tile=protocol.TileRef.from_key(tile.key),
+        latency_seconds=0.0,
+        hit=True,
+        payload=protocol.TilePayload.from_tile(tile),
+    )
+    binary_response = protocol.TileResponse(
+        session_id="bench",
+        tile=protocol.TileRef.from_key(tile.key),
+        latency_seconds=0.0,
+        hit=True,
+        payload=protocol.TilePayload.from_tile(tile, binary=True),
+    )
+    json_frame = protocol.encode_wire(json_response, "length")
+    binary_frame = protocol.encode_wire(binary_response, "binary")
+    ratio = len(json_frame) / len(binary_frame)
+    print(
+        f"\n256px block frame bytes: json={len(json_frame)} "
+        f"binary={len(binary_frame)} ({ratio:.2f}x)"
+    )
+    assert ratio >= 5.0, (len(json_frame), len(binary_frame))
+
+
+SCALING_CLIENTS = (1, 8, 64)
+
+
+def test_concurrent_connection_scaling(world):
+    """The scaling curve: 1 -> 8 -> 64 concurrent binary connections on
+    one server, fixed total request volume, must all complete with every
+    request served (the native-async hit path keeps the loop free)."""
+    rows = {}
+    for clients in SCALING_CLIENTS:
+        steps = max(2, 128 // clients)
+        waits, count, wall, received = run_payload_walk(
+            world, "binary", clients=clients, steps=steps
+        )
+        rows[clients] = {
+            "requests": count,
+            "p50_ms": percentile(waits, 0.50) * 1000.0,
+            "p95_ms": percentile(waits, 0.95) * 1000.0,
+            "rps": count / wall if wall else float("inf"),
+        }
+        # Every client finished its whole walk: start + one per step.
+        assert count == clients * (steps + 1), rows
+
+    print("\nclients   requests   p50(ms)   p95(ms)     req/s")
+    for clients, row in rows.items():
+        print(
+            f"{clients:>7} {row['requests']:>10} {row['p50_ms']:>9.3f} "
+            f"{row['p95_ms']:>9.3f} {row['rps']:>9.0f}"
+        )
+    # Concurrency must scale throughput, not collapse it: 64 clients
+    # must clear more requests per second than a single connection
+    # (loose on purpose — CI jitter — but a serialized loop would fail).
+    assert rows[64]["rps"] > rows[1]["rps"], rows

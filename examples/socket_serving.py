@@ -3,7 +3,7 @@
 Run with::
 
     python examples/socket_serving.py [--framing lines|length] [--port 0]
-                                      [--push]
+                                      [--push] [--payload json|binary|mixed]
 
 Starts the ForeCache socket server on a loopback port (ephemeral by
 default), connects both clients — the blocking ``SocketTransport`` and
@@ -13,6 +13,11 @@ a real socket: framed JSON requests in, framed JSON tile payloads out.
 With ``--push`` both sides negotiate continuous push prefetch: the
 server streams predicted tiles into each client's push cache and
 requests those tiles answer locally, without touching the wire.
+``--payload binary`` has both clients negotiate the dense binary tile
+encoding (raw array bytes instead of JSON float lists — several times
+fewer bytes per tile); ``--payload mixed`` keeps the sync client on
+JSON and the async client on binary, on the *same* server — the
+encoding is a per-connection capability.
 """
 
 import argparse
@@ -53,7 +58,16 @@ def main() -> None:
         action="store_true",
         help="negotiate continuous push prefetch on both clients",
     )
+    parser.add_argument(
+        "--payload",
+        choices=("json", "binary", "mixed"),
+        default="json",
+        help="tile payload encoding: json, binary, or mixed "
+        "(sync client json, async client binary)",
+    )
     args = parser.parse_args()
+    sync_payload = "binary" if args.payload == "binary" else "json"
+    async_payload = "binary" if args.payload in ("binary", "mixed") else "json"
 
     print(f"building a {args.size}px world...")
     dataset = MODISDataset.build(size=args.size, tile_size=32, days=1, seed=7)
@@ -80,11 +94,17 @@ def main() -> None:
 
         # --- blocking client ------------------------------------------
         with SocketTransport(
-            host, port, pyramid=pyramid, framing=args.framing, push=args.push
+            host,
+            port,
+            pyramid=pyramid,
+            framing=args.framing,
+            push=args.push,
+            payload=sync_payload,
         ) as transport:
             print(
                 f"sync client: negotiated v{transport.server_version} "
-                f"with {transport.server_name!r}"
+                f"with {transport.server_name!r}, "
+                f"{transport.payload} payloads"
                 + (" (push enabled)" if transport.push_enabled else "")
             )
             conn = transport.connect(session_id="sync-browser")
@@ -113,11 +133,19 @@ def main() -> None:
                     f"{len(conn.push_cache)} tiles held"
                 )
             conn.close()
+            print(
+                f"  wire: {transport.bytes_received} bytes received "
+                f"({transport.payload} payloads)"
+            )
 
         # --- asyncio client -------------------------------------------
-        async def browse_async() -> int:
+        async def browse_async() -> tuple[int, int, str]:
             async with await AsyncSocketTransport.open(
-                host, port, pyramid=pyramid, framing=args.framing
+                host,
+                port,
+                pyramid=pyramid,
+                framing=args.framing,
+                payload=async_payload,
             ) as transport:
                 conn = await transport.connect(session_id="async-browser")
                 session = AsyncBrowsingSession(conn)
@@ -129,11 +157,14 @@ def main() -> None:
                     response = await session.move(move)
                     hits += response.hit
                 await conn.close()
-                return hits
+                return hits, transport.bytes_received, transport.payload
 
-        hits = asyncio.run(browse_async())
+        hits, wire_bytes, negotiated = asyncio.run(browse_async())
         print(f"\nasync client replayed the walk too ({hits} cache hits "
               "— the sync client warmed the shared cache)")
+        print(
+            f"  wire: {wire_bytes} bytes received ({negotiated} payloads)"
+        )
     print("server drained and stopped cleanly")
 
 

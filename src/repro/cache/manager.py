@@ -21,6 +21,7 @@ one stripe.  Stats counters live under their own small lock.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from concurrent.futures import Future
@@ -125,6 +126,26 @@ class CacheManager:
             backend_seconds=backend_seconds,
             coalesced=not owner,
         )
+
+    def try_fetch(self, key: TileKey) -> FetchOutcome | None:
+        """Serve one request *only if it is a hit*; None on a miss.
+
+        The non-blocking face of :meth:`fetch`: a hit is counted and
+        recorded exactly as :meth:`fetch` would (requests+1, hits+1,
+        recent-LRU promotion), so ``try_fetch(key) or fetch(key)``
+        double-counts — a miss probe touches **no** counters and leaves
+        the full accounting to the :meth:`fetch` that follows.  This is
+        what lets an event loop answer cache hits inline without ever
+        blocking on the backend.
+        """
+        cached = self.cache.lookup(key)
+        if cached is None:
+            return None
+        with self._stats_lock:
+            self.requests += 1
+            self.hits += 1
+        self.cache.record_request(cached)
+        return FetchOutcome(tile=cached, hit=True, backend_seconds=0.0)
 
     # ------------------------------------------------------------------
     # prefetch path
@@ -264,3 +285,46 @@ class CacheManager:
             self.hits = 0
             self.coalesced = 0
             self.prefetch_queries = 0
+
+
+class AsyncCacheManager:
+    """The event-loop face of a :class:`CacheManager`.
+
+    Hits are served inline on the loop — :meth:`try_fetch` is a plain
+    synchronous probe (the cache's striped locks are only ever held for
+    dictionary operations, never across a backend query, so taking them
+    on the loop cannot stall it).  Only genuine backend work hops to the
+    executor.  Both faces share one manager, one cache, and one set of
+    counters, so sync and async front ends compose on the same tiles.
+    """
+
+    def __init__(self, manager: CacheManager, executor=None) -> None:
+        self.manager = manager
+        self._executor = executor
+
+    def _run(self, fn, *args):
+        return asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    def try_fetch(self, key: TileKey) -> FetchOutcome | None:
+        """Inline hit probe — no thread hop, None on a miss."""
+        return self.manager.try_fetch(key)
+
+    async def fetch(self, key: TileKey) -> FetchOutcome:
+        """Serve one request: hits inline, misses via the executor."""
+        outcome = self.manager.try_fetch(key)
+        if outcome is not None:
+            return outcome
+        return await self._run(self.manager.fetch, key)
+
+    async def prefetch(self, predictions) -> int:
+        """Run one synchronous prefetch cycle off-loop."""
+        return await self._run(self.manager.prefetch, predictions)
+
+    async def prefetch_one(self, key: TileKey, model: str) -> DataTile:
+        """Pull one predicted tile; resident tiles return inline."""
+        resident = self.manager.cache.lookup(key)
+        if resident is not None:
+            return resident
+        return await self._run(self.manager.prefetch_one, key, model)

@@ -1,23 +1,33 @@
-"""Asyncio front end over the serving facade.
+"""Asyncio front end over the serving facade — native where it counts.
 
-The cache manager and prefetch scheduler are thread-based; this module
-wraps them for event-loop callers via ``loop.run_in_executor``:
+The request path is asyncio-native: a cache **hit** is probed and
+served on the event loop itself
+(:meth:`~repro.cache.manager.CacheManager.try_fetch` — the cache's
+striped locks are only held for dict operations, never across a
+backend query), so the common case pays no thread hop at all.  Only
+genuinely blocking work leaves the loop: a cache miss (the DBMS query
+plus its observe/predict round runs as one unit on the bridge pool),
+sync-mode prefetch cycles, and lifecycle joins.  The loop-side faces of
+the shared core are :class:`~repro.cache.manager.AsyncCacheManager` and
+:class:`~repro.middleware.scheduler.AsyncPrefetchScheduler`, both
+exposed as attributes:
 
     async with AsyncForeCacheService.build(pyramid, config) as service:
         session = await service.open_session(engine)
         response = await session.request(move, key)
 
-Each blocking facade call runs on a small dedicated thread pool, so an
-asyncio server (or many concurrent coroutines) never blocks its loop on
-a DBMS query.  Per-session ordering still holds: the facade serializes a
-session's requests on its session lock, and background prefetch work
-keeps flowing on the scheduler's own pool.
+The threaded :class:`~repro.middleware.service.ForeCacheService` stays
+the sync front end over the very same core — same cache, same
+scheduler, same numerics — so sync and async callers compose and every
+replay front end stays bit-identical.
 
 Cancellation follows asyncio rules: cancelling a task blocked on
 ``await session.request(...)`` raises ``CancelledError`` in the task
-immediately; the underlying cache/DBMS work runs to completion on its
-worker thread (populating the cache for later requests), and the
-session remains usable.
+immediately; underlying cache/DBMS work already started runs to
+completion on its worker thread (populating the cache *and* feeding
+the prediction engine for later requests), and the session remains
+usable.  Hits served inline on the loop are atomic — they cannot be
+interrupted mid-round.
 """
 
 from __future__ import annotations
@@ -27,10 +37,12 @@ import functools
 from collections.abc import Hashable
 from concurrent.futures import ThreadPoolExecutor
 
+from repro.cache.manager import AsyncCacheManager
 from repro.core.engine import PredictionEngine
 from repro.middleware.config import ServiceConfig
 from repro.middleware.latency import LatencyRecorder
 from repro.middleware.protocol import SessionClosedError, SessionInfo
+from repro.middleware.scheduler import AsyncPrefetchScheduler
 from repro.middleware.service import (
     ForeCacheService,
     PushHitResult,
@@ -69,11 +81,18 @@ class AsyncSessionHandle:
         return self._handle.pyramid
 
     async def request(self, move: Move | None, key: TileKey) -> TileResponse:
-        """Serve one tile request without blocking the event loop."""
-        return await self._service._call(self._handle.request, move, key)
+        """Serve one tile request without blocking the event loop.
+
+        Cache hits are answered inline on the loop (no thread hop);
+        only misses travel to the bridge pool for the DBMS query.
+        """
+        return await self._service._request_record(
+            self._handle._record, move, key
+        )
 
     async def info(self) -> SessionInfo:
-        return await self._service._call(self._handle.info)
+        self._service._check_open()
+        return self._handle.info()
 
     async def close(self) -> None:
         await self._service._call(self._handle.close)
@@ -95,6 +114,24 @@ class AsyncForeCacheService:
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="forecache-aio"
         )
+        #: Loop-side face of the shared cache: hits inline, misses via
+        #: the bridge pool.
+        self.async_cache = AsyncCacheManager(
+            service.cache_manager, executor=self._executor
+        )
+        #: Loop-side face of the background scheduler (None in sync
+        #: mode): schedule/cancel inline, drain/shutdown off-loop.
+        self.async_scheduler = (
+            AsyncPrefetchScheduler(service.scheduler, executor=self._executor)
+            if service.scheduler is not None
+            else None
+        )
+        # Sync-mode prefetch runs the whole cycle inside the request's
+        # post-fetch half — that half must stay off the loop.  In
+        # background mode (or with prefetch disabled) it is pure
+        # bookkeeping and runs inline.
+        policy = service.config.prefetch
+        self._post_blocking = policy.enabled and not policy.background
         # _closing gates new calls from the moment aclose begins;
         # _closed flips only once teardown fully completed (so a
         # cancelled aclose can be retried).
@@ -133,7 +170,7 @@ class AsyncForeCacheService:
     def session_count(self) -> int:
         return self.service.session_count
 
-    async def _call(self, fn, *args):
+    def _check_open(self) -> None:
         if self._closing or self._closed:
             # The bridge pool is down (or going down); surface the same
             # typed error the facade raises for its own lifecycle, so
@@ -141,10 +178,37 @@ class AsyncForeCacheService:
             # "cannot schedule new futures after shutdown" RuntimeError
             # a request racing aclose() would otherwise hit.
             raise SessionClosedError("service is closed")
+
+    async def _call(self, fn, *args):
+        self._check_open()
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._executor, functools.partial(fn, *args)
         )
+
+    async def _request_record(self, record, move, key) -> TileResponse:
+        """Serve one request for an already-resolved session record.
+
+        The native path: the hit probe runs right here on the loop.  A
+        miss delegates the *whole* request — DBMS fetch plus the
+        observe/predict round — to the bridge pool as one unit, so
+        cancellation semantics match the threaded front end exactly
+        (started work runs to completion; nothing half-observes).
+        """
+        self._check_open()
+        if record.closed:
+            raise SessionClosedError(
+                f"session {record.session_id!r} is closed",
+                session_id=str(record.session_id),
+            )
+        outcome = self.async_cache.try_fetch(key)
+        if outcome is None:
+            return await self._call(self.service._request, record, move, key)
+        if self._post_blocking:
+            return await self._call(
+                self.service._complete_request, record, move, key, outcome
+            )
+        return self.service._complete_request(record, move, key, outcome)
 
     # ------------------------------------------------------------------
     # session lifecycle
@@ -172,10 +236,14 @@ class AsyncForeCacheService:
     async def request(
         self, session_id: Hashable, move: Move | None, key: TileKey
     ) -> TileResponse:
-        return await self._call(self.service.request, session_id, move, key)
+        self._check_open()
+        return await self._request_record(
+            self.service._record(session_id), move, key
+        )
 
     async def info(self, session_id: Hashable) -> SessionInfo:
-        return await self._call(self.service.info, session_id)
+        self._check_open()
+        return self.service.info(session_id)
 
     # ------------------------------------------------------------------
     # push support (socket-server hooks)
@@ -183,18 +251,32 @@ class AsyncForeCacheService:
     async def local_hit(
         self, session_id: Hashable, move: Move | None, key: TileKey
     ) -> PushHitResult:
-        """Absorb a client-side push-cache hit off the event loop."""
-        return await self._call(self.service.local_hit, session_id, move, key)
+        """Absorb a client-side push-cache hit.
+
+        No cache fetch is involved; the observe/predict round runs
+        inline unless sync-mode prefetch makes it blocking.
+        """
+        if self._post_blocking:
+            return await self._call(
+                self.service.local_hit, session_id, move, key
+            )
+        self._check_open()
+        return self.service.local_hit(session_id, move, key)
 
     async def pending_predictions(
         self, session_id: Hashable
     ) -> list[tuple[TileKey, str]]:
         """The session's latest attributed prediction list (ranked)."""
-        return await self._call(self.service.pending_predictions, session_id)
+        self._check_open()
+        return self.service.pending_predictions(session_id)
 
     async def load_tile(self, key: TileKey, model: str = "push") -> DataTile:
-        """Materialize one tile for streaming (push path)."""
-        return await self._call(self.service.load_tile, key, model)
+        """Materialize one tile for streaming (push path).
+
+        Resident tiles return inline; only a real load leaves the loop.
+        """
+        self._check_open()
+        return await self.async_cache.prefetch_one(key, model)
 
     @property
     def hotspot_registry(self):
@@ -206,7 +288,10 @@ class AsyncForeCacheService:
     # ------------------------------------------------------------------
     async def drain(self, timeout: float | None = None) -> bool:
         """Wait for outstanding background prefetch work."""
-        return await self._call(self.service.drain, timeout)
+        self._check_open()
+        if self.async_scheduler is None:
+            return True
+        return await self.async_scheduler.wait_idle(timeout)
 
     async def aclose(self) -> None:
         """Close the facade and stop the bridge thread pool.  Idempotent.

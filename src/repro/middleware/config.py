@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.cache.manager import CacheManager
 from repro.cache.tile_cache import TileCache
 from repro.middleware.latency import HIT_SECONDS, LatencyModel
-from repro.middleware.protocol import DEFAULT_MAX_FRAME_BYTES
+from repro.middleware.protocol import DEFAULT_MAX_FRAME_BYTES, PAYLOADS
 from repro.middleware.push import PUSH_UTILITIES
 from repro.middleware.scheduler import ADMISSION_MODES
 from repro.tiles.pyramid import TilePyramid
@@ -272,6 +272,12 @@ class ServiceConfig:
     #: Socket transport: per-frame size ceiling — bounds what one peer
     #: can make the server buffer before the frame is rejected.
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    #: Socket transport: payload encodings this server will grant in
+    #: the hello/welcome handshake (:data:`~repro.middleware.protocol.
+    #: PAYLOADS`).  The default offers both; drop "binary" to force
+    #: every connection onto the JSON-compatible wire.  "json" is
+    #: mandatory — it is the fallback every client can speak.
+    payloads: tuple[str, ...] = ("json", "binary")
 
     def __post_init__(self) -> None:
         # Capacity-vs-budget fit is NOT checked here: the serving cache
@@ -289,6 +295,17 @@ class ServiceConfig:
             # Below this even a payload-less response cannot fit.
             raise ValueError(
                 f"max_frame_bytes must be >= 4096, got {self.max_frame_bytes}"
+            )
+        payloads = tuple(self.payloads)
+        if not payloads or any(p not in PAYLOADS for p in payloads):
+            raise ValueError(
+                f"payloads must be a non-empty subset of {PAYLOADS}, "
+                f"got {self.payloads!r}"
+            )
+        if "json" not in payloads:
+            raise ValueError(
+                'payloads must include "json" (the mandatory fallback), '
+                f"got {self.payloads!r}"
             )
 
     def build_latency_model(self) -> LatencyModel:

@@ -50,6 +50,7 @@ from repro.middleware.config import ServiceConfig
 from repro.middleware.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     FRAMINGS,
+    PAYLOADS,
     SUPPORTED_VERSIONS,
     CloseSession,
     ErrorInfo,
@@ -68,7 +69,8 @@ from repro.middleware.protocol import (
     TileRef,
     TileRequest,
     Welcome,
-    encode_frame,
+    encode_wire,
+    negotiate_payload,
     negotiate_version,
 )
 from repro.middleware.push import PUSH_MODEL, PushCache, PushScheduler
@@ -85,6 +87,29 @@ def _check_framing(framing: str) -> str:
     if framing not in FRAMINGS:
         raise ValueError(f"framing must be one of {FRAMINGS}, got {framing!r}")
     return framing
+
+
+def _check_payload(payload: str) -> str:
+    if payload not in PAYLOADS:
+        raise ValueError(
+            f"payload must be one of {PAYLOADS}, got {payload!r}"
+        )
+    return payload
+
+
+def _check_payloads(payloads) -> tuple[str, ...]:
+    payloads = tuple(payloads)
+    if not payloads or any(p not in PAYLOADS for p in payloads):
+        raise ValueError(
+            f"payloads must be a non-empty subset of {PAYLOADS}, "
+            f"got {payloads!r}"
+        )
+    if "json" not in payloads:
+        raise ValueError(
+            f'payloads must include "json" (the mandatory fallback), '
+            f"got {payloads!r}"
+        )
+    return payloads
 
 
 class HotspotDecayTicker:
@@ -145,12 +170,18 @@ class HotspotDecayTicker:
 class _ConnectionState:
     """Per-connection serving state (sessions, negotiation, push)."""
 
-    __slots__ = ("sessions", "negotiated", "push")
+    __slots__ = ("sessions", "negotiated", "push", "payload", "payload_pending")
 
     def __init__(self) -> None:
         self.sessions: set[str] = set()
         self.negotiated = False
         self.push = False
+        #: Payload encoding in force for frames *after* the handshake.
+        self.payload = "json"
+        #: Set while the welcome granting "binary" is still to be
+        #: written in the pre-handshake framing; the serve loop flips
+        #: ``payload`` (and the decoder) right after encoding it.
+        self.payload_pending = False
 
 
 # ----------------------------------------------------------------------
@@ -168,6 +199,7 @@ class ForeCacheSocketServer:
         framing: str = "lines",
         include_payload: bool = True,
         max_frame_bytes: int | None = None,
+        payloads: tuple[str, ...] | None = None,
         server_name: str = "forecache-repro",
         owns_service: bool = False,
     ) -> None:
@@ -176,6 +208,13 @@ class ForeCacheSocketServer:
         self.host = host if host is not None else config.bind_host
         self.port = port if port is not None else config.bind_port
         self.framing = _check_framing(framing)
+        #: Payload encodings this server will grant in the handshake
+        #: (defaults to ``ServiceConfig.payloads``).  Clients that do
+        #: not offer "binary" — or servers configured without it — stay
+        #: on the byte-identical JSON wire.
+        self.payloads = _check_payloads(
+            payloads if payloads is not None else config.payloads
+        )
         #: Ship tile payloads in responses.  False mirrors
         #: ``InProcessTransport(include_payload=False)``: a metadata-only
         #: deployment whose clients resolve tile references out of band —
@@ -351,19 +390,36 @@ class ForeCacheSocketServer:
                 except ProtocolError as exc:
                     # The byte stream itself is broken — answer with the
                     # typed error, then hang up.
-                    await self._send(writer, ErrorInfo.from_exception(exc))
+                    await self._send(writer, ErrorInfo.from_exception(exc), conn)
                     break
+                # Everything this read-batch produces — push frames and
+                # replies across every completed frame — coalesces into
+                # one buffer and leaves in a single write+drain (the
+                # writev-style batching that keeps small frames from
+                # paying a syscall each).
+                out = bytearray()
                 fatal = False
-                for text in frames:
-                    messages, fatal = await self._dispatch(text, conn)
+                for item in frames:
+                    messages, fatal = await self._dispatch(item, conn)
                     # Push frames (if any) precede the reply — the last
                     # message is always the frame's actual answer.
                     for message in messages:
-                        if not await self._send(writer, message):
-                            fatal = True
-                            break
+                        out += self._encode_out(message, conn)
+                    if conn.payload_pending:
+                        # The welcome granting "binary" was just encoded
+                        # under the pre-handshake framing; every frame
+                        # after it — both directions — speaks binary.
+                        conn.payload_pending = False
+                        conn.payload = "binary"
+                        decoder.switch_to_binary()
                     if fatal:
                         break
+                if out:
+                    try:
+                        writer.write(bytes(out))
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        break  # client vanished mid-write
                 if fatal:
                     break
         finally:
@@ -375,35 +431,49 @@ class ForeCacheSocketServer:
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    async def _send(self, writer: asyncio.StreamWriter, message) -> bool:
-        """Frame and flush one message; False when the client is gone."""
+    def _wire_framing(self, conn: _ConnectionState) -> str:
+        return "binary" if conn.payload == "binary" else self.framing
+
+    def _encode_out(self, message, conn: _ConnectionState) -> bytes:
+        """Encode one outgoing message (or pass through pre-encoded
+        bytes — push frames are encoded once, where their byte size is
+        charged against the push budget)."""
+        if isinstance(message, (bytes, bytearray)):
+            return bytes(message)
+        framing = self._wire_framing(conn)
         try:
-            frame = encode_frame(
-                protocol.encode(message), self.framing, self.max_frame_bytes
-            )
+            return encode_wire(message, framing, self.max_frame_bytes)
         except FrameTooLargeError as exc:
             # The *response* outgrew the frame budget (giant tile
             # payload); report that instead of silently dropping it.
-            frame = encode_frame(
-                protocol.encode(ErrorInfo.from_exception(exc)), self.framing
-            )
+            return encode_wire(ErrorInfo.from_exception(exc), framing)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, message, conn: _ConnectionState
+    ) -> bool:
+        """Frame and flush one message; False when the client is gone.
+
+        Kept for out-of-band sends (framing-error replies); the main
+        serve loop batches via :meth:`_encode_out` instead.
+        """
         try:
-            writer.write(frame)
+            writer.write(self._encode_out(message, conn))
             await writer.drain()
             return True
         except (ConnectionError, OSError):
             return False
 
-    async def _dispatch(self, text: str, conn: _ConnectionState):
+    async def _dispatch(self, frame, conn: _ConnectionState):
         """Serve one frame; returns ``(messages, fatal)``.
 
         ``messages`` is everything this frame produces, in wire order;
-        on push connections that is zero or more ``push_tile`` frames
-        *followed by* the frame's actual reply, so push delivery is
-        deterministic (fixed interleaving, no background writer task).
+        on push connections that is zero or more pre-encoded
+        ``push_tile`` frames *followed by* the frame's actual reply, so
+        push delivery is deterministic (fixed interleaving, no
+        background writer task).
         """
         try:
-            message = protocol.decode(text)
+            message = protocol.decode_wire(frame)
         except ProtocolError as exc:
             # One malformed message on a healthy frame stream: answer
             # and keep serving the connection.
@@ -424,11 +494,19 @@ class ForeCacheSocketServer:
             # peers (push=False hello, or none at all) get the exact
             # pre-push protocol.
             conn.push = bool(message.push and self.push_scheduler is not None)
+            # Payload encoding likewise: "binary" only when the hello
+            # offers it AND this server's payloads allow it; everyone
+            # else keeps the byte-identical JSON wire.  The flip itself
+            # happens in the serve loop, *after* this welcome is framed
+            # in the pre-handshake encoding.
+            granted = negotiate_payload(message.payloads, self.payloads)
+            conn.payload_pending = granted == "binary"
             welcome = Welcome(
                 version=version,
                 server=self.server_name,
                 max_frame_bytes=self.max_frame_bytes,
                 push=conn.push,
+                payload=granted,
             )
             return [welcome], False
         try:
@@ -491,11 +569,14 @@ class ForeCacheSocketServer:
             session_id, message.to_move(), message.tile.to_key()
         )
         response = protocol.TileResponse.from_result(
-            session_id, result, include_payload=self.include_payload
+            session_id,
+            result,
+            include_payload=self.include_payload,
+            binary=conn.payload == "binary",
         )
         messages: list = []
         if conn.push and self.push_scheduler is not None:
-            messages.extend(await self._push_messages(session_id))
+            messages.extend(await self._push_messages(session_id, conn))
         messages.append(response)
         return messages, False
 
@@ -532,17 +613,29 @@ class ForeCacheSocketServer:
             ),
             payload=None,
         )
-        messages: list = list(await self._push_messages(session_id))
+        messages: list = list(await self._push_messages(session_id, conn))
         messages.append(response)
         return messages, False
 
-    async def _push_messages(self, session_id: str) -> list[PushTile]:
+    async def _push_messages(
+        self, session_id: str, conn: _ConnectionState
+    ) -> list[bytes]:
         """Run one push round for ``session_id``: queue the session's
         latest prediction list, then stream jobs until the fair-share
-        byte budget or the in-flight cap stops the round."""
+        byte budget or the in-flight cap stops the round.
+
+        Returns the push frames *pre-encoded* in the connection's
+        negotiated encoding: each frame is encoded exactly once — here,
+        where its true wire size is charged against the push budget —
+        and the serve loop passes the bytes through.  On binary
+        connections a tile costs a fraction of its JSON size, so the
+        same byte budget streams proportionally more tiles per round.
+        """
         scheduler = self.push_scheduler
         assert scheduler is not None
-        messages: list[PushTile] = []
+        framing = self._wire_framing(conn)
+        binary = conn.payload == "binary"
+        messages: list[bytes] = []
         try:
             pending = await self.service.pending_predictions(session_id)
         except Exception:
@@ -561,12 +654,10 @@ class ForeCacheSocketServer:
                 rank=job.rank,
                 generation=generation,
                 utility=job.utility,
-                payload=TilePayload.from_tile(tile),
+                payload=TilePayload.from_tile(tile, binary=binary),
             )
             try:
-                frame = encode_frame(
-                    protocol.encode(push), self.framing, self.max_frame_bytes
-                )
+                frame = encode_wire(push, framing, self.max_frame_bytes)
             except FrameTooLargeError:
                 # This tile can never fit a frame; skip it without
                 # charging the round's budget.
@@ -574,7 +665,7 @@ class ForeCacheSocketServer:
                 continue
             if not scheduler.commit(job, len(frame)):
                 break  # round budget spent
-            messages.append(push)
+            messages.append(frame)
         return messages
 
     async def _close_sessions(self, sessions: set[str]) -> None:
@@ -615,12 +706,16 @@ class ThreadedSocketServer:
         max_workers: int = 8,
         host: str | None = None,
         port: int | None = None,
+        payloads: tuple[str, ...] | None = None,
     ) -> None:
         self._pyramid = pyramid
         self._config = config
         self._engine_factory = engine_factory
         self._framing = _check_framing(framing)
         self._include_payload = include_payload
+        self._payloads = (
+            _check_payloads(payloads) if payloads is not None else None
+        )
         self._max_workers = max_workers
         self._host = host
         self._port = port
@@ -662,6 +757,7 @@ class ThreadedSocketServer:
                 include_payload=self._include_payload,
                 host=self._host,
                 port=self._port,
+                payloads=self._payloads,
             )
             await server.start()
         except BaseException as exc:  # surface bind errors to start()
@@ -728,16 +824,21 @@ class SocketTransport(Transport):
         client_name: str = "forecache-python",
         push: bool = False,
         push_cache_capacity: int = 32,
+        payload: str = "json",
+        wire_tap: bool = False,
     ) -> None:
         self.pyramid = pyramid
         self._framing = _check_framing(framing)
+        #: Framing actually on the wire right now — starts as the JSON
+        #: framing, flips to "binary" if the handshake grants it.
+        self._wire = self._framing
         # Outgoing limit; clamped to the server's advertised budget after
         # the handshake, so an over-limit request fails locally (and
         # recoverably) instead of tripping the server's decoder — which
         # hangs up and would take every session on this connection down.
         self._send_limit = max_frame_bytes
         self._decoder = FrameDecoder(framing, max_frame_bytes)
-        self._pending: deque[str] = deque()
+        self._pending: deque[str | bytes] = deque()
         self._lock = threading.RLock()
         # _closed is guarded by its own lock so close() can run while a
         # roundtrip holds self._lock blocked in recv.
@@ -748,6 +849,21 @@ class SocketTransport(Transport):
         self._push_caches: dict[str, PushCache] = {}
         #: True once both sides agreed on push (requested AND granted).
         self.push_enabled = False
+        #: Payload encoding in force ("json" until the handshake grants
+        #: more).
+        self.payload = "json"
+        #: Wire byte counters, always on (cheap integer adds) — the
+        #: benchmark's bytes-per-tile numbers come straight from here.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: With ``wire_tap=True`` every byte sent/received is also
+        #: appended to these buffers (conformance tests assert whole
+        #: streams byte-identical across negotiation outcomes).
+        self.wire_sent: bytearray | None = bytearray() if wire_tap else None
+        self.wire_received: bytearray | None = (
+            bytearray() if wire_tap else None
+        )
+        requested = _check_payload(payload)
         self._sock = socket.create_connection((host, port), timeout=timeout)
         try:
             welcome = self.roundtrip(
@@ -755,6 +871,11 @@ class SocketTransport(Transport):
                     versions=SUPPORTED_VERSIONS,
                     client=client_name,
                     push=push,
+                    payloads=(
+                        ("json", "binary")
+                        if requested == "binary"
+                        else ("json",)
+                    ),
                 )
             )
             if isinstance(welcome, ErrorInfo):
@@ -762,6 +883,16 @@ class SocketTransport(Transport):
             if not isinstance(welcome, Welcome):
                 raise ProtocolError(
                     f"expected welcome, got {type(welcome).__name__}"
+                )
+            if welcome.payload == "binary" and requested != "binary":
+                raise ProtocolError(
+                    "server granted the binary payload encoding this "
+                    "client never offered"
+                )
+            if welcome.payload not in PAYLOADS:
+                raise ProtocolError(
+                    f"server granted unknown payload encoding "
+                    f"{welcome.payload!r}"
                 )
         except BaseException:
             self.close()
@@ -771,6 +902,14 @@ class SocketTransport(Transport):
         self.server_name = welcome.server
         self.server_max_frame_bytes = welcome.max_frame_bytes
         self.push_enabled = bool(push and welcome.push)
+        self.payload = welcome.payload
+        if self.payload == "binary":
+            # The welcome itself arrived in the JSON framing; everything
+            # after it — both directions — speaks binary framing.  The
+            # strict request/reply pairing guarantees nothing else is
+            # buffered at this point.
+            self._wire = "binary"
+            self._decoder.switch_to_binary()
         if welcome.max_frame_bytes > 0:
             self._send_limit = min(self._send_limit, welcome.max_frame_bytes)
             # Receiving is sized to the server's budget too: the server
@@ -805,27 +944,25 @@ class SocketTransport(Transport):
                 raise SessionClosedError("socket transport is closed")
             # An over-limit request raises here, before any bytes move —
             # a local, recoverable failure that leaves the stream synced.
-            frame = encode_frame(
-                protocol.encode(message), self._framing, self._send_limit
-            )
+            frame = encode_wire(message, self._wire, self._send_limit)
             if not self.push_enabled:
                 try:
-                    self._sock.sendall(frame)
-                    text = self._recv_frame()
+                    self._sendall(frame)
+                    raw = self._recv_frame()
                 except BaseException:
                     self.close()  # RLock: safe while held
                     raise
                 # The frame was fully consumed, so the stream stays in
                 # sync even if its content fails to decode.
-                return protocol.decode(text)
+                return protocol.decode_wire(raw)
             try:
-                self._sock.sendall(frame)
+                self._sendall(frame)
                 while True:
                     # Unlike the pull-only path, decode failures are
                     # fatal here: an undecodable frame might have been a
                     # push, so "which frame answers the request" is no
                     # longer knowable.
-                    reply = protocol.decode(self._recv_frame())
+                    reply = protocol.decode_wire(self._recv_frame())
                     if isinstance(reply, PushTile):
                         self._absorb_push(reply)
                         continue
@@ -834,17 +971,26 @@ class SocketTransport(Transport):
                 self.close()  # RLock: safe while held
                 raise
 
+    def _sendall(self, frame: bytes) -> None:
+        self._sock.sendall(frame)
+        self.bytes_sent += len(frame)
+        if self.wire_sent is not None:
+            self.wire_sent += frame
+
     def _absorb_push(self, message: PushTile) -> None:
         """File one unsolicited pushed tile into its session's cache."""
         cache = self._push_caches.get(message.session_id)
         if cache is not None and message.payload is not None:
             cache.put(message.payload.to_tile())
 
-    def _recv_frame(self) -> str:
+    def _recv_frame(self) -> str | bytes:
         while not self._pending:
             data = self._sock.recv(_READ_CHUNK)
             if not data:
                 raise ProtocolError("server closed the connection")
+            self.bytes_received += len(data)
+            if self.wire_received is not None:
+                self.wire_received += data
             self._pending.extend(self._decoder.feed(data))
         return self._pending.popleft()
 
@@ -1015,11 +1161,13 @@ class AsyncSocketTransport:
         self._reader = reader
         self._writer = writer
         self._framing = framing
+        #: Framing actually on the wire (flips to "binary" post-handshake).
+        self._wire = framing
         # Outgoing limit; clamped to the server's advertised budget after
         # the handshake (see SocketTransport for the rationale).
         self._send_limit = max_frame_bytes
         self._decoder = FrameDecoder(framing, max_frame_bytes)
-        self._pending: deque[str] = deque()
+        self._pending: deque[str | bytes] = deque()
         self._lock = asyncio.Lock()
         self._closed = False
         self.server_version: int | None = None
@@ -1030,6 +1178,14 @@ class AsyncSocketTransport:
         self._push_caches: dict[str, PushCache] = {}
         #: True once both sides agreed on push (requested AND granted).
         self.push_enabled = False
+        #: Payload encoding in force ("json" until the handshake grants
+        #: more).
+        self.payload = "json"
+        #: Wire byte counters (always on; see SocketTransport).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.wire_sent: bytearray | None = None
+        self.wire_received: bytearray | None = None
 
     @classmethod
     async def open(
@@ -1043,18 +1199,29 @@ class AsyncSocketTransport:
         client_name: str = "forecache-python-aio",
         push: bool = False,
         push_cache_capacity: int = 32,
+        payload: str = "json",
+        wire_tap: bool = False,
     ) -> "AsyncSocketTransport":
         """Connect and run the hello/welcome handshake."""
         _check_framing(framing)
+        requested = _check_payload(payload)
         reader, writer = await asyncio.open_connection(host, port)
         self = cls(reader, writer, pyramid, framing, max_frame_bytes)
         self._push_cache_capacity = push_cache_capacity
+        if wire_tap:
+            self.wire_sent = bytearray()
+            self.wire_received = bytearray()
         try:
             welcome = await self.roundtrip(
                 Hello(
                     versions=SUPPORTED_VERSIONS,
                     client=client_name,
                     push=push,
+                    payloads=(
+                        ("json", "binary")
+                        if requested == "binary"
+                        else ("json",)
+                    ),
                 )
             )
             if isinstance(welcome, ErrorInfo):
@@ -1063,6 +1230,16 @@ class AsyncSocketTransport:
                 raise ProtocolError(
                     f"expected welcome, got {type(welcome).__name__}"
                 )
+            if welcome.payload == "binary" and requested != "binary":
+                raise ProtocolError(
+                    "server granted the binary payload encoding this "
+                    "client never offered"
+                )
+            if welcome.payload not in PAYLOADS:
+                raise ProtocolError(
+                    f"server granted unknown payload encoding "
+                    f"{welcome.payload!r}"
+                )
         except BaseException:
             await self.aclose()
             raise
@@ -1070,6 +1247,12 @@ class AsyncSocketTransport:
         self.server_name = welcome.server
         self.server_max_frame_bytes = welcome.max_frame_bytes
         self.push_enabled = bool(push and welcome.push)
+        self.payload = welcome.payload
+        if self.payload == "binary":
+            # The welcome itself arrived in the JSON framing; everything
+            # after it — both directions — speaks binary framing.
+            self._wire = "binary"
+            self._decoder.switch_to_binary()
         if welcome.max_frame_bytes > 0:
             self._send_limit = min(self._send_limit, welcome.max_frame_bytes)
             # See SocketTransport: receive limit follows the server's
@@ -1094,21 +1277,22 @@ class AsyncSocketTransport:
                 raise SessionClosedError("socket transport is closed")
             # An over-limit request raises here, before any bytes move —
             # local and recoverable, the stream stays synced.
-            frame = encode_frame(
-                protocol.encode(message), self._framing, self._send_limit
-            )
+            frame = encode_wire(message, self._wire, self._send_limit)
             try:
                 self._writer.write(frame)
+                self.bytes_sent += len(frame)
+                if self.wire_sent is not None:
+                    self.wire_sent += frame
                 await self._writer.drain()
                 if not self.push_enabled:
-                    text = await self._recv_frame()
+                    raw = await self._recv_frame()
                 else:
                     # Push connections absorb unsolicited push_tile
                     # frames until the actual reply arrives; a decode
                     # failure is fatal here (the undecodable frame might
                     # have been a push — pairing is unrecoverable).
                     while True:
-                        reply = protocol.decode(await self._recv_frame())
+                        reply = protocol.decode_wire(await self._recv_frame())
                         if isinstance(reply, PushTile):
                             self._absorb_push(reply)
                             continue
@@ -1121,7 +1305,7 @@ class AsyncSocketTransport:
                 raise
             # A fully consumed frame keeps the stream in sync even if
             # its content fails to decode.
-            return protocol.decode(text)
+            return protocol.decode_wire(raw)
 
     def _absorb_push(self, message: PushTile) -> None:
         """File one unsolicited pushed tile into its session's cache."""
@@ -1129,11 +1313,14 @@ class AsyncSocketTransport:
         if cache is not None and message.payload is not None:
             cache.put(message.payload.to_tile())
 
-    async def _recv_frame(self) -> str:
+    async def _recv_frame(self) -> str | bytes:
         while not self._pending:
             data = await self._reader.read(_READ_CHUNK)
             if not data:
                 raise ProtocolError("server closed the connection")
+            self.bytes_received += len(data)
+            if self.wire_received is not None:
+                self.wire_received += data
             self._pending.extend(self._decoder.feed(data))
         return self._pending.popleft()
 

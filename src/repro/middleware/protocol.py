@@ -30,6 +30,19 @@ stream unsolicited :class:`PushTile` frames (always *before* the reply
 they accompany) and the client reports its push-cache state via
 :class:`PushAck` / ``TileRequest.held`` digests.
 
+The handshake likewise negotiates the **payload encoding**
+(:data:`PAYLOADS`).  The default, ``"json"``, is the wire format above.
+With ``"binary"`` — granted only when the client's hello offers it and
+the server's config allows it — the connection switches (right after
+the welcome) to the binary framing: every frame is ``kind byte + u32
+length + body``, where kind 0 carries an ordinary UTF-8 JSON message
+and kind 1 carries a payload-bearing message (``tile_response``,
+``push_tile``) as a small JSON header plus the attribute arrays' raw
+bytes, concatenated via :class:`memoryview` (deflate-packed when that
+wins — the dominant NDSI blocks compress far below their JSON form).
+:func:`encode_wire` / :func:`decode_wire` pick the right form per
+message; declining peers keep the byte-identical JSON protocol.
+
 All ``from_dict`` constructors tolerate unknown fields (they extract
 the fields they know and ignore the rest), so a newer peer can add
 fields without breaking an older one.
@@ -39,7 +52,8 @@ from __future__ import annotations
 
 import json
 import struct
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -151,33 +165,75 @@ class TileRef:
         return cls(level=int(level), x=int(x), y=int(y))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class AttributeBlock:
-    """One attribute's dense block, flattened for JSON."""
+    """One attribute's dense block.
+
+    JSON-born blocks carry ``values`` (the flattened scalar tuple);
+    binary-born blocks skip the expensive ``tolist()`` round trip and
+    carry the backing ``array`` instead (``values=None``).  Either form
+    can produce the other, and equality compares the dense data — two
+    blocks are equal iff their names, dtypes, shapes, and element values
+    match, regardless of which carrier they arrived on.
+    """
 
     name: str
     dtype: str
     shape: tuple[int, ...]
-    values: tuple
+    values: tuple | None = None
+    #: The dense array itself — always C-contiguous when set, so the
+    #: binary encoder can take its bytes with a zero-copy memoryview.
+    array: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.values is None and self.array is None:
+            raise ValueError("AttributeBlock needs values or an array")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AttributeBlock):
+            return NotImplemented
+        if (self.name, self.dtype, self.shape) != (
+            other.name,
+            other.dtype,
+            other.shape,
+        ):
+            return False
+        mine, theirs = self.to_array(), other.to_array()
+        equal_nan = mine.dtype.kind == "f" and theirs.dtype.kind == "f"
+        return bool(np.array_equal(mine, theirs, equal_nan=equal_nan))
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.dtype, self.shape))
 
     @classmethod
-    def from_array(cls, name: str, array: np.ndarray) -> "AttributeBlock":
+    def from_array(
+        cls, name: str, array: np.ndarray, *, binary: bool = False
+    ) -> "AttributeBlock":
+        array = np.ascontiguousarray(array)
         return cls(
             name=name,
             dtype=str(array.dtype),
             shape=tuple(array.shape),
-            values=tuple(array.ravel().tolist()),
+            values=None if binary else tuple(array.ravel().tolist()),
+            array=array,
         )
 
     def to_array(self) -> np.ndarray:
+        if self.array is not None:
+            return self.array
         return np.asarray(self.values, dtype=self.dtype).reshape(self.shape)
 
     def to_dict(self) -> dict:
+        values = (
+            list(self.values)
+            if self.values is not None
+            else self.array.ravel().tolist()
+        )
         return {
             "name": self.name,
             "dtype": self.dtype,
             "shape": list(self.shape),
-            "values": list(self.values),
+            "values": values,
         }
 
     @classmethod
@@ -198,11 +254,13 @@ class TilePayload:
     attributes: tuple[AttributeBlock, ...]
 
     @classmethod
-    def from_tile(cls, tile: DataTile) -> "TilePayload":
+    def from_tile(cls, tile: DataTile, *, binary: bool = False) -> "TilePayload":
+        """Build the wire form; ``binary=True`` keeps the arrays as
+        arrays (no per-scalar ``tolist()``) for the binary encoder."""
         return cls(
             tile=TileRef.from_key(tile.key),
             attributes=tuple(
-                AttributeBlock.from_array(name, array)
+                AttributeBlock.from_array(name, array, binary=binary)
                 for name, array in sorted(tile.attributes.items())
             ),
         )
@@ -304,7 +362,12 @@ class TileResponse:
 
     @classmethod
     def from_result(
-        cls, session_id: str, result, include_payload: bool = True
+        cls,
+        session_id: str,
+        result,
+        include_payload: bool = True,
+        *,
+        binary: bool = False,
     ) -> "TileResponse":
         """Build the wire form of an in-process ``TileResponse``."""
         return cls(
@@ -315,7 +378,9 @@ class TileResponse:
             phase=result.phase.value if result.phase is not None else None,
             prefetched=tuple(TileRef.from_key(k) for k in result.prefetched),
             payload=(
-                TilePayload.from_tile(result.tile) if include_payload else None
+                TilePayload.from_tile(result.tile, binary=binary)
+                if include_payload
+                else None
             ),
         )
 
@@ -542,13 +607,21 @@ class Hello:
     #: peers simply omit the field (``from_dict`` defaults it off), so
     #: the capability degrades to plain pull without a version bump.
     push: bool = False
+    #: Payload encodings the client can speak, best-preferred first.
+    #: Serialized only when it says more than the default ``("json",)``,
+    #: so a JSON-only client's hello stays byte-identical to older
+    #: builds and older servers negotiate JSON implicitly.
+    payloads: tuple[str, ...] = ("json",)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "versions": list(self.versions),
             "client": self.client,
             "push": self.push,
         }
+        if self.payloads != ("json",):
+            data["payloads"] = list(self.payloads)
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Hello":
@@ -556,6 +629,9 @@ class Hello:
             versions=tuple(int(v) for v in data["versions"]),
             client=data.get("client", ""),
             push=bool(data.get("push", False)),
+            payloads=tuple(
+                str(p) for p in data.get("payloads", ("json",))
+            ),
         )
 
 
@@ -569,14 +645,22 @@ class Welcome:
     #: Push capability granted: True only when the client asked for it
     #: *and* this server runs with ``PrefetchPolicy.push="on"``.
     push: bool = False
+    #: The payload encoding this connection will speak from the next
+    #: frame on.  Omitted from the wire when it is the default
+    #: ``"json"``, keeping declining handshakes byte-identical to older
+    #: builds.
+    payload: str = "json"
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "version": self.version,
             "server": self.server,
             "max_frame_bytes": self.max_frame_bytes,
             "push": self.push,
         }
+        if self.payload != "json":
+            data["payload"] = self.payload
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Welcome":
@@ -585,6 +669,7 @@ class Welcome:
             server=data.get("server", ""),
             max_frame_bytes=int(data.get("max_frame_bytes", 0)),
             push=bool(data.get("push", False)),
+            payload=str(data.get("payload", "json")),
         )
 
 
@@ -601,6 +686,27 @@ def negotiate_version(offered) -> int:
             f"server speaks {sorted(SUPPORTED_VERSIONS)}"
         )
     return max(common)
+
+
+#: Payload encodings a connection may negotiate.  ``"json"`` — scalars
+#: inlined into the message JSON — is mandatory-to-implement and the
+#: fallback; ``"binary"`` ships attribute arrays as raw (optionally
+#: deflated) bytes under the binary framing.
+PAYLOADS: tuple[str, ...] = ("json", "binary")
+
+
+def negotiate_payload(offered, supported=PAYLOADS) -> str:
+    """Pick the payload encoding for a connection.
+
+    ``"binary"`` wins only when both the peer's hello and this server's
+    ``supported`` list include it; anything else — including encodings
+    neither side has heard of — falls back to the mandatory ``"json"``.
+    Unlike version negotiation this can't fail: JSON is always common
+    ground.
+    """
+    if "binary" in tuple(offered) and "binary" in tuple(supported):
+        return "binary"
+    return "json"
 
 
 @dataclass(frozen=True)
@@ -730,6 +836,285 @@ def encode_frame(
     return _LENGTH_HEADER.pack(len(payload)) + payload
 
 
+# ----------------------------------------------------------------------
+# binary payload encoding (negotiated; framing "binary")
+# ----------------------------------------------------------------------
+#: Binary-framing kind bytes: 0 = the body is an ordinary UTF-8 JSON
+#: message; 1 = the body is a binary-encoded payload message.
+_FRAME_KIND_JSON = 0x00
+_FRAME_KIND_BINARY = 0x01
+_BINARY_FRAME_HEADER = struct.Struct(">BI")
+
+#: Message types whose payload may travel as a binary body.
+_BINARY_MESSAGE_NAMES = frozenset({"tile_response", "push_tile"})
+
+#: Blob codecs.  The encoder deflates when that shrinks the blob (the
+#: NDSI attribute blocks are highly redundant — min/avg/max coincide at
+#: fine zoom — so this usually wins big); level 1 keeps the encode cost
+#: negligible next to the syscall it saves.
+_BLOB_CODECS = ("raw", "zlib")
+_COMPRESS_LEVEL = 1
+_COMPRESS_MIN_BYTES = 64
+
+
+def _payload_descriptor(payload: TilePayload) -> tuple[dict, bytes]:
+    """Flatten a payload into its JSON descriptor and packed blob."""
+    attrs = []
+    views = []
+    for block in payload.attributes:
+        array = np.ascontiguousarray(block.to_array())
+        view = memoryview(array).cast("B")
+        attrs.append(
+            {
+                "name": block.name,
+                "dtype": str(array.dtype),
+                "shape": list(array.shape),
+                "nbytes": view.nbytes,
+            }
+        )
+        views.append(view)
+    blob = b"".join(views)
+    codec = "raw"
+    if len(blob) >= _COMPRESS_MIN_BYTES:
+        packed = zlib.compress(blob, _COMPRESS_LEVEL)
+        if len(packed) < len(blob):
+            codec, blob = "zlib", packed
+    descriptor = {
+        "tile": payload.tile.to_list(),
+        "codec": codec,
+        "attributes": attrs,
+    }
+    return descriptor, blob
+
+
+def encode_binary_message(message) -> bytes:
+    """Serialize a payload-bearing message to its binary body.
+
+    The body is ``u32 header_len + JSON header + blob``: the header is
+    the message's ordinary tagged dict with the payload replaced by a
+    compact descriptor (tile ref, blob codec, per-attribute dtype/shape/
+    byte counts), and the blob is every attribute array's raw bytes
+    concatenated in descriptor order, deflated when that is smaller.
+    """
+    name = _TYPE_NAMES.get(type(message))
+    if name not in _BINARY_MESSAGE_NAMES:
+        raise TypeError(
+            f"{type(message).__name__} cannot travel as a binary body"
+        )
+    payload = message.payload
+    if payload is None:
+        raise TypeError("message carries no payload; encode it as JSON")
+    descriptor, blob = _payload_descriptor(payload)
+    header = {"type": name, **replace(message, payload=None).to_dict()}
+    header["payload"] = descriptor
+    header_bytes = json.dumps(header).encode("utf-8")
+    return b"".join(
+        (_LENGTH_HEADER.pack(len(header_bytes)), header_bytes, blob)
+    )
+
+
+def _parse_attribute_specs(attrs) -> tuple[list, int]:
+    """Validate descriptor attribute entries; return specs and blob size."""
+    if not isinstance(attrs, list):
+        raise InvalidRequestError("binary payload attributes must be a list")
+    specs = []
+    total = 0
+    for item in attrs:
+        if not isinstance(item, dict):
+            raise InvalidRequestError(
+                "binary payload attribute entries must be objects"
+            )
+        try:
+            name = item["name"]
+            dtype_name = item["dtype"]
+            shape = tuple(int(n) for n in item["shape"])
+            nbytes = int(item["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidRequestError(
+                f"malformed binary attribute descriptor: {exc}"
+            ) from None
+        try:
+            dtype = np.dtype(dtype_name)
+        except (TypeError, ValueError):
+            raise InvalidRequestError(
+                f"unknown dtype {dtype_name!r} in binary payload"
+            ) from None
+        if dtype.hasobject:
+            raise InvalidRequestError(
+                f"object dtype {dtype_name!r} cannot travel on the wire"
+            )
+        if any(n < 0 for n in shape) or nbytes < 0:
+            raise InvalidRequestError(
+                "binary attribute shape/nbytes must be non-negative"
+            )
+        count = 1
+        for n in shape:
+            count *= n
+        if count * dtype.itemsize != nbytes:
+            raise InvalidRequestError(
+                f"attribute {name!r} declares {nbytes} bytes but "
+                f"shape {shape} x {dtype} needs {count * dtype.itemsize}"
+            )
+        specs.append((str(name), dtype, shape, count, nbytes))
+        total += nbytes
+    return specs, total
+
+
+def _unpack_blob(codec, body: memoryview, total: int) -> "bytes | memoryview":
+    if codec == "raw":
+        if len(body) != total:
+            raise InvalidRequestError(
+                f"binary payload blob is {len(body)} bytes, expected {total}"
+            )
+        return body
+    if codec == "zlib":
+        # Bounded decompression: never inflate past what the descriptor
+        # declares, and require the deflate stream to end exactly there
+        # (a zlib bomb or truncated stream is a typed rejection, not an
+        # allocation blow-up).
+        decomp = zlib.decompressobj()
+        try:
+            raw = decomp.decompress(bytes(body), total)
+        except zlib.error as exc:
+            raise InvalidRequestError(
+                f"binary payload blob failed to inflate: {exc}"
+            ) from None
+        if (
+            len(raw) != total
+            or not decomp.eof
+            or decomp.unconsumed_tail
+            or decomp.unused_data
+        ):
+            raise InvalidRequestError(
+                "binary payload blob does not inflate to the declared size"
+            )
+        return raw
+    raise InvalidRequestError(f"unknown binary payload codec {codec!r}")
+
+
+def _decode_binary_payload(descriptor, body: memoryview) -> TilePayload:
+    if not isinstance(descriptor, dict):
+        raise InvalidRequestError("binary payload descriptor must be an object")
+    try:
+        tile = TileRef.from_list(descriptor["tile"])
+        attrs = descriptor["attributes"]
+        codec = descriptor.get("codec", "raw")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidRequestError(
+            f"malformed binary payload descriptor: {exc}"
+        ) from None
+    specs, total = _parse_attribute_specs(attrs)
+    buffer = _unpack_blob(codec, body, total)
+    blocks = []
+    offset = 0
+    for name, dtype, shape, count, nbytes in specs:
+        try:
+            array = np.frombuffer(
+                buffer, dtype=dtype, count=count, offset=offset
+            ).reshape(shape)
+        except ValueError as exc:
+            raise InvalidRequestError(
+                f"attribute {name!r} bytes do not form its array: {exc}"
+            ) from None
+        blocks.append(
+            AttributeBlock(
+                name=name,
+                dtype=str(dtype),
+                shape=shape,
+                values=None,
+                array=array,
+            )
+        )
+        offset += nbytes
+    return TilePayload(tile=tile, attributes=tuple(blocks))
+
+
+def decode_binary_message(data):
+    """Parse a binary body back into its payload-bearing message."""
+    view = memoryview(data)
+    if view.ndim != 1 or view.format != "B":
+        view = view.cast("B")
+    if len(view) < _LENGTH_HEADER.size:
+        raise InvalidRequestError("binary message truncated before header")
+    (header_len,) = _LENGTH_HEADER.unpack_from(view)
+    body_start = _LENGTH_HEADER.size + header_len
+    if header_len == 0 or body_start > len(view):
+        raise InvalidRequestError(
+            f"binary message declares a {header_len}-byte header but "
+            f"carries {len(view) - _LENGTH_HEADER.size} bytes"
+        )
+    try:
+        header = json.loads(bytes(view[_LENGTH_HEADER.size : body_start]))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise InvalidRequestError(
+            f"binary message header is not valid JSON: {exc}"
+        ) from None
+    except RecursionError:
+        raise InvalidRequestError("JSON nested too deeply") from None
+    if not isinstance(header, dict):
+        raise InvalidRequestError("binary message header must be an object")
+    name = header.pop("type", None)
+    if not isinstance(name, str) or name not in _BINARY_MESSAGE_NAMES:
+        raise InvalidRequestError(
+            f"message type {name!r} cannot travel as a binary body"
+        )
+    descriptor = header.pop("payload", None)
+    header["payload"] = None
+    cls = MESSAGE_TYPES[name]
+    try:
+        message = cls.from_dict(header)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidRequestError(f"malformed {name} message: {exc}") from None
+    if descriptor is None:
+        return message
+    payload = _decode_binary_payload(descriptor, view[body_start:])
+    return replace(message, payload=payload)
+
+
+def encode_wire(
+    message,
+    framing: str = "lines",
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """Encode one message for the byte stream under any framing.
+
+    Under the JSON framings this is exactly ``encode_frame(encode(m))``.
+    Under ``"binary"`` framing, payload-bearing messages go out as kind-1
+    binary bodies and everything else as kind-0 JSON, both behind the
+    ``kind byte + u32 length`` header.
+    """
+    if framing != "binary":
+        return encode_frame(encode(message), framing, max_frame_bytes)
+    if (
+        type(message) in _TYPE_NAMES
+        and _TYPE_NAMES[type(message)] in _BINARY_MESSAGE_NAMES
+        and message.payload is not None
+    ):
+        kind = _FRAME_KIND_BINARY
+        body = encode_binary_message(message)
+    else:
+        kind = _FRAME_KIND_JSON
+        body = encode(message).encode("utf-8")
+    if len(body) > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    return _BINARY_FRAME_HEADER.pack(kind, len(body)) + body
+
+
+def decode_wire(frame):
+    """Decode one frame as cut by :class:`FrameDecoder`.
+
+    JSON framings yield ``str`` frames (dispatched to :func:`decode`);
+    binary framing yields ``bytes`` for kind-1 frames (dispatched to
+    :func:`decode_binary_message`).
+    """
+    if isinstance(frame, str):
+        return decode(frame)
+    return decode_binary_message(frame)
+
+
 class FrameDecoder:
     """Incremental frame cutter for one connection's byte stream.
 
@@ -738,6 +1123,13 @@ class FrameDecoder:
     :class:`FramingError` family — after which the stream is
     unrecoverable (the decoder refuses further input), matching the
     server's close-on-framing-error behavior.
+
+    Besides the two JSON framings, the decoder can run (or be switched
+    mid-stream, by :meth:`switch_to_binary`, once the handshake grants
+    the binary payload encoding) in ``"binary"`` framing: each frame is
+    ``kind byte + u32 length + body``, where kind-0 bodies come back as
+    decoded text and kind-1 bodies as raw ``bytes`` for
+    :func:`decode_binary_message`.
     """
 
     def __init__(
@@ -745,9 +1137,10 @@ class FrameDecoder:
         framing: str = "lines",
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> None:
-        if framing not in FRAMINGS:
+        if framing not in (*FRAMINGS, "binary"):
             raise ValueError(
-                f"framing must be one of {FRAMINGS}, got {framing!r}"
+                f"framing must be one of {(*FRAMINGS, 'binary')}, "
+                f"got {framing!r}"
             )
         if max_frame_bytes < 1:
             raise ValueError(
@@ -767,14 +1160,33 @@ class FrameDecoder:
         """Bytes held waiting for their frame to complete."""
         return len(self._buffer)
 
-    def feed(self, data: bytes) -> list[str]:
-        """Add bytes; return the texts of every frame they completed."""
+    def switch_to_binary(self) -> None:
+        """Flip this stream to the negotiated binary framing.
+
+        Called right after the handshake frame that granted
+        ``payload="binary"``; the strict request/reply pairing means a
+        well-behaved peer has nothing else in flight at that point, so
+        any bytes already buffered are simply re-cut under the new
+        framing.
+        """
+        self.framing = "binary"
+        self._scanned = 0
+
+    def feed(self, data: bytes) -> "list[str | bytes]":
+        """Add bytes; return every frame they completed.
+
+        JSON framings yield ``str`` frames; binary framing yields
+        ``str`` for kind-0 (JSON) frames and ``bytes`` for kind-1
+        (binary payload) frames.
+        """
         if self._dead:
             raise FramingError("stream already failed; open a new connection")
         self._buffer.extend(data)
         try:
             if self.framing == "lines":
                 return self._cut_lines()
+            if self.framing == "binary":
+                return self._cut_binary()
             return self._cut_length_prefixed()
         except FramingError:
             self._dead = True
@@ -828,4 +1240,33 @@ class FrameDecoder:
             payload = bytes(self._buffer[_LENGTH_HEADER.size : end])
             del self._buffer[:end]
             frames.append(self._decode_text(payload))
+        return frames
+
+    def _cut_binary(self) -> "list[str | bytes]":
+        frames: "list[str | bytes]" = []
+        while self._buffer:
+            # Reject an unknown kind byte the instant it arrives —
+            # don't wait for a bogus length header to fill in.
+            kind = self._buffer[0]
+            if kind not in (_FRAME_KIND_JSON, _FRAME_KIND_BINARY):
+                raise FramingError(f"unknown binary frame kind {kind:#04x}")
+            if len(self._buffer) < _BINARY_FRAME_HEADER.size:
+                return frames
+            _, length = _BINARY_FRAME_HEADER.unpack_from(self._buffer)
+            if length > self.max_frame_bytes:
+                raise FrameTooLargeError(
+                    f"frame of {length} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte limit"
+                )
+            if length == 0:
+                raise FramingError("binary frame of 0 bytes")
+            end = _BINARY_FRAME_HEADER.size + length
+            if len(self._buffer) < end:
+                return frames
+            payload = bytes(self._buffer[_BINARY_FRAME_HEADER.size : end])
+            del self._buffer[:end]
+            if kind == _FRAME_KIND_JSON:
+                frames.append(self._decode_text(payload))
+            else:
+                frames.append(payload)
         return frames

@@ -284,6 +284,11 @@ class PushScheduler:
         round's budget is spent (the caller stops the round; the job is
         counted as deferred — the *next* round will re-rank the tile if
         the model still wants it).
+
+        ``frame_bytes`` is the size of the frame *as encoded for this
+        connection* — on a negotiated-binary connection push frames are
+        several times smaller than their JSON form, so the same byte
+        budget streams proportionally more tiles per round.
         """
         state = self._sessions.get(job.session_id)
         if state is None:

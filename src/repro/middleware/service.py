@@ -405,6 +405,19 @@ class ForeCacheService:
                 session_id=str(record.session_id),
             )
         outcome = self.cache_manager.fetch(key)
+        return self._complete_request(record, move, key, outcome)
+
+    def _complete_request(
+        self, record: _SessionRecord, move: Move | None, key: TileKey, outcome
+    ) -> TileResponse:
+        """The post-fetch half of :meth:`_request`.
+
+        Split out so the asyncio front end can serve a cache hit it
+        probed on the event loop (via
+        :meth:`~repro.cache.manager.CacheManager.try_fetch`) and finish
+        the round — latency accounting, observe/predict, prefetch
+        scheduling — without re-entering the fetch path.
+        """
         latency = self.latency_model.response_seconds(
             outcome.hit, outcome.backend_seconds
         )

@@ -11,7 +11,10 @@ transport.  Two implementations exist:
   :class:`~repro.middleware.protocol.TileRequest`, handed to the server
   side as a *string*, served by the facade, and the response comes back
   as a JSON string that the client decodes — exactly the round trip a
-  socket transport makes, minus the socket.
+  socket transport makes, minus the socket.  With ``payload="binary"``
+  responses come back instead as the binary *message* encoding (JSON
+  header + raw array bytes) that the socket transports negotiate,
+  exercising the dense-payload codec without a socket.
 - :class:`~repro.middleware.net.SocketTransport` speaks the same
   protocol as framed bytes over TCP.
 
@@ -95,21 +98,38 @@ def response_to_client(message) -> TileResponse:
 
 
 class InProcessTransport(Transport):
-    """Moves protocol JSON strings between client stubs and a facade."""
+    """Moves protocol JSON strings between client stubs and a facade.
+
+    With ``payload="binary"`` responses travel as the binary message
+    encoding instead (bytes: JSON header + packed array blob) — the
+    same codec the socket transports negotiate, minus the framing.
+    Requests stay JSON either way, as they do on the wire.
+    """
 
     def __init__(
-        self, service: ForeCacheService, include_payload: bool = True
+        self,
+        service: ForeCacheService,
+        include_payload: bool = True,
+        *,
+        payload: str = "json",
     ) -> None:
+        if payload not in protocol.PAYLOADS:
+            raise ValueError(
+                f"payload must be one of {protocol.PAYLOADS}, got {payload!r}"
+            )
         self.service = service
         #: Ship tile payloads in responses (a metadata-only transport
         #: would resolve tiles out of band).
         self.include_payload = include_payload
+        #: Payload encoding for responses ("json" | "binary").
+        self.payload = payload
 
     # ------------------------------------------------------------------
     # server side
     # ------------------------------------------------------------------
-    def send(self, data: str) -> str:
+    def send(self, data: str) -> str | bytes:
         """Serve one encoded request; errors come back as ErrorInfo."""
+        binary = self.payload == "binary"
         try:
             message = protocol.decode(data)
             if not isinstance(message, TileRequest):
@@ -120,14 +140,18 @@ class InProcessTransport(Transport):
             result = self.service.request(
                 message.session_id, message.to_move(), message.tile.to_key()
             )
-            return protocol.encode(
-                protocol.TileResponse.from_result(
-                    message.session_id,
-                    result,
-                    include_payload=self.include_payload,
-                )
+            response = protocol.TileResponse.from_result(
+                message.session_id,
+                result,
+                include_payload=self.include_payload,
+                binary=binary,
             )
+            if binary and response.payload is not None:
+                return protocol.encode_binary_message(response)
+            return protocol.encode(response)
         except Exception as exc:
+            # Errors carry no payload, so they stay JSON in both modes —
+            # exactly as the binary wire framing sends them (kind-0).
             return protocol.encode(ErrorInfo.from_exception(exc))
 
     # ------------------------------------------------------------------
@@ -174,7 +198,9 @@ class WireSessionClient:
                 )
             )
         )
-        return response_to_client(protocol.decode(raw))
+        # decode_wire dispatches on type: str replies are JSON, bytes
+        # replies are binary message bodies (payload="binary" mode).
+        return response_to_client(protocol.decode_wire(raw))
 
     def close(self) -> None:
         """Close the underlying facade session.  Idempotent, matching

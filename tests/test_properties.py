@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) on core invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -316,6 +317,153 @@ class TestFramingProperties:
             delivered.extend(decoder.feed(garbage))
         except protocol_module.FramingError:
             pass
+
+
+# ----------------------------------------------------------------------
+# binary framing / payload codec invariants
+# ----------------------------------------------------------------------
+_BINARY_DTYPES = st.sampled_from(["float64", "float32", "int32", "uint8"])
+
+
+@st.composite
+def tile_responses(draw):
+    """Payload-bearing responses with arbitrary dense attribute blocks."""
+    key = draw(tile_keys(max_level=3))
+    rows = draw(st.integers(1, 4))
+    cols = draw(st.integers(1, 4))
+    names = draw(
+        st.lists(
+            st.text("abcxyz_", min_size=1, max_size=6),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    attributes = {}
+    for index, name in enumerate(names):
+        dtype = np.dtype(draw(_BINARY_DTYPES))
+        cells = rows * cols
+        if dtype.kind == "f":
+            values = draw(
+                st.lists(
+                    st.floats(
+                        allow_nan=False,
+                        allow_infinity=False,
+                        width=32,
+                    ),
+                    min_size=cells,
+                    max_size=cells,
+                )
+            )
+        else:
+            values = draw(
+                st.lists(st.integers(0, 200), min_size=cells, max_size=cells)
+            )
+        attributes[name] = np.asarray(values, dtype=dtype).reshape(rows, cols)
+    tile = DataTile(key=key, attributes=attributes)
+    return protocol_module.TileResponse(
+        session_id=draw(st.text("abcdefgh-123", min_size=1, max_size=8)),
+        tile=protocol_module.TileRef.from_key(key),
+        latency_seconds=draw(st.floats(0.0, 10.0, allow_nan=False)),
+        hit=draw(st.booleans()),
+        payload=protocol_module.TilePayload.from_tile(tile, binary=True),
+    )
+
+
+class TestBinaryFramingProperties:
+    """The binary wire holds the same fuzz bar as the JSON framings:
+    garbage and truncation fail typed, and valid frames cut at arbitrary
+    byte boundaries reassemble into equal messages."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        data=st.binary(max_size=512),
+        sizes=st.lists(st.integers(1, 64), max_size=8),
+    )
+    def test_garbage_never_crashes_untyped(self, data, sizes):
+        decoder = protocol_module.FrameDecoder("binary", max_frame_bytes=256)
+        try:
+            frames = _feed_chunked(decoder, data, sizes)
+        except protocol_module.FramingError:
+            return  # a typed framing rejection is a pass
+        # Survivors decode to a wire message or fail with the typed
+        # malformed-message error — nothing escapes untyped.
+        for frame in frames:
+            try:
+                protocol_module.decode_wire(frame)
+            except protocol_module.InvalidRequestError:
+                pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        messages=st.lists(tile_responses(), min_size=1, max_size=3),
+        sizes=st.lists(st.integers(1, 16), max_size=8),
+    )
+    def test_valid_binary_frames_reassemble_exactly(self, messages, sizes):
+        stream = b"".join(
+            protocol_module.encode_wire(m, "binary") for m in messages
+        )
+        decoder = protocol_module.FrameDecoder("binary")
+        frames = _feed_chunked(decoder, stream, sizes)
+        decoded = [protocol_module.decode_wire(f) for f in frames]
+        assert decoded == messages
+        assert decoder.buffered == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(message=tile_responses(), cut=st.integers(1, 2**31))
+    def test_truncated_frame_stays_buffered(self, message, cut):
+        frame = protocol_module.encode_wire(message, "binary")
+        decoder = protocol_module.FrameDecoder("binary")
+        # Any strict prefix yields nothing yet; the remainder completes
+        # the frame exactly once.
+        prefix = frame[: cut % len(frame)]
+        assert decoder.feed(prefix) == []
+        frames = decoder.feed(frame[len(prefix) :])
+        assert [protocol_module.decode_wire(f) for f in frames] == [message]
+        assert decoder.buffered == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(message=tile_responses(), flip=st.integers(0, 2**31))
+    def test_corrupted_body_fails_typed(self, message, flip):
+        frame = bytearray(protocol_module.encode_wire(message, "binary"))
+        # Corrupt one body byte (skip the 5-byte kind+length header so
+        # the decoder still cuts a frame to hand to the message codec).
+        body_index = 5 + flip % (len(frame) - 5)
+        frame[body_index] ^= 0xFF
+        decoder = protocol_module.FrameDecoder("binary")
+        try:
+            frames = decoder.feed(bytes(frame))
+        except protocol_module.FramingError:
+            return  # corrupting the kind byte of a later frame is typed
+        for out in frames:
+            try:
+                decoded = protocol_module.decode_wire(out)
+            except protocol_module.InvalidRequestError:
+                continue
+            # A flip that survives decoding must have produced a
+            # different message, never a silently-wrong equal one —
+            # unless it only toggled JSON cosmetics (whitespace); those
+            # decode equal by design.
+            if decoded == message:
+                rebuilt = protocol_module.encode_wire(decoded, "binary")
+                assert rebuilt == protocol_module.encode_wire(
+                    message, "binary"
+                )
+
+    def test_json_fallback_messages_pass_through_binary_framing(self):
+        request = protocol_module.TileRequest(
+            session_id="s1", tile=protocol_module.TileRef(0, 0, 0)
+        )
+        frame = protocol_module.encode_wire(request, "binary")
+        decoder = protocol_module.FrameDecoder("binary")
+        (out,) = decoder.feed(frame)
+        assert isinstance(out, str)
+        assert protocol_module.decode_wire(out) == request
+
+    def test_unknown_kind_byte_rejected_immediately(self):
+        decoder = protocol_module.FrameDecoder("binary")
+        with pytest.raises(protocol_module.FramingError):
+            decoder.feed(b"\x7f")
 
 
 # ----------------------------------------------------------------------

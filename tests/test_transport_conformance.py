@@ -243,6 +243,151 @@ class TestErrorContract:
 
 
 # ----------------------------------------------------------------------
+# negotiated binary payloads replay bit-identically
+# ----------------------------------------------------------------------
+def replay_inprocess_binary(pyramid, trace):
+    with ForeCacheService(
+        pyramid, CONFIG, engine_factory=engine_factory(pyramid)
+    ) as service:
+        conn = InProcessTransport(service, payload="binary").connect()
+        responses = BrowsingSession(conn).replay(trace)
+        conn.close()
+        return responses
+
+
+def replay_socket_sync_binary(pyramid, trace, framing):
+    with ThreadedSocketServer(
+        pyramid, CONFIG, engine_factory=engine_factory(pyramid), framing=framing
+    ) as server:
+        with SocketTransport(
+            *server.address, pyramid=pyramid, framing=framing, payload="binary"
+        ) as transport:
+            assert transport.payload == "binary"
+            conn = transport.connect()
+            responses = BrowsingSession(conn).replay(trace)
+            conn.close()
+            return responses
+
+
+def replay_socket_async_binary(pyramid, trace):
+    async def drive(address):
+        async with await AsyncSocketTransport.open(
+            *address, pyramid=pyramid, payload="binary"
+        ) as transport:
+            assert transport.payload == "binary"
+            conn = await transport.connect()
+            responses = await AsyncBrowsingSession(conn).replay(trace)
+            await conn.close()
+            return responses
+
+    with ThreadedSocketServer(
+        pyramid, CONFIG, engine_factory=engine_factory(pyramid)
+    ) as server:
+        return asyncio.run(drive(server.address))
+
+
+BINARY_REPLAYS = {
+    "inprocess": replay_inprocess_binary,
+    "socket-sync-lines": lambda p, t: replay_socket_sync_binary(p, t, "lines"),
+    "socket-sync-length": lambda p, t: replay_socket_sync_binary(
+        p, t, "length"
+    ),
+    "socket-async": replay_socket_async_binary,
+}
+
+
+class TestBinaryPayloadConformance:
+    """The binary encoding changes bytes on the wire, nothing else:
+    every front end replays bit-identically to the facade under
+    ``payload="binary"``, and a declining peer's wire is byte-identical
+    to the JSON-only protocol revision."""
+
+    @pytest.mark.parametrize("kind", TRANSPORT_KINDS)
+    def test_binary_replay_matches_facade(
+        self, kind, small_dataset, replay_trace, baseline
+    ):
+        responses = BINARY_REPLAYS[kind](small_dataset.pyramid, replay_trace)
+        assert signature(responses) == signature(baseline)
+        assert client_recorder(responses).to_dict() == (
+            client_recorder(baseline).to_dict()
+        )
+
+    @pytest.mark.parametrize("kind", TRANSPORT_KINDS)
+    def test_binary_payloads_survive_losslessly(
+        self, kind, small_dataset, replay_trace, baseline
+    ):
+        responses = BINARY_REPLAYS[kind](small_dataset.pyramid, replay_trace)
+        for wire, reference in zip(responses, baseline):
+            assert wire.tile.key == reference.tile.key
+            assert set(wire.tile.attributes) == set(reference.tile.attributes)
+            for name, array in reference.tile.attributes.items():
+                assert wire.tile.attributes[name].dtype == array.dtype
+                np.testing.assert_array_equal(
+                    wire.tile.attributes[name], array
+                )
+
+    def test_binary_moves_fewer_bytes_than_json(
+        self, small_dataset, replay_trace
+    ):
+        pyramid = small_dataset.pyramid
+
+        def replay_bytes(payload):
+            with ThreadedSocketServer(
+                pyramid, CONFIG, engine_factory=engine_factory(pyramid)
+            ) as server:
+                with SocketTransport(
+                    *server.address, pyramid=pyramid, payload=payload
+                ) as transport:
+                    conn = transport.connect()
+                    BrowsingSession(conn).replay(replay_trace)
+                    conn.close()
+                    return transport.bytes_received
+
+        assert replay_bytes("binary") < replay_bytes("json")
+
+    def test_declining_server_keeps_the_json_wire_byte_identical(
+        self, small_dataset, replay_trace
+    ):
+        # A binary-offering client against a JSON-only server must leave
+        # the wire byte-identical to a client that never offered binary
+        # — the only divergence allowed is the hello frame itself.
+        pyramid = small_dataset.pyramid
+
+        def replay_tapped(payload):
+            with ThreadedSocketServer(
+                pyramid,
+                CONFIG,
+                engine_factory=engine_factory(pyramid),
+                payloads=("json",),
+            ) as server:
+                with SocketTransport(
+                    *server.address,
+                    pyramid=pyramid,
+                    payload=payload,
+                    wire_tap=True,
+                ) as transport:
+                    assert transport.payload == "json"
+                    conn = transport.connect()
+                    BrowsingSession(conn).replay(replay_trace)
+                    conn.close()
+                    return (
+                        bytes(transport.wire_sent),
+                        bytes(transport.wire_received),
+                    )
+
+        sent_json, received_json = replay_tapped("json")
+        sent_binary, received_binary = replay_tapped("binary")
+        # Every server->client byte matches, welcome included.
+        assert received_binary == received_json
+        # Client->server streams match from the second frame on (the
+        # hello differs by exactly the offered-payloads field).
+        _, _, tail_json = sent_json.partition(b"\n")
+        _, _, tail_binary = sent_binary.partition(b"\n")
+        assert tail_binary == tail_json
+        assert sent_binary != sent_json
+
+
+# ----------------------------------------------------------------------
 # push stays invisible unless both sides opt in
 # ----------------------------------------------------------------------
 class TestPushOffConformance:
