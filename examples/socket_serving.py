@@ -4,6 +4,7 @@ Run with::
 
     python examples/socket_serving.py [--framing lines|length] [--port 0]
                                       [--push] [--payload json|binary|mixed]
+                                      [--fidelity off|progressive]
 
 Starts the ForeCache socket server on a loopback port (ephemeral by
 default), connects both clients — the blocking ``SocketTransport`` and
@@ -17,7 +18,11 @@ requests those tiles answer locally, without touching the wire.
 encoding (raw array bytes instead of JSON float lists — several times
 fewer bytes per tile); ``--payload mixed`` keeps the sync client on
 JSON and the async client on binary, on the *same* server — the
-encoding is a per-connection capability.
+encoding is a per-connection capability.  ``--fidelity progressive``
+turns on the multi-resolution ladder: pushed tiles arrive as coarse
+frames first and refine in place on leftover round budget, and under
+overload the server answers from a cached pyramid ancestor at reduced
+fidelity instead of queueing behind the backend.
 """
 
 import argparse
@@ -65,6 +70,14 @@ def main() -> None:
         help="tile payload encoding: json, binary, or mixed "
         "(sync client json, async client binary)",
     )
+    parser.add_argument(
+        "--fidelity",
+        choices=("off", "progressive"),
+        default="off",
+        help="progressive multi-resolution fidelity: coarse push frames "
+        "refined on leftover budget, degraded ancestor carves under "
+        "overload (off = bit-identical to the pre-fidelity stack)",
+    )
     args = parser.parse_args()
     sync_payload = "binary" if args.payload == "binary" else "json"
     async_payload = "binary" if args.payload in ("binary", "mixed") else "json"
@@ -80,7 +93,11 @@ def main() -> None:
         )
 
     config = ServiceConfig(
-        prefetch=PrefetchPolicy(k=5, push="on" if args.push else "off")
+        prefetch=PrefetchPolicy(
+            k=5,
+            push="on" if args.push else "off",
+            fidelity=args.fidelity,
+        )
     )
     with ThreadedSocketServer(
         pyramid,

@@ -147,6 +147,25 @@ class CacheManager:
         self.cache.record_request(cached)
         return FetchOutcome(tile=cached, hit=True, backend_seconds=0.0)
 
+    def peek(self, key: TileKey) -> DataTile | None:
+        """Pure residency probe: the cached tile or None, **no** side
+        effects — no request/hit counters, no LRU promotion.  This is
+        the probe for opportunistic paths (degraded-fidelity ancestor
+        lookup) that must not distort the cache statistics or the
+        recency order the real request stream produces.
+        """
+        return self.cache.lookup(key)
+
+    @property
+    def inflight_count(self) -> int:
+        """Backend loads currently in flight (all coalescing stripes).
+
+        Read lock-free — a load signal, not an invariant; the overload
+        detector only needs a magnitude, not an exact synchronized
+        count.
+        """
+        return sum(len(stripe) for stripe in self._inflight)
+
     # ------------------------------------------------------------------
     # prefetch path
     # ------------------------------------------------------------------

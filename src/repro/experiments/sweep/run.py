@@ -133,6 +133,11 @@ def cell_config(cell_params: dict) -> ServiceConfig:
             push=cell_params["push"],
             push_budget_bytes=cell_params["push_budget_bytes"],
             push_max_inflight=cell_params["push_max_inflight"],
+            fidelity=cell_params["fidelity"],
+            fidelity_reduction=cell_params["fidelity_reduction"],
+            shed_queue_depth=cell_params["shed_queue_depth"],
+            shed_miss_streak=cell_params["shed_miss_streak"],
+            shed_keep_k=cell_params["shed_keep_k"],
         ),
         cache=CacheConfig(
             recent_capacity=cell_params["recent_capacity"],

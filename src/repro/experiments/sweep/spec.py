@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.middleware.config import (
+    FIDELITY_MODES,
     PREFETCH_MODES,
     PUSH_MODES,
     SHARED_HOTSPOT_MODES,
@@ -106,6 +107,22 @@ def _check_float(name: str, minimum: float, maximum: float | None = None):
     return check
 
 
+def _check_power_of_two(name: str):
+    def check(value: object) -> None:
+        if (
+            not isinstance(value, int)
+            or isinstance(value, bool)
+            or value < 2
+            or value & (value - 1)
+        ):
+            raise SweepSpecError(
+                f"parameter {name!r} must be a power of two >= 2, "
+                f"got {value!r}"
+            )
+
+    return check
+
+
 def _check_bool(name: str):
     def check(value: object) -> None:
         if not isinstance(value, bool):
@@ -146,6 +163,12 @@ PARAMETER_DOMAINS: dict[str, tuple[object, object]] = {
         1e-6,
         _check_float("hotspot_prune_epsilon", 0.0),
     ),
+    # progressive fidelity + overload shedding
+    "fidelity": ("off", _check_choice("fidelity", FIDELITY_MODES)),
+    "fidelity_reduction": (4, _check_power_of_two("fidelity_reduction")),
+    "shed_queue_depth": (32, _check_int("shed_queue_depth", 1)),
+    "shed_miss_streak": (0, _check_int("shed_miss_streak", 0)),
+    "shed_keep_k": (2, _check_int("shed_keep_k", 1)),
     # push prefetch (socket front end only; run.py enforces the pairing)
     "push": ("off", _check_choice("push", PUSH_MODES)),
     "push_budget_bytes": (
@@ -172,6 +195,10 @@ _SLUG_ALIASES = {
     "shared_hotspots": "hotspots",
     "push_budget_bytes": "pushbudget",
     "push_max_inflight": "pushinflight",
+    "fidelity_reduction": "reduction",
+    "shed_queue_depth": "sheddepth",
+    "shed_miss_streak": "shedmiss",
+    "shed_keep_k": "shedkeep",
 }
 
 
@@ -415,16 +442,47 @@ CI_PUSH_SPEC = {
     },
 }
 
+#: The overload-shedding trajectory sweep: the fidelity ladder off/on
+#: over a deliberately starved cache (one recent slot) with the
+#: deterministic miss-streak signal swept at two sensitivities.  The
+#: study workload is the one whose zoom legs leave pyramid ancestors
+#: resident, so degraded ancestor-carve serving actually fires there.
+#: Its own spec — and its own snapshot directory in CI — so the
+#: pre-fidelity ``ci``/``ci-push`` snapshots stay byte-comparable.
+CI_OVERLOAD_SPEC = {
+    "name": "ci-overload",
+    "parameters": {
+        "fidelity": ["off", "progressive"],
+        "users": [2, 4],
+        "shed_miss_streak": [1, 2],
+    },
+    "fixed": {
+        "size": 256,
+        "k": 5,
+        "frontend": "socket",
+        "workload": "study",
+        "prefetch_mode": "background",
+        "prefetch_workers": 1,
+        "recent_capacity": 1,
+        "prefetch_capacity": 5,
+        "settle": True,
+        "steps": 24,
+        "max_requests": 30,
+        "seed": 7,
+    },
+}
+
 BUILTIN_SPECS: dict[str, dict] = {
     "ci": CI_SPEC,
     "ci-push": CI_PUSH_SPEC,
+    "ci-overload": CI_OVERLOAD_SPEC,
     "smoke": SMOKE_SPEC,
 }
 
 
 def resolve_spec(ref: str | Path) -> SweepSpec:
-    """A spec from a built-in name (``ci``, ``ci-push``, ``smoke``) or a
-    JSON file."""
+    """A spec from a built-in name (``ci``, ``ci-push``, ``ci-overload``,
+    ``smoke``) or a JSON file."""
     if isinstance(ref, str) and ref in BUILTIN_SPECS:
         return SweepSpec.from_dict(BUILTIN_SPECS[ref])
     path = Path(ref)

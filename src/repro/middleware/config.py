@@ -58,6 +58,18 @@ SHARED_HOTSPOT_MODES = ("off", "observe", "boost")
 #:   ends ignore the knob (push is a transport-layer behavior).
 PUSH_MODES = ("off", "on")
 
+#: Progressive multi-resolution fidelity + overload load shedding:
+#: - "off"         — every response is the full-resolution tile and no
+#:   prefetch work is ever shed; replies, wire bytes, and figure
+#:   numerics are bit-identical to the pre-fidelity serving stack,
+#: - "progressive" — under overload (deep prefetch queue / a streak of
+#:   in-flight backend misses) the service answers from a cached
+#:   ancestor at reduced fidelity instead of queueing behind the
+#:   backend, the background scheduler sheds low-rank prefetch jobs,
+#:   and the push scheduler streams a coarse frame first and spends
+#:   leftover round budget on full-fidelity refinement frames.
+FIDELITY_MODES = ("off", "progressive")
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -166,6 +178,24 @@ class PrefetchPolicy:
     #: Utility ordering for push jobs: "rank" or "density"
     #: (:data:`~repro.middleware.push.PUSH_UTILITIES`).
     push_utility: str = "rank"
+    #: Progressive fidelity + load shedding: "off" or "progressive"
+    #: (:data:`FIDELITY_MODES`).
+    fidelity: str = "off"
+    #: Linear downsampling factor of a coarse stand-in tile (per axis);
+    #: must be a power of two >= 2 so a stand-in can be carved from the
+    #: matching ancestor pyramid level.  4 = a 16x byte reduction.
+    fidelity_reduction: int = 4
+    #: Overload trips when the background prefetch queue depth plus the
+    #: cache manager's in-flight backend loads reaches this many jobs.
+    shed_queue_depth: int = 32
+    #: Overload also trips after this many *consecutive* full-price
+    #: backend misses on the request path (0 = disabled; the queue-depth
+    #: signal alone decides).  Deterministic under ``settle`` replays,
+    #: unlike physical queue occupancy.
+    shed_miss_streak: int = 0
+    #: Under shedding the scheduler keeps only prefetch jobs ranked
+    #: better than this (rank 0 = the model's top prediction).
+    shed_keep_k: int = 2
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -236,6 +266,33 @@ class PrefetchPolicy:
                 f"push_utility must be one of {PUSH_UTILITIES}, got"
                 f" {self.push_utility!r}"
             )
+        if self.fidelity not in FIDELITY_MODES:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITY_MODES}, got"
+                f" {self.fidelity!r}"
+            )
+        reduction = self.fidelity_reduction
+        if (
+            not isinstance(reduction, int)
+            or reduction < 2
+            or reduction & (reduction - 1)
+        ):
+            raise ValueError(
+                "fidelity_reduction must be a power of two >= 2, got"
+                f" {self.fidelity_reduction!r}"
+            )
+        if self.shed_queue_depth < 1:
+            raise ValueError(
+                f"shed_queue_depth must be >= 1, got {self.shed_queue_depth}"
+            )
+        if self.shed_miss_streak < 0:
+            raise ValueError(
+                f"shed_miss_streak must be >= 0, got {self.shed_miss_streak}"
+            )
+        if self.shed_keep_k < 1:
+            raise ValueError(
+                f"shed_keep_k must be >= 1, got {self.shed_keep_k}"
+            )
 
     @property
     def background(self) -> bool:
@@ -245,6 +302,11 @@ class PrefetchPolicy:
     def push_enabled(self) -> bool:
         """True when the socket server should offer the push capability."""
         return self.push == "on"
+
+    @property
+    def fidelity_enabled(self) -> bool:
+        """True when degraded serving / load shedding may kick in."""
+        return self.fidelity == "progressive"
 
     @property
     def shares_hotspots(self) -> bool:

@@ -77,6 +77,7 @@ from repro.middleware.push import PUSH_MODEL, PushCache, PushScheduler
 from repro.middleware.service import TileResponse
 from repro.middleware.transport import Transport, response_to_client
 from repro.tiles.key import TileKey
+from repro.tiles.reduce import downsample_tile, upsample_tile
 from repro.tiles.moves import Move
 from repro.tiles.pyramid import TilePyramid
 
@@ -258,6 +259,11 @@ class ForeCacheSocketServer:
                 ),
                 hotspot_top_n=policy.hotspot_top_n,
                 hotspot_boost=float(policy.hotspot_boost),
+                # Progressive fidelity: coarse frame first, refinement
+                # with the round's leftover budget.  Off keeps the wire
+                # byte-identical to earlier builds.
+                progressive=policy.fidelity_enabled,
+                reduction=policy.fidelity_reduction,
             )
         #: Wall-clock registry decay (``hotspot_tick_seconds``), started
         #: with the server when configured.
@@ -648,6 +654,11 @@ class ForeCacheSocketServer:
             except Exception:
                 scheduler.reject(job)
                 continue
+            if job.fidelity < 1.0:
+                # Coarse frame: block-averaged payload, a fraction of
+                # the full tile's wire bytes.  The refinement job queued
+                # behind it re-streams the tile at full resolution.
+                tile = downsample_tile(tile, scheduler.reduction)
             push = PushTile(
                 session_id=session_id,
                 tile=TileRef.from_key(job.key),
@@ -655,6 +666,7 @@ class ForeCacheSocketServer:
                 generation=generation,
                 utility=job.utility,
                 payload=TilePayload.from_tile(tile, binary=binary),
+                fidelity=job.fidelity,
             )
             try:
                 frame = encode_wire(push, framing, self.max_frame_bytes)
@@ -662,6 +674,11 @@ class ForeCacheSocketServer:
                 # This tile can never fit a frame; skip it without
                 # charging the round's budget.
                 scheduler.reject(job)
+                continue
+            if scheduler.skip_oversize(job, len(frame)):
+                # Larger than a whole fair share: no future round could
+                # stream it either — drop it for good instead of
+                # re-queueing it forever.
                 continue
             if not scheduler.commit(job, len(frame)):
                 break  # round budget spent
@@ -978,10 +995,19 @@ class SocketTransport(Transport):
             self.wire_sent += frame
 
     def _absorb_push(self, message: PushTile) -> None:
-        """File one unsolicited pushed tile into its session's cache."""
+        """File one unsolicited pushed tile into its session's cache.
+
+        A coarse frame (``fidelity < 1``) is upsampled back to full tile
+        shape — the stand-in a client renders while the refinement frame
+        is still in flight; the cache's fidelity tracking upgrades it in
+        place when that frame lands.
+        """
         cache = self._push_caches.get(message.session_id)
         if cache is not None and message.payload is not None:
-            cache.put(message.payload.to_tile())
+            tile = message.payload.to_tile()
+            if message.fidelity < 1.0:
+                tile = upsample_tile(tile, int(round(1.0 / message.fidelity)))
+            cache.put(tile, fidelity=message.fidelity)
 
     def _recv_frame(self) -> str | bytes:
         while not self._pending:
@@ -1120,6 +1146,9 @@ class SocketSessionClient:
             hit=reply.hit,
             phase=reply.to_phase(),
             prefetched=tuple(ref.to_key() for ref in reply.prefetched),
+            # A held tile may still be the coarse stand-in awaiting its
+            # refinement frame; report what this cache actually holds.
+            fidelity=self.push_cache.fidelity(tile.key),
         )
 
     # The connection contract every front end shares.
@@ -1308,10 +1337,19 @@ class AsyncSocketTransport:
             return protocol.decode_wire(raw)
 
     def _absorb_push(self, message: PushTile) -> None:
-        """File one unsolicited pushed tile into its session's cache."""
+        """File one unsolicited pushed tile into its session's cache.
+
+        A coarse frame (``fidelity < 1``) is upsampled back to full tile
+        shape — the stand-in a client renders while the refinement frame
+        is still in flight; the cache's fidelity tracking upgrades it in
+        place when that frame lands.
+        """
         cache = self._push_caches.get(message.session_id)
         if cache is not None and message.payload is not None:
-            cache.put(message.payload.to_tile())
+            tile = message.payload.to_tile()
+            if message.fidelity < 1.0:
+                tile = upsample_tile(tile, int(round(1.0 / message.fidelity)))
+            cache.put(tile, fidelity=message.fidelity)
 
     async def _recv_frame(self) -> str | bytes:
         while not self._pending:
@@ -1440,6 +1478,9 @@ class AsyncSocketSessionClient:
             hit=reply.hit,
             phase=reply.to_phase(),
             prefetched=tuple(ref.to_key() for ref in reply.prefetched),
+            # A held tile may still be the coarse stand-in awaiting its
+            # refinement frame; report what this cache actually holds.
+            fidelity=self.push_cache.fidelity(tile.key),
         )
 
     async def close(self) -> None:

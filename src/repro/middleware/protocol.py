@@ -350,6 +350,10 @@ class TileResponse:
     ``payload`` carries the tile's dense data when the transport ships
     tiles; metadata-only transports leave it None and resolve the
     ``tile`` reference out of band.
+
+    ``fidelity`` is the linear resolution fraction of the carried tile
+    (1.0 = full resolution).  It is omitted from the wire form when
+    full — legacy and fidelity-off peers stay wire-byte-identical.
     """
 
     session_id: str
@@ -359,6 +363,7 @@ class TileResponse:
     phase: str | None = None
     prefetched: tuple[TileRef, ...] = field(default_factory=tuple)
     payload: TilePayload | None = None
+    fidelity: float = 1.0
 
     @classmethod
     def from_result(
@@ -382,13 +387,14 @@ class TileResponse:
                 if include_payload
                 else None
             ),
+            fidelity=getattr(result, "fidelity", 1.0),
         )
 
     def to_phase(self) -> AnalysisPhase | None:
         return AnalysisPhase.from_string(self.phase) if self.phase else None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "session_id": self.session_id,
             "tile": self.tile.to_list(),
             "latency_seconds": self.latency_seconds,
@@ -397,6 +403,11 @@ class TileResponse:
             "prefetched": [ref.to_list() for ref in self.prefetched],
             "payload": self.payload.to_dict() if self.payload else None,
         }
+        # Omitted when full: absent -> 1.0, so fidelity-off replies are
+        # byte-identical to the pre-fidelity protocol revision.
+        if self.fidelity != 1.0:
+            data["fidelity"] = self.fidelity
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "TileResponse":
@@ -411,6 +422,7 @@ class TileResponse:
                 TileRef.from_list(ref) for ref in data.get("prefetched", [])
             ),
             payload=TilePayload.from_dict(payload) if payload else None,
+            fidelity=float(data.get("fidelity", 1.0)),
         )
 
 
@@ -437,9 +449,13 @@ class PushTile:
     #: The scheduler's computed utility for this tile (diagnostic).
     utility: float
     payload: TilePayload | None = None
+    #: Linear resolution fraction of the carried payload (1.0 = full);
+    #: omitted on the wire when full, so fidelity-off push streams are
+    #: byte-identical to the pre-fidelity revision.
+    fidelity: float = 1.0
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "session_id": self.session_id,
             "tile": self.tile.to_list(),
             "rank": self.rank,
@@ -447,6 +463,9 @@ class PushTile:
             "utility": self.utility,
             "payload": self.payload.to_dict() if self.payload else None,
         }
+        if self.fidelity != 1.0:
+            data["fidelity"] = self.fidelity
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "PushTile":
@@ -458,6 +477,7 @@ class PushTile:
             generation=int(data["generation"]),
             utility=float(data["utility"]),
             payload=TilePayload.from_dict(payload) if payload else None,
+            fidelity=float(data.get("fidelity", 1.0)),
         )
 
 

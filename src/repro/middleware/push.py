@@ -64,6 +64,12 @@ PUSH_MODEL = "push"
 #: ranks in contention rather than collapsing onto rank 0.
 CONFIDENCE_DECAY = 0.8
 
+#: Floor of the per-level cost estimate (bytes).  Committed-frame EMAs
+#: live in the thousands; without a floor a degenerate observation (an
+#: empty or near-empty frame) would make ``"density"`` divide by (near)
+#: zero and that level would dwarf every other utility in the queue.
+MIN_LEVEL_COST = 1.0
+
 
 @dataclass(frozen=True)
 class PushJob:
@@ -77,6 +83,10 @@ class PushJob:
     #: The session's push generation when the job was queued.
     generation: int
     utility: float
+    #: Linear resolution fraction the streamed frame should carry
+    #: (1.0 = the full tile; < 1.0 = a coarse stand-in the client will
+    #: hold until a refinement frame upgrades it).
+    fidelity: float = 1.0
 
 
 @dataclass
@@ -89,10 +99,17 @@ class _PushSession:
     #: Pushed this connection, not yet confirmed by a digest: key ->
     #: frame bytes (counts against ``max_inflight``).
     unacked: dict[TileKey, int] = field(default_factory=dict)
+    #: Tiles whose *latest* streamed frame was coarse — refinement
+    #: candidates the dedup must not swallow (progressive mode only).
+    coarse: set[TileKey] = field(default_factory=set)
     #: Jobs of the current round still waiting to be streamed.
     queued: list[PushJob] = field(default_factory=list)
     #: Bytes streamed in the current round (reset by ``begin_round``).
     round_bytes: int = 0
+    #: The session's fair-share byte allowance, snapshotted when its
+    #: round begins — sessions joining or leaving mid-round must not
+    #: silently change what this round may still stream.
+    allowance: int = 0
 
 
 class PushScheduler:
@@ -126,6 +143,8 @@ class PushScheduler:
         hotspot_top_n: int = 8,
         hotspot_boost: float = 2.0,
         confidence_decay: float = CONFIDENCE_DECAY,
+        progressive: bool = False,
+        reduction: int = 4,
     ) -> None:
         if budget_bytes < 1:
             raise ValueError(f"budget_bytes must be >= 1, got {budget_bytes}")
@@ -134,6 +153,12 @@ class PushScheduler:
         if utility not in PUSH_UTILITIES:
             raise ValueError(
                 f"utility must be one of {PUSH_UTILITIES}, got {utility!r}"
+            )
+        if not isinstance(reduction, int) or reduction < 2 or reduction & (
+            reduction - 1
+        ):
+            raise ValueError(
+                f"reduction must be a power of two >= 2, got {reduction!r}"
             )
         if hotspot_top_n < 1:
             raise ValueError(f"hotspot_top_n must be >= 1, got {hotspot_top_n}")
@@ -150,6 +175,12 @@ class PushScheduler:
         self.hotspot_top_n = hotspot_top_n
         self.hotspot_boost = hotspot_boost
         self.confidence_decay = confidence_decay
+        #: Fidelity-aware rounds: queue a coarse frame per predicted
+        #: tile first, then spend leftover budget on full-fidelity
+        #: refinement frames (``reduction`` is the coarse downsampling
+        #: factor per axis).
+        self.progressive = progressive
+        self.reduction = reduction
         self._sessions: dict[str, _PushSession] = {}
         #: Per-level average committed frame bytes (the "density" cost
         #: estimate; levels not yet seen fall back to the global mean).
@@ -161,13 +192,21 @@ class PushScheduler:
         self.cancelled_jobs = 0
         self.deduped_jobs = 0
         self.deferred_jobs = 0
+        self.skipped_oversize = 0
+        self.coarse_tiles = 0
+        self.refined_tiles = 0
 
     # ------------------------------------------------------------------
     # session lifecycle
     # ------------------------------------------------------------------
     def open_session(self, session_id: str) -> None:
         """Register a live push session (joins the fair share)."""
-        self._sessions.setdefault(str(session_id), _PushSession())
+        sid = str(session_id)
+        if sid not in self._sessions:
+            self._sessions[sid] = _PushSession()
+            # A usable snapshot before the first round (direct-commit
+            # callers); refreshed by every begin_round.
+            self._sessions[sid].allowance = self.allowance_bytes()
 
     def forget_session(self, session_id: str) -> None:
         """Drop a departed session and everything it had queued or in
@@ -188,7 +227,13 @@ class PushScheduler:
     # the push loop
     # ------------------------------------------------------------------
     def allowance_bytes(self) -> int:
-        """One session's fair share of the round's downstream budget."""
+        """One session's *current* fair share of the round budget.
+
+        Live value — what a round starting now would be granted.  The
+        budget a round actually charges against is the snapshot taken
+        by :meth:`begin_round`, so sessions joining or leaving mid-round
+        cannot move an in-progress round's goalposts.
+        """
         return self.budget_bytes // max(1, len(self._sessions))
 
     def acknowledge(self, session_id: str, held) -> None:
@@ -204,6 +249,8 @@ class PushScheduler:
             return
         state.held = set(held)
         state.unacked.clear()
+        # A coarse tile the client no longer holds needs no refinement.
+        state.coarse &= state.held
 
     def begin_round(self, session_id: str, predictions) -> int:
         """Start a new push round from a prediction list.
@@ -214,6 +261,14 @@ class PushScheduler:
         the client neither holds nor has in flight.  Returns the number
         of jobs queued.  ``predictions`` is the engine's attributed
         ranking: ``[(TileKey, model), ...]``, best first.
+
+        In progressive mode every fresh prediction queues *two* jobs —
+        a coarse stand-in first, a full-fidelity refinement after — and
+        the coarse phase of the whole round precedes the refinement
+        phase, so the budget covers every predicted tile at low
+        resolution before it polishes any of them.  A tile the client
+        already holds *coarse* queues a refinement only (the dedup must
+        not swallow the upgrade).
         """
         state = self._sessions.get(str(session_id))
         if state is None:
@@ -221,6 +276,7 @@ class PushScheduler:
         self.cancelled_jobs += len(state.queued)
         state.queued = []
         state.round_bytes = 0
+        state.allowance = self.allowance_bytes()
         state.generation += 1
         self.rounds += 1
         hot: frozenset[TileKey] = frozenset()
@@ -228,29 +284,44 @@ class PushScheduler:
             hot = frozenset(
                 self.hotspot_registry.hot_keys(self.hotspot_top_n)
             )
+        coarse_fidelity = 1.0 / self.reduction
         jobs: list[PushJob] = []
+        refinements: list[PushJob] = []
         seen: set[TileKey] = set()
         for rank, (key, model) in enumerate(predictions):
             if key in seen:
                 continue
             seen.add(key)
-            if key in state.held or key in state.unacked:
-                self.deduped_jobs += 1
-                continue
-            jobs.append(
-                PushJob(
+
+            def job(fidelity: float) -> PushJob:
+                return PushJob(
                     session_id=str(session_id),
                     key=key,
                     model=model,
                     rank=rank,
                     generation=state.generation,
                     utility=self._utility(key, rank, hot),
+                    fidelity=fidelity,
                 )
-            )
-        # Utility descending; rank then key break ties deterministically.
-        jobs.sort(key=lambda job: (-job.utility, job.rank, job.key))
-        state.queued = jobs
-        return len(jobs)
+
+            if key in state.held or key in state.unacked:
+                if self.progressive and key in state.coarse:
+                    refinements.append(job(1.0))
+                    continue
+                self.deduped_jobs += 1
+                continue
+            if self.progressive:
+                jobs.append(job(coarse_fidelity))
+                refinements.append(job(1.0))
+            else:
+                jobs.append(job(1.0))
+        # Utility descending within each phase; rank then key break ties
+        # deterministically.
+        order = lambda job: (-job.utility, job.rank, job.key)  # noqa: E731
+        jobs.sort(key=order)
+        refinements.sort(key=order)
+        state.queued = jobs + refinements
+        return len(state.queued)
 
     def _utility(self, key: TileKey, rank: int, hot: frozenset[TileKey]) -> float:
         confidence = self.confidence_decay**rank
@@ -261,10 +332,25 @@ class PushScheduler:
         return confidence
 
     def _estimated_cost(self, level: int) -> float:
+        """Estimated frame bytes of one tile at ``level``.
+
+        Cold start (no frame committed anywhere yet) returns the unit
+        cost for every level, so ``"density"`` degenerates to the pure
+        confidence ordering instead of inventing level preferences from
+        no data.  Once any level has been observed, unseen levels
+        borrow the global mean — which keeps their estimates on the
+        same *byte* scale as observed levels (mixing the unit cost with
+        multi-kilobyte observations would make unseen levels look
+        thousands of times cheaper).  Estimates are floored at
+        :data:`MIN_LEVEL_COST` so a degenerate observation can never
+        divide a utility by (near) zero.
+        """
         cost = self._level_cost.get(level)
-        if cost is None and self._level_cost:
+        if cost is None:
+            if not self._level_cost:
+                return MIN_LEVEL_COST
             cost = sum(self._level_cost.values()) / len(self._level_cost)
-        return cost if cost else 1.0
+        return max(cost, MIN_LEVEL_COST)
 
     def next_job(self, session_id: str) -> PushJob | None:
         """The round's next streamable job, or None when the session's
@@ -273,6 +359,13 @@ class PushScheduler:
         if state is None or not state.queued:
             return None
         if len(state.unacked) >= self.max_inflight:
+            # A refinement of a tile already in flight re-uses its
+            # unacked slot, so it may stream past the cap.  (Outside
+            # progressive mode begin_round dedups queued jobs against
+            # unacked, so this scan never matches.)
+            for index, job in enumerate(state.queued):
+                if job.key in state.unacked:
+                    return state.queued.pop(index)
             return None
         return state.queued.pop(0)
 
@@ -289,15 +382,26 @@ class PushScheduler:
         connection* — on a negotiated-binary connection push frames are
         several times smaller than their JSON form, so the same byte
         budget streams proportionally more tiles per round.
+
+        The budget charged is the allowance *snapshotted* when the
+        round began: a session opening or closing mid-round changes the
+        next round's fair share, never this round's remaining bytes.
         """
         state = self._sessions.get(job.session_id)
         if state is None:
             return False
-        if state.round_bytes + frame_bytes > self.allowance_bytes():
+        if state.round_bytes + frame_bytes > state.allowance:
             self.deferred_jobs += 1
             return False
         state.round_bytes += frame_bytes
         state.unacked[job.key] = frame_bytes
+        if job.fidelity < 1.0:
+            state.coarse.add(job.key)
+            self.coarse_tiles += 1
+        else:
+            if job.key in state.coarse:
+                state.coarse.discard(job.key)
+                self.refined_tiles += 1
         self.pushed_tiles += 1
         self.pushed_bytes += frame_bytes
         # Running per-level cost average feeds the "density" utility.
@@ -313,6 +417,23 @@ class PushScheduler:
         """Drop an unstreamable job (e.g. its frame exceeds the frame
         limit) without charging the budget."""
         self.deferred_jobs += 1
+
+    def skip_oversize(self, job: PushJob, frame_bytes: int) -> bool:
+        """True when this frame exceeds the round's *whole* allowance.
+
+        Such a job could never pass :meth:`commit` — not this round, not
+        any round at this session count — so re-queueing it as deferred
+        would make it clog the head of every future round.  The caller
+        should skip it (dropping it for good) and move on to the next
+        job, which may well fit.
+        """
+        state = self._sessions.get(job.session_id)
+        if state is None:
+            return True
+        if frame_bytes > state.allowance:
+            self.skipped_oversize += 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # introspection
@@ -339,6 +460,9 @@ class PushScheduler:
             "cancelled_jobs": self.cancelled_jobs,
             "deduped_jobs": self.deduped_jobs,
             "deferred_jobs": self.deferred_jobs,
+            "skipped_oversize": self.skipped_oversize,
+            "coarse_tiles": self.coarse_tiles,
+            "refined_tiles": self.refined_tiles,
         }
 
     def __repr__(self) -> str:
@@ -358,6 +482,11 @@ class PushCache:
     client reports to the server as its held set, so eviction here is
     automatically reconciled server-side (an evicted tile becomes
     pushable again).
+
+    Progressive push streams a tile twice: a coarse stand-in first, a
+    full-resolution refinement later.  ``put`` upgrades a held tile in
+    place when the incoming frame carries *better* fidelity and ignores
+    downgrades (a stale coarse frame must never clobber a full tile).
     """
 
     def __init__(self, capacity: int = 32) -> None:
@@ -365,20 +494,35 @@ class PushCache:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._tiles: OrderedDict[TileKey, DataTile] = OrderedDict()
+        self._fidelity: dict[TileKey, float] = {}
         self.hits = 0
         self.misses = 0
         self.pushed = 0
         self.evicted = 0
+        self.upgraded = 0
+        self.downgrades_ignored = 0
 
-    def put(self, tile: DataTile) -> None:
-        """Admit one pushed tile (refreshes recency on re-push)."""
+    def put(self, tile: DataTile, fidelity: float = 1.0) -> None:
+        """Admit one pushed tile (refreshes recency on re-push).
+
+        A held tile is replaced only by equal-or-better fidelity; an
+        improving replacement counts as an in-place *upgrade*.
+        """
         key = tile.key
         if key in self._tiles:
+            held = self._fidelity.get(key, 1.0)
+            if fidelity < held:
+                self.downgrades_ignored += 1
+                return
+            if fidelity > held:
+                self.upgraded += 1
             self._tiles.move_to_end(key)
         self._tiles[key] = tile
+        self._fidelity[key] = fidelity
         self.pushed += 1
         while len(self._tiles) > self.capacity:
-            self._tiles.popitem(last=False)
+            victim, _ = self._tiles.popitem(last=False)
+            self._fidelity.pop(victim, None)
             self.evicted += 1
 
     def get(self, key: TileKey) -> DataTile | None:
@@ -391,12 +535,17 @@ class PushCache:
         self.hits += 1
         return tile
 
+    def fidelity(self, key: TileKey) -> float:
+        """Fidelity of the held tile for ``key`` (1.0 when not held)."""
+        return self._fidelity.get(key, 1.0)
+
     def digest(self) -> list[TileKey]:
         """The held tiles, sorted — the wire-ready ``held`` list."""
         return sorted(self._tiles)
 
     def clear(self) -> None:
         self._tiles.clear()
+        self._fidelity.clear()
 
     def __contains__(self, key: TileKey) -> bool:
         return key in self._tiles

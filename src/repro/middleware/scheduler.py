@@ -114,6 +114,8 @@ class PrefetchScheduler:
         hotspot_registry: "SharedHotspotRegistry | None" = None,
         hotspot_top_n: int = 8,
         hotspot_boost: int = 2,
+        shed_queue_depth: int | None = None,
+        shed_keep_k: int = 2,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"worker pool needs >= 1 workers, got {max_workers}")
@@ -125,12 +127,24 @@ class PrefetchScheduler:
             raise ValueError(f"hotspot_top_n must be >= 1, got {hotspot_top_n}")
         if hotspot_boost < 0:
             raise ValueError(f"hotspot_boost must be >= 0, got {hotspot_boost}")
+        if shed_queue_depth is not None and shed_queue_depth < 1:
+            raise ValueError(
+                f"shed_queue_depth must be >= 1, got {shed_queue_depth}"
+            )
+        if shed_keep_k < 1:
+            raise ValueError(f"shed_keep_k must be >= 1, got {shed_keep_k}")
         self.cache_manager = cache_manager
         self.max_workers = max_workers
         self.admission = admission
         self.hotspot_registry = hotspot_registry
         self.hotspot_top_n = hotspot_top_n
         self.hotspot_boost = hotspot_boost
+        #: Overload shedding: once this many jobs are pending, a new
+        #: round admits only its ``shed_keep_k`` best-ranked tiles and
+        #: drops the low-rank tail (None = never shed, the default —
+        #: bit-identical to the pre-shedding scheduler).
+        self.shed_queue_depth = shed_queue_depth
+        self.shed_keep_k = shed_keep_k
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         #: Heap of ``(sort_key, job)``; sort keys are unique (they end
@@ -154,6 +168,7 @@ class PrefetchScheduler:
         self.jobs_completed = 0
         self.jobs_cancelled = 0
         self.jobs_failed = 0
+        self.jobs_shed = 0
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"{name}-{i}", daemon=True
@@ -217,6 +232,21 @@ class PrefetchScheduler:
             self._generation[session_id] = generation
             deficit = max(self._deficit.get(session_id, 0), floor)
             self._deficit[session_id] = deficit
+            if (
+                self.shed_queue_depth is not None
+                and self._pending >= self.shed_queue_depth
+            ):
+                # Overloaded: the backlog already exceeds what the pool
+                # can drain before this round goes stale, so queueing the
+                # low-rank tail only adds pop-time cancellation work.
+                # Keep the few predictions most likely to be the next
+                # request; shed the rest *at admission*, before they ever
+                # hold a heap slot.
+                kept = [
+                    entry for entry in ranked if entry[0] < self.shed_keep_k
+                ]
+                self.jobs_shed += len(ranked) - len(kept)
+                ranked = kept
             jobs = [
                 PrefetchJob(
                     key=key,
@@ -243,6 +273,12 @@ class PrefetchScheduler:
                 self._idle.clear()
             self._work.notify(len(jobs))
         return jobs
+
+    @property
+    def queue_depth(self) -> int:
+        """Jobs queued or running right now (the overload load signal)."""
+        with self._lock:
+            return self._pending
 
     def cancel_session(self, session_id: Hashable) -> None:
         """Drop a session's queued jobs and forget the session.

@@ -52,6 +52,7 @@ from repro.middleware.protocol import (
 from repro.middleware.scheduler import PrefetchScheduler
 from repro.phases.model import AnalysisPhase
 from repro.tiles.key import TileKey
+from repro.tiles.reduce import carve_fidelity, carve_from_ancestor
 from repro.tiles.moves import Move
 from repro.tiles.pyramid import TilePyramid
 from repro.tiles.tile import DataTile
@@ -66,6 +67,10 @@ class TileResponse:
     hit: bool
     phase: AnalysisPhase | None
     prefetched: tuple[TileKey, ...] = field(default_factory=tuple)
+    #: Linear resolution fraction of the payload: 1.0 is the real tile;
+    #: under overload (``PrefetchPolicy.fidelity="progressive"``) an
+    #: ancestor-carved stand-in reports ``2**-depth``.
+    fidelity: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -236,6 +241,12 @@ class ForeCacheService:
                 ),
                 hotspot_top_n=policy.hotspot_top_n,
                 hotspot_boost=policy.hotspot_boost,
+                # Shedding only arms with progressive fidelity; off mode
+                # keeps the scheduler bit-identical to earlier builds.
+                shed_queue_depth=(
+                    policy.shed_queue_depth if policy.fidelity_enabled else None
+                ),
+                shed_keep_k=policy.shed_keep_k,
             )
             self._owns_scheduler = True
         self.scheduler = scheduler
@@ -247,6 +258,13 @@ class ForeCacheService:
         self._sessions: dict[Hashable, _SessionRecord] = {}
         self._auto_session = 0
         self._closed = False
+        #: Degraded-serving state (``fidelity="progressive"`` only):
+        #: consecutive real misses across all sessions — the
+        #: deterministic overload signal — plus a counter of requests
+        #: answered from a cached ancestor instead of the backend.
+        self._miss_lock = threading.Lock()
+        self._miss_streak = 0
+        self.degraded_served = 0
 
     # ------------------------------------------------------------------
     # session lifecycle
@@ -404,8 +422,78 @@ class ForeCacheService:
                 f"session {record.session_id!r} is closed",
                 session_id=str(record.session_id),
             )
+        if self.config.prefetch.fidelity_enabled and self._overloaded():
+            degraded = self._degraded_response(record, move, key)
+            if degraded is not None:
+                return degraded
         outcome = self.cache_manager.fetch(key)
         return self._complete_request(record, move, key, outcome)
+
+    def _overloaded(self) -> bool:
+        """Is the service past its shedding thresholds right now?
+
+        Two signals, either trips it: the *physical* backlog (queued
+        prefetch jobs plus in-flight backend loads, against
+        ``shed_queue_depth``) and the *deterministic* miss streak
+        (consecutive real misses against ``shed_miss_streak``, which a
+        replay reproduces exactly — physical queue depths depend on
+        worker timing).
+        """
+        policy = self.config.prefetch
+        depth = self.cache_manager.inflight_count
+        if self.scheduler is not None:
+            depth += self.scheduler.queue_depth
+        if depth >= policy.shed_queue_depth:
+            return True
+        if policy.shed_miss_streak > 0:
+            with self._miss_lock:
+                return self._miss_streak >= policy.shed_miss_streak
+        return False
+
+    def _degraded_response(
+        self, record: _SessionRecord, move: Move | None, key: TileKey
+    ) -> TileResponse | None:
+        """Answer from a cached ancestor at reduced fidelity, if one is
+        resident.
+
+        The quadtree makes an ancestor's sub-block an exact (coarse)
+        stand-in for the requested tile, so under overload the service
+        trades resolution for latency instead of queueing on the
+        backend.  Probes are pure (:meth:`CacheManager.peek`) — they
+        never distort hit counters or LRU order.  Returns None when the
+        real tile is already resident (serve it full-res) or no
+        ancestor within the reduction budget is cached (the request
+        must pay the backend either way, so degrading would only lose
+        resolution without saving any time).
+        """
+        if self.cache_manager.peek(key) is not None:
+            return None
+        max_depth = self.config.prefetch.fidelity_reduction.bit_length() - 1
+        for depth in range(1, max_depth + 1):
+            level = key.level - depth
+            if level < 0:
+                break
+            ancestor = self.cache_manager.peek(key.ancestor(level))
+            if ancestor is None:
+                continue
+            tile = carve_from_ancestor(ancestor, key)
+            with self._miss_lock:
+                self.degraded_served += 1
+            # Served from memory: charge the hit-path latency.  The
+            # streak is left alone — only a *real* hit clears overload.
+            latency = self.latency_model.response_seconds(True, 0.0)
+            phase, prefetched = self._observe_and_predict(
+                record, move, key, latency, True
+            )
+            return TileResponse(
+                tile=tile,
+                latency_seconds=latency,
+                hit=True,
+                phase=phase,
+                prefetched=prefetched,
+                fidelity=carve_fidelity(level, key.level),
+            )
+        return None
 
     def _complete_request(
         self, record: _SessionRecord, move: Move | None, key: TileKey, outcome
@@ -418,6 +506,12 @@ class ForeCacheService:
         the round — latency accounting, observe/predict, prefetch
         scheduling — without re-entering the fetch path.
         """
+        if self.config.prefetch.fidelity_enabled:
+            with self._miss_lock:
+                if outcome.hit:
+                    self._miss_streak = 0
+                else:
+                    self._miss_streak += 1
         latency = self.latency_model.response_seconds(
             outcome.hit, outcome.backend_seconds
         )

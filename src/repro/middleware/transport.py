@@ -94,6 +94,7 @@ def response_to_client(message) -> TileResponse:
         hit=message.hit,
         phase=message.to_phase(),
         prefetched=tuple(ref.to_key() for ref in message.prefetched),
+        fidelity=message.fidelity,
     )
 
 

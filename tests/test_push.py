@@ -108,6 +108,37 @@ class TestPushCache:
         cache.clear()
         assert len(cache) == 0 and cache.digest() == []
 
+    def test_put_upgrades_in_place_and_ignores_downgrades(
+        self, small_dataset
+    ):
+        cache = PushCache(capacity=4)
+        k = key(1, 0, 0)
+        coarse = self.tile(small_dataset, k)
+        full = self.tile(small_dataset, k)
+        cache.put(coarse, fidelity=0.25)
+        assert cache.fidelity(k) == 0.25
+        assert cache.get(k) is coarse
+        # The refinement replaces the held tile in place.
+        cache.put(full, fidelity=1.0)
+        assert cache.upgraded == 1
+        assert cache.fidelity(k) == 1.0
+        assert cache.get(k) is full
+        assert len(cache) == 1  # an upgrade is not a second entry
+        # A stale coarse frame must never clobber the full tile.
+        cache.put(coarse, fidelity=0.25)
+        assert cache.downgrades_ignored == 1
+        assert cache.get(k) is full
+        assert cache.fidelity(k) == 1.0
+
+    def test_eviction_forgets_fidelity(self, small_dataset):
+        cache = PushCache(capacity=1)
+        a, b = key(1, 0, 0), key(1, 1, 0)
+        cache.put(self.tile(small_dataset, a), fidelity=0.25)
+        cache.put(self.tile(small_dataset, b))
+        assert a not in cache
+        # Unheld keys report full fidelity (nothing to refine).
+        assert cache.fidelity(a) == 1.0
+
 
 # ----------------------------------------------------------------------
 # PushScheduler units
@@ -264,6 +295,195 @@ class TestPushScheduler:
         scheduler.open_session("a")
         stats = scheduler.stats()
         assert stats["sessions"] == 1 and stats["rounds"] == 0
+
+    def test_mid_round_join_does_not_move_the_round_budget(self):
+        # Regression: commit used to recompute the fair share live, so a
+        # session joining mid-round silently shrank what an in-progress
+        # round could still stream.  The round must charge the allowance
+        # snapshotted at begin_round.
+        scheduler = PushScheduler(budget_bytes=3000, max_inflight=8)
+        scheduler.open_session("a")
+        scheduler.begin_round(
+            "a", predictions(key(1, 0, 0), key(1, 1, 0), key(1, 0, 1))
+        )
+        assert scheduler.commit(scheduler.next_job("a"), 1000)
+        scheduler.open_session("b")  # live share drops to 1500 ...
+        assert scheduler.allowance_bytes() == 1500
+        # ... but a's round keeps its 3000-byte snapshot.
+        assert scheduler.commit(scheduler.next_job("a"), 1000)
+        assert scheduler.commit(scheduler.next_job("a"), 1000)
+        assert scheduler.deferred_jobs == 0
+        # The *next* round is granted the new, smaller share.
+        scheduler.acknowledge("a", [])
+        scheduler.begin_round("a", predictions(key(2, 0, 0)))
+        assert not scheduler.commit(scheduler.next_job("a"), 1600)
+
+    def test_oversized_frame_is_skipped_not_requeued(self):
+        # A frame larger than the whole fair share can never pass
+        # commit; the old behavior deferred it every round forever.
+        scheduler = PushScheduler(budget_bytes=1000, max_inflight=8)
+        scheduler.open_session("a")
+        scheduler.begin_round("a", predictions(key(1, 0, 0), key(1, 1, 0)))
+        giant = scheduler.next_job("a")
+        assert scheduler.skip_oversize(giant, 5000)
+        assert scheduler.skipped_oversize == 1
+        # The next job still fits and streams normally.
+        job = scheduler.next_job("a")
+        assert not scheduler.skip_oversize(job, 400)
+        assert scheduler.commit(job, 400)
+        assert scheduler.stats()["skipped_oversize"] == 1
+        assert scheduler.pushed_tiles == 1
+
+    def test_skip_oversize_for_a_forgotten_session(self):
+        scheduler = PushScheduler(budget_bytes=1000, max_inflight=8)
+        scheduler.open_session("a")
+        scheduler.begin_round("a", predictions(key(1, 0, 0)))
+        job = scheduler.next_job("a")
+        scheduler.forget_session("a")
+        assert scheduler.skip_oversize(job, 10)  # nowhere to stream it
+
+    def test_density_cold_start_is_pure_confidence_order(self):
+        # Regression: with no committed frames the per-level cost table
+        # is empty; the estimate must degenerate to a uniform unit cost
+        # (pure confidence order), not invent level preferences or
+        # divide by zero.
+        scheduler = PushScheduler(
+            budget_bytes=10**6, max_inflight=8, utility="density"
+        )
+        scheduler.open_session("a")
+        scheduler.begin_round(
+            "a", predictions(key(2, 0, 0), key(1, 0, 0), key(3, 0, 0))
+        )
+        jobs = []
+        while (job := scheduler.next_job("a")) is not None:
+            jobs.append(job)
+            scheduler.commit(job, 100)
+        assert [j.rank for j in jobs] == [0, 1, 2]
+        assert jobs[0].utility == pytest.approx(1.0)
+        assert jobs[1].utility == pytest.approx(0.8)
+
+    def test_density_unseen_level_borrows_the_global_mean(self):
+        # Once any level has real observations, an unseen level must be
+        # priced at the observed byte scale — not at the unit cold-start
+        # cost, which would make it look thousands of times cheaper.
+        scheduler = PushScheduler(
+            budget_bytes=10**7, max_inflight=8, utility="density"
+        )
+        scheduler.open_session("a")
+        scheduler.begin_round("a", predictions(key(1, 0, 0)))
+        scheduler.commit(scheduler.next_job("a"), 10_000)
+        scheduler.acknowledge("a", [])
+        # Level 3 has never been seen; rank order must still hold (the
+        # borrowed mean equals level 1's cost, so confidence decides).
+        scheduler.begin_round(
+            "a", predictions(key(1, 1, 0), key(3, 0, 0))
+        )
+        first = scheduler.next_job("a")
+        assert first.key == key(1, 1, 0)
+        assert first.utility == pytest.approx(1.0 / 10_000)
+
+
+class TestProgressivePushScheduler:
+    def scheduler(self, budget: int = 10**6) -> PushScheduler:
+        scheduler = PushScheduler(
+            budget_bytes=budget,
+            max_inflight=8,
+            progressive=True,
+            reduction=4,
+        )
+        scheduler.open_session("a")
+        return scheduler
+
+    def test_round_queues_coarse_phase_before_refinements(self):
+        scheduler = self.scheduler()
+        queued = scheduler.begin_round(
+            "a", predictions(key(1, 0, 0), key(1, 1, 0))
+        )
+        assert queued == 4  # two coarse + two refinements
+        jobs = []
+        while (job := scheduler.next_job("a")) is not None:
+            jobs.append(job)
+            scheduler.commit(job, 100)
+        # Every predicted tile streams coarse before *any* refinement.
+        assert [j.fidelity for j in jobs] == [0.25, 0.25, 1.0, 1.0]
+        assert [j.key for j in jobs[:2]] == [j.key for j in jobs[2:]]
+        assert scheduler.coarse_tiles == 2
+        assert scheduler.refined_tiles == 2
+
+    def test_budget_exhaustion_leaves_tiles_coarse(self):
+        scheduler = self.scheduler(budget=250)
+        scheduler.begin_round("a", predictions(key(1, 0, 0), key(1, 1, 0)))
+        streamed = []
+        while (job := scheduler.next_job("a")) is not None:
+            if not scheduler.commit(job, 100):
+                break
+            streamed.append(job)
+        # Both coarse frames fit; no refinement does.
+        assert [j.fidelity for j in streamed] == [0.25, 0.25]
+        assert scheduler.coarse_tiles == 2 and scheduler.refined_tiles == 0
+
+    def test_coarse_held_tile_requeues_refinement_not_dedup(self):
+        scheduler = self.scheduler(budget=250)
+        k = key(1, 0, 0)
+        scheduler.begin_round("a", predictions(k))
+        assert scheduler.commit(scheduler.next_job("a"), 100)  # coarse out
+        # The client acks holding the (coarse) tile.
+        scheduler.acknowledge("a", [k])
+        # Same prediction next round: the plain dedup would swallow the
+        # upgrade — a refinement-only job must be queued instead.
+        scheduler.begin_round("a", predictions(k))
+        job = scheduler.next_job("a")
+        assert job is not None and job.fidelity == 1.0 and job.key == k
+        assert scheduler.commit(job, 100)
+        assert scheduler.refined_tiles == 1
+        # Fully refined and held: now the dedup applies.
+        scheduler.acknowledge("a", [k])
+        scheduler.begin_round("a", predictions(k))
+        assert scheduler.next_job("a") is None
+        assert scheduler.deduped_jobs == 1
+
+    def test_new_round_cancels_queued_refinements(self):
+        scheduler = self.scheduler(budget=250)
+        scheduler.begin_round("a", predictions(key(1, 0, 0)))
+        assert scheduler.commit(scheduler.next_job("a"), 100)
+        assert scheduler.queued_jobs("a") == 1  # the refinement, waiting
+        scheduler.begin_round("a", predictions(key(2, 0, 0)))
+        assert scheduler.cancelled_jobs == 1
+
+    def test_refinement_streams_past_the_inflight_cap(self):
+        # A refinement re-uses its tile's unacked slot, so it must not
+        # deadlock behind max_inflight.
+        scheduler = PushScheduler(
+            budget_bytes=10**6,
+            max_inflight=1,
+            progressive=True,
+            reduction=4,
+        )
+        scheduler.open_session("a")
+        scheduler.begin_round("a", predictions(key(1, 0, 0)))
+        coarse = scheduler.next_job("a")
+        assert coarse.fidelity == 0.25
+        assert scheduler.commit(coarse, 100)
+        refine = scheduler.next_job("a")  # cap is full, same key passes
+        assert refine is not None and refine.fidelity == 1.0
+        assert scheduler.commit(refine, 400)
+        assert scheduler.inflight_tiles("a") == 1
+
+    def test_client_eviction_clears_coarse_tracking(self):
+        scheduler = self.scheduler(budget=250)
+        k = key(1, 0, 0)
+        scheduler.begin_round("a", predictions(k))
+        assert scheduler.commit(scheduler.next_job("a"), 100)
+        # Digest without the tile: the client evicted the coarse copy.
+        scheduler.acknowledge("a", [])
+        scheduler.begin_round("a", predictions(k))
+        # Fresh push again (coarse first), not a refinement of nothing.
+        job = scheduler.next_job("a")
+        assert job.fidelity == 0.25
+
+    def test_reduction_validation(self):
+        with pytest.raises(ValueError, match="power of two"):
+            PushScheduler(budget_bytes=1024, max_inflight=1, reduction=3)
 
 
 # ----------------------------------------------------------------------
@@ -487,6 +707,45 @@ class TestPushEndToEnd:
                 return hits
 
         assert asyncio.run(drive()) > 0
+
+    def test_progressive_push_refines_client_tiles_in_place(
+        self, small_dataset
+    ):
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=4, push="on", fidelity="progressive"),
+            cache=CacheConfig(recent_capacity=4, prefetch_capacity=8),
+        )
+        with ThreadedSocketServer(
+            small_dataset.pyramid,
+            config,
+            engine_factory=engine_factory(small_dataset.pyramid),
+        ) as server:
+            with SocketTransport(
+                *server.address,
+                pyramid=small_dataset.pyramid,
+                push=True,
+                push_cache_capacity=64,
+            ) as transport:
+                conn = transport.connect()
+                for move, k in PAN_WALK:
+                    response = conn.handle_request(move, k)
+                    assert response.tile.key == k
+                    # Request/reply responses are always full fidelity.
+                    assert response.tile.shape == (32, 32)
+                cache = conn.push_cache
+                scheduler = server.server.push_scheduler
+                stats = scheduler.stats()
+                # Coarse frames streamed, and refinements landed as
+                # in-place upgrades on the client.
+                assert stats["coarse_tiles"] > 0
+                assert stats["refined_tiles"] > 0
+                assert cache.upgraded > 0
+                assert cache.downgrades_ignored == 0
+                # Every held tile is full tile shape (coarse stand-ins
+                # are upsampled on arrival) at a tracked fidelity.
+                for k in cache.digest():
+                    assert cache.get(k).shape == (32, 32)
+                    assert 0.0 < cache.fidelity(k) <= 1.0
 
     def test_push_requires_payload_serving(self, small_dataset):
         with pytest.raises(ValueError, match="metadata-only"):

@@ -428,3 +428,173 @@ class TestSchedulingKnobs:
                 + scheduler.jobs_failed
             )
             assert scheduler.jobs_failed == 0
+
+
+class TestProgressiveFidelity:
+    """The overload ladder: config knobs, admission-time shedding in the
+    prefetch scheduler, and degraded (ancestor-carved) serving."""
+
+    def test_rejects_bad_fidelity_knobs(self):
+        with pytest.raises(ValueError):
+            PrefetchPolicy(fidelity="lossy")
+        with pytest.raises(ValueError):
+            PrefetchPolicy(fidelity_reduction=3)
+        with pytest.raises(ValueError):
+            PrefetchPolicy(fidelity_reduction=1)
+        with pytest.raises(ValueError):
+            PrefetchPolicy(shed_queue_depth=0)
+        with pytest.raises(ValueError):
+            PrefetchPolicy(shed_miss_streak=-1)
+        with pytest.raises(ValueError):
+            PrefetchPolicy(shed_keep_k=0)
+
+    def test_fidelity_defaults_off(self):
+        policy = PrefetchPolicy()
+        assert policy.fidelity == "off"
+        assert not policy.fidelity_enabled
+        assert PrefetchPolicy(fidelity="progressive").fidelity_enabled
+
+    def test_shedding_arms_only_with_progressive_fidelity(
+        self, small_dataset
+    ):
+        background = PrefetchPolicy(mode="background", shed_queue_depth=4)
+        with ForeCacheService(
+            small_dataset.pyramid,
+            ServiceConfig(prefetch=background),
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        ) as svc:
+            assert svc.scheduler.shed_queue_depth is None
+        armed = PrefetchPolicy(
+            mode="background", fidelity="progressive", shed_queue_depth=4
+        )
+        with ForeCacheService(
+            small_dataset.pyramid,
+            ServiceConfig(prefetch=armed),
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        ) as svc:
+            assert svc.scheduler.shed_queue_depth == 4
+            assert svc.scheduler.shed_keep_k == 2
+
+    def test_scheduler_sheds_low_rank_tail_under_backlog(self, small_dataset):
+        from repro.middleware.scheduler import PrefetchScheduler
+
+        manager = CacheManager(
+            small_dataset.pyramid, backend_delay_seconds=0.1
+        )
+        with PrefetchScheduler(
+            manager,
+            max_workers=1,
+            shed_queue_depth=2,
+            shed_keep_k=2,
+        ) as scheduler:
+            first = [
+                (TileKey(3, x, 0), "momentum") for x in range(4)
+            ]
+            scheduler.schedule(first, session_id="a")
+            assert scheduler.queue_depth >= 2  # backlog past the threshold
+            second = [
+                (TileKey(3, x, 1), "momentum") for x in range(5)
+            ]
+            jobs = scheduler.schedule(second, session_id="b")
+            # Only the keep_k best-ranked survive admission.
+            assert len(jobs) == 2
+            assert [job.rank for job in jobs] == [0, 1]
+            assert scheduler.jobs_shed == 3
+            assert scheduler.wait_idle(timeout=10)
+
+    def test_no_shedding_when_disarmed(self, small_dataset):
+        from repro.middleware.scheduler import PrefetchScheduler
+
+        manager = CacheManager(
+            small_dataset.pyramid, backend_delay_seconds=0.1
+        )
+        with PrefetchScheduler(manager, max_workers=1) as scheduler:
+            scheduler.schedule(
+                [(TileKey(3, x, 0), "momentum") for x in range(4)],
+                session_id="a",
+            )
+            jobs = scheduler.schedule(
+                [(TileKey(3, x, 1), "momentum") for x in range(5)],
+                session_id="b",
+            )
+            assert len(jobs) == 5
+            assert scheduler.jobs_shed == 0
+            assert scheduler.wait_idle(timeout=10)
+
+    def degraded_service(self, small_dataset, **knobs):
+        policy = PrefetchPolicy(
+            k=2,
+            fidelity="progressive",
+            shed_miss_streak=2,
+            fidelity_reduction=4,
+            **knobs,
+        )
+        return ForeCacheService(
+            small_dataset.pyramid,
+            ServiceConfig(
+                prefetch=policy,
+                cache=CacheConfig(recent_capacity=8, prefetch_capacity=4),
+            ),
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        )
+
+    def test_overload_serves_cached_ancestor_at_reduced_fidelity(
+        self, small_dataset
+    ):
+        with self.degraded_service(small_dataset) as svc:
+            session = svc.open_session()
+            # Warm the level-1 ancestor, then trip the miss streak.
+            assert session.request(None, TileKey(1, 0, 0)).fidelity == 1.0
+            session.request(None, TileKey(4, 9, 9))
+            session.request(None, TileKey(5, 20, 20))
+            assert svc._overloaded()
+            response = session.request(None, TileKey(3, 1, 1))
+            # Depth-2 carve from the cached level-1 tile: full shape,
+            # quarter resolution, served at hit latency.
+            assert response.fidelity == 0.25
+            assert response.hit
+            assert response.tile.key == TileKey(3, 1, 1)
+            assert response.tile.shape == (32, 32)
+            assert svc.degraded_served == 1
+
+    def test_no_cached_ancestor_pays_the_backend(self, small_dataset):
+        with self.degraded_service(small_dataset) as svc:
+            session = svc.open_session()
+            session.request(None, TileKey(4, 9, 9))
+            session.request(None, TileKey(5, 20, 20))
+            assert svc._overloaded()
+            # Nothing above this tile is resident: a real (full
+            # fidelity) fetch happens, and is reported as the miss it is.
+            response = session.request(None, TileKey(5, 3, 29))
+            assert response.fidelity == 1.0
+            assert not response.hit
+            assert svc.degraded_served == 0
+
+    def test_real_hit_clears_the_miss_streak(self, small_dataset):
+        with self.degraded_service(small_dataset) as svc:
+            session = svc.open_session()
+            session.request(None, TileKey(4, 9, 9))
+            session.request(None, TileKey(5, 20, 20))
+            assert svc._overloaded()
+            assert session.request(None, TileKey(4, 9, 9)).hit  # resident
+            assert not svc._overloaded()
+            assert svc._miss_streak == 0
+
+    def test_off_mode_never_degrades(self, small_dataset):
+        config = ServiceConfig(
+            prefetch=PrefetchPolicy(k=2, shed_miss_streak=2),
+            cache=CacheConfig(recent_capacity=8, prefetch_capacity=4),
+        )
+        with ForeCacheService(
+            small_dataset.pyramid,
+            config,
+            engine_factory=lambda: make_engine(small_dataset.pyramid.grid),
+        ) as svc:
+            session = svc.open_session()
+            session.request(None, TileKey(1, 0, 0))
+            session.request(None, TileKey(4, 9, 9))
+            session.request(None, TileKey(5, 20, 20))
+            response = session.request(None, TileKey(3, 1, 1))
+            assert response.fidelity == 1.0
+            assert svc.degraded_served == 0
+            assert svc._miss_streak == 0  # off mode never counts

@@ -435,3 +435,132 @@ class TestPushOffConformance:
         assert client_recorder(responses).to_dict() == (
             client_recorder(baseline).to_dict()
         )
+
+
+# ----------------------------------------------------------------------
+# fidelity stays invisible unless switched on
+# ----------------------------------------------------------------------
+FIDELITY_OFF_CONFIG = ServiceConfig(
+    prefetch=PrefetchPolicy(k=5, fidelity="off")
+)
+
+
+class TestFidelityOffConformance:
+    """``fidelity="off"`` (the default) must be bit-identical to the
+    pre-fidelity stack on every front end: same signatures, same client
+    statistics, full-fidelity responses, and not a single extra byte on
+    the wire."""
+
+    def replay_off(self, kind, pyramid, trace):
+        if kind == "inprocess":
+            with ForeCacheService(
+                pyramid,
+                FIDELITY_OFF_CONFIG,
+                engine_factory=engine_factory(pyramid),
+            ) as service:
+                conn = InProcessTransport(service).connect()
+                responses = BrowsingSession(conn).replay(trace)
+                conn.close()
+                return responses
+        if kind == "socket-async":
+
+            async def drive(address):
+                async with await AsyncSocketTransport.open(
+                    *address, pyramid=pyramid
+                ) as transport:
+                    conn = await transport.connect()
+                    responses = await AsyncBrowsingSession(conn).replay(trace)
+                    await conn.close()
+                    return responses
+
+            with ThreadedSocketServer(
+                pyramid,
+                FIDELITY_OFF_CONFIG,
+                engine_factory=engine_factory(pyramid),
+            ) as server:
+                return asyncio.run(drive(server.address))
+        framing = "length" if kind.endswith("length") else "lines"
+        with ThreadedSocketServer(
+            pyramid,
+            FIDELITY_OFF_CONFIG,
+            engine_factory=engine_factory(pyramid),
+            framing=framing,
+        ) as server:
+            with SocketTransport(
+                *server.address, pyramid=pyramid, framing=framing
+            ) as transport:
+                conn = transport.connect()
+                responses = BrowsingSession(conn).replay(trace)
+                conn.close()
+                return responses
+
+    @pytest.mark.parametrize("kind", TRANSPORT_KINDS)
+    def test_explicit_fidelity_off_matches_facade(
+        self, kind, small_dataset, replay_trace, baseline
+    ):
+        responses = self.replay_off(kind, small_dataset.pyramid, replay_trace)
+        assert signature(responses) == signature(baseline)
+        assert client_recorder(responses).to_dict() == (
+            client_recorder(baseline).to_dict()
+        )
+        # Off mode never degrades: every response is the real tile.
+        assert all(r.fidelity == 1.0 for r in responses)
+
+    def test_fidelity_off_wire_is_byte_identical(
+        self, small_dataset, replay_trace
+    ):
+        # The fidelity field is omitted from every full-resolution
+        # response, so an explicit fidelity="off" server leaves the
+        # wire byte-for-byte identical to the default-config server.
+        pyramid = small_dataset.pyramid
+
+        def replay_tapped(config):
+            with ThreadedSocketServer(
+                pyramid, config, engine_factory=engine_factory(pyramid)
+            ) as server:
+                with SocketTransport(
+                    *server.address, pyramid=pyramid, wire_tap=True
+                ) as transport:
+                    conn = transport.connect()
+                    BrowsingSession(conn).replay(replay_trace)
+                    conn.close()
+                    return (
+                        bytes(transport.wire_sent),
+                        bytes(transport.wire_received),
+                    )
+
+        sent_default, received_default = replay_tapped(CONFIG)
+        sent_off, received_off = replay_tapped(FIDELITY_OFF_CONFIG)
+        assert received_off == received_default
+        assert sent_off == sent_default
+
+    def test_full_fidelity_is_absent_from_the_wire_form(self):
+        from repro.middleware import protocol as proto
+        from repro.middleware.protocol import PushTile, TileRef, TileResponse
+
+        response = TileResponse(
+            session_id="s",
+            tile=TileRef.from_key(TileKey(1, 0, 0)),
+            latency_seconds=0.5,
+            hit=True,
+        )
+        assert "fidelity" not in response.to_dict()
+        assert proto.decode(proto.encode(response)).fidelity == 1.0
+        push = PushTile(
+            session_id="s",
+            tile=TileRef.from_key(TileKey(1, 0, 0)),
+            rank=0,
+            generation=1,
+            utility=1.0,
+        )
+        assert "fidelity" not in push.to_dict()
+        # A degraded frame carries the field; absent always means full.
+        degraded = TileResponse(
+            session_id="s",
+            tile=TileRef.from_key(TileKey(1, 0, 0)),
+            latency_seconds=0.5,
+            hit=True,
+            fidelity=0.25,
+        )
+        assert degraded.to_dict()["fidelity"] == 0.25
+        assert proto.decode(proto.encode(degraded)).fidelity == 0.25
