@@ -219,6 +219,21 @@ class SharedHotspotRegistry:
             raise ValueError(f"top_n must be >= 1, got {top_n}")
         return self._snapshot_at(top_n)[1]
 
+    def gossip_snapshot(
+        self, top_n: int | None = None
+    ) -> tuple[int, list[tuple[TileKey, float]]]:
+        """``(tick, snapshot)`` taken from one tick read.
+
+        The gossip wire format carries the tick its weights are
+        expressed at; reading ``tick`` and ``snapshot()`` separately
+        could straddle a concurrent ``advance()`` and mis-stamp the
+        entries by an epoch, so cluster nodes serialize from this
+        atomic pair instead.
+        """
+        if top_n is not None and top_n < 1:
+            raise ValueError(f"top_n must be >= 1, got {top_n}")
+        return self._snapshot_at(top_n)
+
     def hot_keys(self, top_n: int) -> list[TileKey]:
         """Just the keys of :meth:`snapshot`, hottest first."""
         return [key for key, _ in self.snapshot(top_n)]
@@ -274,6 +289,76 @@ class SharedHotspotRegistry:
         if adjustment and self.shards:
             with self._locks[0]:
                 self._observed[0] += adjustment
+
+    def merge_max(self, other: "SharedHotspotRegistry") -> None:
+        """Raise this registry's counts to at least ``other``'s.
+
+        Per-key **maximum** after aligning both sides to ``max(self.tick,
+        other.tick)`` — the gossip-safe combinator.  Unlike the additive
+        :meth:`merge`, this is *idempotent*: absorbing the same snapshot
+        twice (or absorbing a rebroadcast that already contains your own
+        counts) changes nothing, so a router can rebroadcast merged
+        cluster views every tick without the loop inflating anyone's
+        weights.  It stays commutative and associative, and a set of
+        nodes max-merging each other's snapshots converges to the
+        element-wise envelope — one shared view.
+
+        ``total_observations`` is untouched: a max is an envelope over
+        histories, not extra history.  Decay factors must match, as in
+        :meth:`merge`.
+        """
+        if other.decay != self.decay:
+            raise ValueError(
+                f"cannot merge registries with different decay factors "
+                f"({self.decay} vs {other.decay})"
+            )
+        other_tick, incoming = other._snapshot_at(None)
+        target = max(self.tick, other_tick)
+        if target > self.tick:
+            self.advance(target - self.tick)
+        elapsed = target - other_tick
+        for key, weight in incoming:
+            decayed = self._decayed(weight, elapsed)
+            if decayed <= 0 or decayed < self.prune_epsilon:
+                continue
+            index = self._shard(key)
+            with self._locks[index]:
+                entry = self._entries[index].get(key)
+                if entry is None:
+                    self._entries[index][key] = [decayed, target]
+                    continue
+                # Bring the held count to the merge tick (same lazy
+                # arithmetic as observe()), then keep the larger side.
+                held_elapsed = target - entry[1]
+                if held_elapsed > 0:
+                    held = self._decayed(entry[0], held_elapsed)
+                    entry[0] = (
+                        0.0 if held < self.prune_epsilon else held
+                    )
+                    entry[1] = target
+                if decayed > entry[0]:
+                    entry[0] = decayed
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        entries: Iterable[tuple[TileKey, float]],
+        tick: int = 0,
+        decay: float = 1.0,
+    ) -> "SharedHotspotRegistry":
+        """Build a throwaway registry holding ``entries`` at ``tick``.
+
+        The gossip path deserializes wire snapshots into one of these so
+        :meth:`merge_max` can do the tick alignment; it is not meant as
+        a live registry (``total_observations`` stays 0).
+        """
+        registry = cls(shards=1, decay=decay)
+        if tick:
+            registry.advance(tick)
+        for key, weight in entries:
+            if weight > 0:
+                registry._entries[0][key] = [float(weight), tick]
+        return registry
 
     def prune(self, epsilon: float | None = None) -> int:
         """Drop every counter whose decayed weight is below ``epsilon``.

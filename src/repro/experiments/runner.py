@@ -355,12 +355,14 @@ def latency_points(
     return points, accuracy
 
 
-#: Serving front ends the latency replay can drive.  All four produce
+#: Serving front ends the latency replay can drive.  All of them produce
 #: identical virtual-time numbers (the facade is the single code path;
 #: the socket front end replays over a real loopback TCP connection and
-#: only adds physical transport time, never virtual latency); "server"
-#: is the default so the figure benchmarks are untouched.
-REPLAY_FRONTENDS = ("server", "service", "async", "socket")
+#: only adds physical transport time, never virtual latency; "cluster"
+#: puts the consistent-hash router between client and a single worker,
+#: which must change nothing); "server" is the default so the figure
+#: benchmarks are untouched.
+REPLAY_FRONTENDS = ("server", "service", "async", "socket", "cluster")
 
 
 def replay_model_latency(
@@ -381,9 +383,12 @@ def replay_model_latency(
 
     ``frontend`` selects who serves the replay: the legacy
     ``ForeCacheServer`` ("server"), the ``ForeCacheService`` facade
-    ("service"), the asyncio front end ("async"), or the TCP socket
+    ("service"), the asyncio front end ("async"), the TCP socket
     transport over loopback ("socket" — real framed bytes on a real
-    port; latency stays virtual, so the numbers still match).
+    port; latency stays virtual, so the numbers still match), or a
+    1-worker cluster behind the consistent-hash router ("cluster" —
+    the router terminates the handshake and forwards every frame, so
+    the numbers must again be bit-identical).
 
     ``prefetch_mode="sync"`` (the default, what every figure benchmark
     uses) keeps the deterministic virtual-time numbers.
@@ -412,6 +417,10 @@ def replay_model_latency(
         )
     if frontend == "socket":
         return _replay_socket_frontend(
+            context, factory, k, prefetch_mode, shared_hotspots
+        )
+    if frontend == "cluster":
+        return _replay_cluster_frontend(
             context, factory, k, prefetch_mode, shared_hotspots
         )
     recorder = LatencyRecorder()
@@ -571,6 +580,50 @@ def _replay_socket_frontend(
             ) as server:
                 with SocketTransport(
                     *server.address, pyramid=context.pyramid
+                ) as transport:
+                    conn = transport.connect()
+                    responses = BrowsingSession(conn).replay(trace)
+                    conn.close()
+            for response in responses:
+                recorder.record(response.latency_seconds, response.hit)
+    return recorder
+
+
+def _replay_cluster_frontend(
+    context,
+    factory,
+    k: int,
+    prefetch_mode: str = "sync",
+    shared_hotspots: str = "off",
+):
+    """The whole LOO replay through a 1-worker cluster.
+
+    Same cold-service-per-trace discipline as the socket front end,
+    with the consistent-hash router in the path: client connects to the
+    router, the router owns the handshake and forwards every request to
+    the single worker.  Client-side reconstruction must still equal the
+    pinned figure numbers to the bit — the router adds transport hops,
+    never virtual latency.
+    """
+    from repro.middleware.client import BrowsingSession
+    from repro.middleware.cluster import ThreadedClusterServer
+    from repro.middleware.latency import LatencyRecorder
+    from repro.middleware.net import SocketTransport
+
+    recorder = LatencyRecorder()
+    for _, train, test in leave_one_user_out(context.study):
+        engine = factory(train)
+        for trace in test:
+            engine.reset()
+            with ThreadedClusterServer(
+                context.pyramid,
+                _figure12_config(k, prefetch_mode, shared_hotspots),
+                workers=1,
+                engine_factory=lambda: engine,
+                max_workers=1,
+            ) as cluster:
+                with SocketTransport(
+                    *cluster.address, pyramid=context.pyramid
                 ) as transport:
                     conn = transport.connect()
                     responses = BrowsingSession(conn).replay(trace)

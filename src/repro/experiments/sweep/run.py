@@ -226,6 +226,49 @@ def _replay_socket(
     return recorder, wall, tracked
 
 
+def _replay_cluster(
+    pyramid, config: ServiceConfig, walks, settle: bool, workers: int
+) -> tuple[LatencyRecorder, float, int]:
+    from repro.middleware.cluster import ThreadedClusterServer
+    from repro.middleware.net import SocketTransport
+
+    recorder = LatencyRecorder()
+    with ThreadedClusterServer(
+        pyramid,
+        config,
+        workers=workers,
+        engine_factory=_engine_factory(pyramid.grid),
+        max_workers=2,
+    ) as cluster:
+        # Draining must reach *every* worker's scheduler: a request's
+        # prefetch round runs on whichever worker owns its tile key.
+        inner = [w.server.service.service for w in cluster.workers]
+        with SocketTransport(
+            *cluster.address,
+            pyramid=pyramid,
+            push=config.prefetch.push_enabled,
+        ) as transport:
+            start = time.perf_counter()
+            for index, walk in enumerate(walks):
+                client = transport.connect(session_id=f"user-{index + 1}")
+                try:
+                    for move, key in walk:
+                        response = client.handle_request(move, key)
+                        recorder.record(response.latency_seconds, response.hit)
+                        if settle:
+                            for service in inner:
+                                service.drain()
+                finally:
+                    client.close()
+            wall = time.perf_counter() - start
+        tracked = sum(
+            len(service.hotspot_registry)
+            for service in inner
+            if service.hotspot_registry is not None
+        )
+    return recorder, wall, tracked
+
+
 @dataclass(frozen=True)
 class CellResult:
     """One executed (or reloaded) cell."""
@@ -259,14 +302,29 @@ def run_cell(cell: SweepCell) -> CellResult:
             "push is a socket-transport behavior; cells with push='on' "
             f"must fix frontend='socket', got {params['frontend']!r}"
         )
+    if params["cluster_workers"] > 1 and params["frontend"] != "cluster":
+        raise SweepSpecError(
+            "sweeping cluster_workers needs the cluster front end; cells "
+            "with cluster_workers > 1 must fix frontend='cluster', got "
+            f"{params['frontend']!r}"
+        )
     dataset = _dataset(params["size"], params["tile_size"], params["seed"])
     walks = cell_walks(params, dataset)
     config = cell_config(params)
     settle = params["settle"] and config.prefetch.background
-    replay = (
-        _replay_socket if params["frontend"] == "socket" else _replay_inprocess
-    )
-    recorder, wall, tracked = replay(dataset.pyramid, config, walks, settle)
+    if params["frontend"] == "cluster":
+        recorder, wall, tracked = _replay_cluster(
+            dataset.pyramid, config, walks, settle, params["cluster_workers"]
+        )
+    else:
+        replay = (
+            _replay_socket
+            if params["frontend"] == "socket"
+            else _replay_inprocess
+        )
+        recorder, wall, tracked = replay(
+            dataset.pyramid, config, walks, settle
+        )
     metrics = {
         "requests": recorder.count,
         "hits": recorder.hits,

@@ -64,7 +64,7 @@ class DuplicateCellError(SweepSpecError):
 WORKLOADS = ("study", "convergent", "adversarial", "flash_crowd")
 
 #: Serving front ends a cell can replay through.
-FRONTENDS = ("inprocess", "socket")
+FRONTENDS = ("inprocess", "socket", "cluster")
 
 
 def _check_choice(name: str, choices: Sequence[str]):
@@ -169,6 +169,11 @@ PARAMETER_DOMAINS: dict[str, tuple[object, object]] = {
     "shed_queue_depth": (32, _check_int("shed_queue_depth", 1)),
     "shed_miss_streak": (0, _check_int("shed_miss_streak", 0)),
     "shed_keep_k": (2, _check_int("shed_keep_k", 1)),
+    # cluster front end (run.py enforces the frontend pairing); the
+    # ring partition is a pure function of (cluster_workers,
+    # ring_replicas, ring_seed) — worker node names are stable — so
+    # cluster cells stay trajectory-gateable.
+    "cluster_workers": (1, _check_int("cluster_workers", 1)),
     # push prefetch (socket front end only; run.py enforces the pairing)
     "push": ("off", _check_choice("push", PUSH_MODES)),
     "push_budget_bytes": (
@@ -190,6 +195,7 @@ PARAMETER_DOMAINS: dict[str, tuple[object, object]] = {
 
 #: Short slug aliases so cell ids stay readable.
 _SLUG_ALIASES = {
+    "cluster_workers": "clworkers",
     "prefetch_admission": "admission",
     "cache_shards": "shards",
     "shared_hotspots": "hotspots",
@@ -472,17 +478,44 @@ CI_OVERLOAD_SPEC = {
     },
 }
 
+#: The cluster trajectory sweep: worker count over the consistent-hash
+#: router on the two multi-user workloads.  Deterministic because the
+#: ring partition only depends on (cluster_workers, ring_replicas,
+#: ring_seed) and every session replays sequentially with settle.  Its
+#: own spec — and its own snapshot directory in CI — so the earlier
+#: snapshots stay byte-comparable across the cluster-introducing change.
+CI_CLUSTER_SPEC = {
+    "name": "ci-cluster",
+    "parameters": {
+        "cluster_workers": [1, 2],
+        "users": [2, 4],
+        "workload": ["convergent", "flash_crowd"],
+    },
+    "fixed": {
+        "size": 256,
+        "k": 5,
+        "frontend": "cluster",
+        "prefetch_mode": "background",
+        "prefetch_workers": 1,
+        "settle": True,
+        "steps": 24,
+        "max_requests": 30,
+        "seed": 7,
+    },
+}
+
 BUILTIN_SPECS: dict[str, dict] = {
     "ci": CI_SPEC,
     "ci-push": CI_PUSH_SPEC,
     "ci-overload": CI_OVERLOAD_SPEC,
+    "ci-cluster": CI_CLUSTER_SPEC,
     "smoke": SMOKE_SPEC,
 }
 
 
 def resolve_spec(ref: str | Path) -> SweepSpec:
     """A spec from a built-in name (``ci``, ``ci-push``, ``ci-overload``,
-    ``smoke``) or a JSON file."""
+    ``ci-cluster``, ``smoke``) or a JSON file."""
     if isinstance(ref, str) and ref in BUILTIN_SPECS:
         return SweepSpec.from_dict(BUILTIN_SPECS[ref])
     path = Path(ref)

@@ -15,6 +15,15 @@ front end.  The legacy kwargs-constructed :class:`ForeCacheServer` and
 
 from repro.middleware.aio import AsyncForeCacheService, AsyncSessionHandle
 from repro.middleware.client import AsyncBrowsingSession, BrowsingSession
+from repro.middleware.cluster import (
+    ConsistentHashRing,
+    HotspotGossiper,
+    ProcessCluster,
+    ThreadedClusterServer,
+    ThreadedRouter,
+    TileServiceRouter,
+    WorkerSpec,
+)
 from repro.middleware.config import (
     PREFETCH_MODES,
     SHARED_HOTSPOT_MODES,
@@ -54,6 +63,7 @@ from repro.middleware.protocol import (
     SessionInfo,
     SessionNotFoundError,
     VersionMismatchError,
+    WorkerUnavailableError,
 )
 from repro.middleware.scheduler import (
     ADMISSION_MODES,
@@ -81,6 +91,7 @@ __all__ = [
     "AsyncSocketTransport",
     "BrowsingSession",
     "CacheConfig",
+    "ConsistentHashRing",
     "DuplicateSessionError",
     "ErrorInfo",
     "ForeCacheServer",
@@ -90,6 +101,7 @@ __all__ = [
     "FramingError",
     "FrameTooLargeError",
     "HIT_SECONDS",
+    "HotspotGossiper",
     "InProcessTransport",
     "InvalidRequestError",
     "LatencyModel",
@@ -101,6 +113,7 @@ __all__ = [
     "PrefetchJob",
     "PrefetchPolicy",
     "PrefetchScheduler",
+    "ProcessCluster",
     "ProtocolError",
     "SHARED_HOTSPOT_MODES",
     "SessionClosedError",
@@ -110,9 +123,14 @@ __all__ = [
     "ServiceConfig",
     "SocketSessionClient",
     "SocketTransport",
+    "ThreadedClusterServer",
+    "ThreadedRouter",
     "ThreadedSocketServer",
+    "TileServiceRouter",
     "Transport",
     "VersionMismatchError",
     "TileResponse",
     "WireSessionClient",
+    "WorkerSpec",
+    "WorkerUnavailableError",
 ]

@@ -95,7 +95,12 @@ class AsyncSessionHandle:
         return self._handle.info()
 
     async def close(self) -> None:
-        await self._service._call(self._handle.close)
+        # Lifecycle is native: closing deregisters the session under the
+        # facade's locks — dict bookkeeping, never a backend query — so
+        # it runs inline on the loop (the cluster router closes sessions
+        # on every failover, making this a hot path).
+        self._service._check_open()
+        self._handle.close()
 
     async def __aenter__(self) -> "AsyncSessionHandle":
         return self
@@ -220,18 +225,21 @@ class AsyncForeCacheService:
         *,
         reset_engine: bool = False,
     ) -> AsyncSessionHandle:
-        handle = await self._call(
-            functools.partial(
-                self.service.open_session,
-                engine,
-                session_id,
-                reset_engine=reset_engine,
-            )
+        # Native, no executor hop: registering a session is dict
+        # bookkeeping under the facade's locks (never a backend query),
+        # and the cluster router re-opens sessions on every failover —
+        # lifecycle is a hot path there.
+        self._check_open()
+        handle = self.service.open_session(
+            engine, session_id, reset_engine=reset_engine
         )
         return AsyncSessionHandle(self, handle)
 
     async def close_session(self, session_id: Hashable) -> None:
-        await self._call(self.service.close_session, session_id)
+        # Native for the same reason as open_session: deregistration +
+        # scheduler cancel are inline bookkeeping.
+        self._check_open()
+        self.service.close_session(session_id)
 
     async def request(
         self, session_id: Hashable, move: Move | None, key: TileKey

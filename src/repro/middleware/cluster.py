@@ -1,0 +1,1577 @@
+"""Multi-process tile service: consistent-hash router over socket workers.
+
+Topology
+--------
+
+::
+
+                          +----------------------+
+        clients  ----->   |   TileServiceRouter  |   (wire protocol,
+       (unchanged         |  - hello/welcome     |    unchanged)
+        protocol)         |  - consistent ring   |
+                          |  - gossip merge      |
+                          +----+----------+-----+
+                               |          |
+                     backend   |          |   backend
+                     links     v          v   links
+                     +------------+  +------------+
+                     | worker 0   |  | worker 1   |  ... worker N-1
+                     | ForeCache  |  | ForeCache  |
+                     | SocketSrv  |  | SocketSrv  |
+                     +------------+  +------------+
+
+Each worker is today's :class:`~repro.middleware.net.ForeCacheSocketServer`
+— full service stack, own cache, own hotspot registry — serving a
+partition of the tile-key space.  The router is a thin asyncio front
+end speaking the *existing* wire protocol to clients:
+
+* ``hello``/``welcome`` terminate at the router.  The granted
+  capability set is the **intersection** of what the client asked for
+  and what every live worker granted on that client's backend links
+  (push requires all workers push-capable; binary payloads require all
+  workers to speak binary).
+* Each ``tile_request`` maps to its owner worker through a seeded,
+  deterministic :class:`ConsistentHashRing` over :class:`TileKey` —
+  the same key always lands on the same worker, across runs and across
+  processes, because the ring hashes with :func:`hashlib.blake2b`
+  (no ``PYTHONHASHSEED`` dependence).
+* ``push_tile`` frames stream back through the same backend link that
+  served the request and are forwarded to the owning client verbatim;
+  ``push_ack`` travels the reverse route by session ownership.
+* A dead worker surfaces as a typed ``worker_unavailable`` error and
+  is removed from the ring; a retry of the same key lands on a
+  surviving worker (sessions open on every worker, so the survivor
+  already has the session — no re-open round trip).
+
+Backend links are **per client connection**: a client that negotiated
+push gets push-capable links, a pull-only client gets pull-only links.
+This keeps worker-side behaviour bit-identical to a direct connection
+(a worker never runs push rounds — which populate its cache — for a
+session whose real client did not ask for push).
+
+Cross-node popularity travels as ``hotspot_gossip`` frames: each
+worker snapshots its :class:`~repro.core.popularity.SharedHotspotRegistry`,
+the router merges the snapshots tick-aligned with
+:meth:`~repro.core.popularity.SharedHotspotRegistry.merge_max` and
+rebroadcasts the merged view, so every worker converges on the
+cluster-wide hot set within two gossip rounds.  ``merge_max`` is
+idempotent and commutative, so rebroadcast loops cannot inflate
+weights the way an additive merge would.
+
+Run a local cluster from the command line::
+
+    python -m repro.middleware.cluster --workers 4 --start-port 9500
+
+which boots N spawn-context worker processes plus the router, replays
+a deterministic trace through it, and prints a summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import multiprocessing
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.core.popularity import SharedHotspotRegistry
+from repro.middleware.config import ServiceConfig
+from repro.middleware.net import ForeCacheSocketServer, ThreadedSocketServer
+from repro.middleware.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    CloseSession,
+    DuplicateSessionError,
+    ErrorInfo,
+    FrameDecoder,
+    Hello,
+    HotspotGossip,
+    InvalidRequestError,
+    OpenSession,
+    ProtocolError,
+    PushAck,
+    PushTile,
+    SessionInfo,
+    SessionNotFoundError,
+    TileRequest,
+    Welcome,
+    WorkerUnavailableError,
+    decode_wire,
+    encode_wire,
+    negotiate_payload,
+    negotiate_version,
+)
+from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.tiles.pyramid import TilePyramid
+
+_READ_CHUNK = 65536
+
+
+# ----------------------------------------------------------------------
+# consistent-hash ring
+# ----------------------------------------------------------------------
+def _hash64(data: str) -> int:
+    """Seed-stable 64-bit hash (blake2b, not ``hash()``).
+
+    Python's builtin ``hash`` is randomised per process by
+    ``PYTHONHASHSEED``; the ring must place the same key on the same
+    worker across independent processes, so it hashes through a real
+    digest instead.
+    """
+    return int.from_bytes(
+        hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class ConsistentHashRing:
+    """Deterministic consistent-hash ring over :class:`TileKey`.
+
+    Each node contributes ``replicas`` points on the ring (more points
+    smooth the partition toward 1/N per node); a key is owned by the
+    first node point at or clockwise of the key's own point.  The ring
+    is a pure function of ``(seed, node ids, replicas)`` — no process
+    state leaks in — so every router instance, in any process, maps a
+    given key to the same worker.
+
+    Removing a node moves only the keys that node owned (~1/N of the
+    space) to their next-clockwise survivors; everything else stays
+    put.  That containment is what makes worker failover cheap.
+    """
+
+    def __init__(
+        self,
+        nodes: tuple[str, ...] | list[str] = (),
+        *,
+        replicas: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = int(replicas)
+        self.seed = int(seed)
+        self._nodes: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    def _node_points(self, node: str) -> list[tuple[int, str]]:
+        return [
+            (_hash64(f"{self.seed}:{node}:{replica}"), node)
+            for replica in range(self.replicas)
+        ]
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for point in self._node_points(node):
+            bisect.insort(self._points, point)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise KeyError(node)
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    def owner(self, key: TileKey) -> str:
+        """The node owning ``key`` — same answer in every process."""
+        if not self._points:
+            raise WorkerUnavailableError("no live workers on the ring")
+        point = _hash64(f"{self.seed}:{key.level}/{key.x}/{key.y}")
+        index = bisect.bisect_left(self._points, (point, ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._nodes))
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+# ----------------------------------------------------------------------
+# backend links
+# ----------------------------------------------------------------------
+class _BackendLink:
+    """One router→worker connection speaking the wire protocol.
+
+    The router is a *client* of each worker.  A link dies the moment a
+    stream operation fails; death is sticky and converts to the typed
+    ``worker_unavailable`` error so the real client can retry (the ring
+    will have re-mapped the key by then).
+    """
+
+    def __init__(
+        self,
+        node: str,
+        host: str,
+        port: int,
+        *,
+        framing: str = "lines",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.node = node
+        self.host = host
+        self.port = port
+        self.max_frame_bytes = max_frame_bytes
+        self.dead = False
+        self.push = False
+        self.payload = "json"
+        self.server_max_frame_bytes = 0
+        self._wire = framing
+        self._decoder = FrameDecoder(framing, max_frame_bytes)
+        self._pending: deque = deque()
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    async def connect(
+        self,
+        *,
+        push: bool = False,
+        binary: bool = False,
+        client_name: str = "forecache-router",
+    ) -> Welcome:
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError as exc:
+            self.dead = True
+            raise WorkerUnavailableError(
+                f"worker {self.node} is unreachable: {exc}"
+            ) from exc
+        hello = Hello(
+            client=client_name,
+            push=push,
+            payloads=("json", "binary") if binary else ("json",),
+        )
+        welcome, pushes = await self.roundtrip(hello)
+        if pushes or not isinstance(welcome, Welcome):
+            self._die()
+            raise WorkerUnavailableError(
+                f"worker {self.node} sent a malformed handshake reply"
+            )
+        self.push = welcome.push
+        self.payload = welcome.payload
+        self.server_max_frame_bytes = welcome.max_frame_bytes
+        if welcome.payload == "binary":
+            # The worker switches to binary frames right after its
+            # welcome; follow suit on our side of the link.
+            self._wire = "binary"
+            self._decoder.switch_to_binary()
+        if welcome.max_frame_bytes > 0:
+            # Never let a legitimate large worker reply trip our decoder.
+            self._decoder.max_frame_bytes = max(
+                self._decoder.max_frame_bytes, welcome.max_frame_bytes
+            )
+        return welcome
+
+    async def roundtrip(self, message):
+        """Send one message, return ``(reply, pushes)``.
+
+        Push frames streamed ahead of the reply are collected and
+        returned for forwarding.  Any stream failure marks the link
+        dead and raises the typed worker-down error.  Encoding happens
+        *before* the failure guard: an oversized outgoing frame is a
+        local, recoverable error — not worker death.
+        """
+        if self.dead or self._writer is None:
+            raise WorkerUnavailableError(f"worker {self.node} is down")
+        data = encode_wire(message, self._wire, self.max_frame_bytes)
+        pushes: list[PushTile] = []
+        try:
+            async with self._lock:
+                self._writer.write(data)
+                await self._writer.drain()
+                while True:
+                    reply = await self._recv_message()
+                    if isinstance(reply, PushTile):
+                        pushes.append(reply)
+                        continue
+                    return reply, pushes
+        except (ConnectionError, OSError, ProtocolError) as exc:
+            self._die()
+            raise WorkerUnavailableError(
+                f"worker {self.node} died mid-request: {exc}"
+            ) from exc
+
+    async def _recv_message(self):
+        assert self._reader is not None
+        while not self._pending:
+            chunk = await self._reader.read(_READ_CHUNK)
+            if not chunk:
+                raise ConnectionResetError("worker closed the connection")
+            self._pending.extend(self._decoder.feed(chunk))
+        return decode_wire(self._pending.popleft())
+
+    def _die(self) -> None:
+        self.dead = True
+        if self._writer is not None:
+            with contextlib.suppress(Exception):
+                self._writer.close()
+            self._writer = None
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            writer = self._writer
+            self._writer = None
+            was_dead = self.dead
+            self.dead = True
+            with contextlib.suppress(Exception):
+                writer.close()
+                if not was_dead:
+                    # A dead peer (SIGKILLed worker) may never complete
+                    # the close handshake; don't hang shutdown on it.
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await asyncio.wait_for(writer.wait_closed(), 5)
+        self.dead = True
+
+
+class _RouterClientState:
+    """Per-client-connection bookkeeping inside the router."""
+
+    __slots__ = (
+        "sessions",
+        "negotiated",
+        "push",
+        "payload",
+        "payload_pending",
+        "links",
+        "session_worker",
+    )
+
+    def __init__(self) -> None:
+        self.sessions: set[str] = set()
+        self.negotiated = False
+        self.push = False
+        self.payload = "json"
+        self.payload_pending = False
+        self.links: dict[str, _BackendLink] = {}
+        self.session_worker: dict[str, str] = {}
+
+
+# ----------------------------------------------------------------------
+# the router
+# ----------------------------------------------------------------------
+class TileServiceRouter:
+    """Thin asyncio router fronting N socket workers.
+
+    Speaks the unchanged wire protocol to clients; owns no tile state
+    of its own.  See the module docstring for the full contract.
+    """
+
+    def __init__(
+        self,
+        workers: dict[str, tuple[str, int]] | list[tuple[str, int]],
+        config: ServiceConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        framing: str = "lines",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        payloads: tuple[str, ...] = ("json", "binary"),
+        server_name: str = "forecache-router",
+    ) -> None:
+        if isinstance(workers, dict):
+            self.worker_addrs = dict(workers)
+        else:
+            self.worker_addrs = {
+                f"{whost}:{wport}": (whost, wport)
+                for whost, wport in workers
+            }
+        if not self.worker_addrs:
+            raise ValueError("a cluster needs at least one worker")
+        self.config = config or ServiceConfig()
+        self.host = host
+        self.port = port
+        self.framing = framing
+        self.max_frame_bytes = max_frame_bytes
+        self.payloads = tuple(payloads)
+        self.server_name = server_name
+        self.ring = ConsistentHashRing(
+            replicas=self.config.ring_replicas, seed=self.config.ring_seed
+        )
+        #: Router-side merged view of the cluster's hot set.
+        self.cluster_view = SharedHotspotRegistry(
+            shards=1, decay=self.config.prefetch.hotspot_decay
+        )
+        self.gossip_rounds = 0
+        self._alive: set[str] = set()
+        self._control: dict[str, _BackendLink] = {}
+        self._push_capable = False
+        self._backend_binary = False
+        self._server: asyncio.AbstractServer | None = None
+        self._closing: asyncio.Event | None = None
+        self._session_counter = 0
+        self._gossiper: HotspotGossiper | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        # One control link per worker: capability discovery (the worker
+        # grants push/binary iff its policy allows) plus the gossip
+        # channel.  No sessions ever open on a control link, so no push
+        # frames flow on it even though push is offered.
+        self._closing = asyncio.Event()
+        for node, (host, port) in sorted(self.worker_addrs.items()):
+            link = _BackendLink(
+                node,
+                host,
+                port,
+                framing=self.framing,
+                max_frame_bytes=self.max_frame_bytes,
+            )
+            await link.connect(push=True, binary="binary" in self.payloads)
+            self._control[node] = link
+            self._alive.add(node)
+            self.ring.add(node)
+        self._push_capable = all(
+            link.push for link in self._control.values()
+        )
+        self._backend_binary = all(
+            link.payload == "binary" for link in self._control.values()
+        )
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        if self.config.gossip_interval > 0:
+            self._gossiper = HotspotGossiper(
+                self, self.config.gossip_interval
+            )
+            self._gossiper.start()
+        return (self.host, self.port)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def alive_workers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._alive))
+
+    async def aclose(self) -> None:
+        if self._closing is not None:
+            self._closing.set()
+        if self._gossiper is not None:
+            await self._gossiper.stop()
+            self._gossiper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for link in list(self._control.values()):
+            await link.aclose()
+        self._control.clear()
+
+    def _mark_worker_dead(self, node: str) -> None:
+        """Idempotent: drop a worker from routing and the ring."""
+        if node not in self._alive:
+            return
+        self._alive.discard(node)
+        if node in self.ring:
+            self.ring.remove(node)
+        link = self._control.pop(node, None)
+        if link is not None:
+            link._die()
+
+    # -- client serve loop (mirrors ForeCacheSocketServer) -------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        assert self._closing is not None
+        state = _RouterClientState()
+        decoder = FrameDecoder(self.framing, self.max_frame_bytes)
+        closing_wait = asyncio.ensure_future(self._closing.wait())
+        try:
+            while not self._closing.is_set():
+                read_task = asyncio.ensure_future(reader.read(_READ_CHUNK))
+                await asyncio.wait(
+                    {read_task, closing_wait},
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not read_task.done():
+                    read_task.cancel()
+                    with contextlib.suppress(
+                        asyncio.CancelledError, ConnectionError, OSError
+                    ):
+                        await read_task
+                    break
+                try:
+                    data = read_task.result()
+                except (ConnectionError, OSError):
+                    break
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except ProtocolError as exc:
+                    with contextlib.suppress(ConnectionError, OSError):
+                        writer.write(
+                            self._encode_out(
+                                ErrorInfo.from_exception(exc), state
+                            )
+                        )
+                        await writer.drain()
+                    break
+                out = bytearray()
+                fatal = False
+                for frame in frames:
+                    messages, fatal = await self._dispatch(frame, state)
+                    for message in messages:
+                        out += self._encode_out(message, state)
+                    if state.payload_pending:
+                        # The welcome granting "binary" went out in the
+                        # pre-handshake framing; every frame after it —
+                        # both directions — speaks binary.
+                        state.payload_pending = False
+                        state.payload = "binary"
+                        decoder.switch_to_binary()
+                    if fatal:
+                        break
+                if out:
+                    try:
+                        writer.write(bytes(out))
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        break
+                if fatal:
+                    break
+        finally:
+            closing_wait.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await closing_wait
+            for link in state.links.values():
+                await link.aclose()
+            state.links.clear()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _wire_framing(self, state: _RouterClientState) -> str:
+        return "binary" if state.payload == "binary" else self.framing
+
+    def _encode_out(self, message, state: _RouterClientState) -> bytes:
+        framing = self._wire_framing(state)
+        try:
+            return encode_wire(message, framing, self.max_frame_bytes)
+        except ProtocolError as exc:
+            # The response outgrew the frame budget — report that
+            # instead of silently dropping it (mirrors the worker).
+            return encode_wire(ErrorInfo.from_exception(exc), framing)
+
+    async def _dispatch(self, frame, state: _RouterClientState):
+        """Serve one client frame; returns ``(messages, fatal)``."""
+        try:
+            message = decode_wire(frame)
+        except ProtocolError as exc:
+            return [ErrorInfo.from_exception(exc)], False
+        if not state.negotiated and not isinstance(message, Hello):
+            error = InvalidRequestError(
+                "connection must open with a hello frame, got "
+                f"{type(message).__name__}"
+            )
+            return [ErrorInfo.from_exception(error)], True
+        try:
+            if isinstance(message, Hello):
+                return await self._serve_hello(message, state)
+            if isinstance(message, OpenSession):
+                return await self._serve_open(message, state)
+            if isinstance(message, CloseSession):
+                return await self._serve_close(message, state)
+            if isinstance(message, TileRequest):
+                return await self._serve_request(message, state)
+            if isinstance(message, PushAck):
+                return await self._serve_ack(message, state)
+            if isinstance(message, HotspotGossip):
+                return self._serve_gossip(message)
+            raise InvalidRequestError(
+                f"unexpected message type "
+                f"{type(message).__name__!r} from client"
+            )
+        except ProtocolError as exc:
+            return [ErrorInfo.from_exception(exc)], isinstance(
+                message, Hello
+            )
+
+    # -- handshake -----------------------------------------------------
+    async def _serve_hello(self, message: Hello, state: _RouterClientState):
+        if state.negotiated:
+            raise InvalidRequestError("handshake already completed")
+        version = negotiate_version(message.versions)
+        push_wanted = bool(message.push) and self._push_capable
+        offer_binary = "binary" in self.payloads and self._backend_binary
+        # Per-client backend links: push is offered to the workers iff
+        # this client asked for it, so workers never run push rounds
+        # (which populate their caches) for pull-only clients.
+        for node in sorted(self._alive):
+            host, port = self.worker_addrs[node]
+            link = _BackendLink(
+                node,
+                host,
+                port,
+                framing=self.framing,
+                max_frame_bytes=self.max_frame_bytes,
+            )
+            try:
+                await link.connect(push=push_wanted, binary=offer_binary)
+            except WorkerUnavailableError:
+                self._mark_worker_dead(node)
+                continue
+            state.links[node] = link
+        if not state.links:
+            return [
+                ErrorInfo.from_exception(
+                    WorkerUnavailableError("no live workers on the ring")
+                )
+            ], True
+        push_granted = push_wanted and all(
+            link.push for link in state.links.values()
+        )
+        payload = negotiate_payload(message.payloads, self.payloads)
+        if payload == "binary" and not all(
+            link.payload == "binary" for link in state.links.values()
+        ):
+            payload = "json"
+        limits = [
+            link.server_max_frame_bytes
+            for link in state.links.values()
+            if link.server_max_frame_bytes > 0
+        ]
+        max_frame = min([self.max_frame_bytes, *limits])
+        state.negotiated = True
+        state.push = push_granted
+        state.payload = "json"
+        state.payload_pending = payload == "binary"
+        welcome = Welcome(
+            version=version,
+            server=self.server_name,
+            max_frame_bytes=max_frame,
+            push=push_granted,
+            payload=payload,
+        )
+        return [welcome], False
+
+    # -- session lifecycle ---------------------------------------------
+    def _next_session_id(self) -> str:
+        self._session_counter += 1
+        return f"session-{self._session_counter}"
+
+    async def _serve_open(
+        self, message: OpenSession, state: _RouterClientState
+    ):
+        session_id = (
+            str(message.session_id)
+            if message.session_id is not None
+            else self._next_session_id()
+        )
+        auto = message.session_id is None
+        reply: SessionInfo | ErrorInfo | None = None
+        opened: list[str] = []
+        for _ in range(64):
+            reply, opened = await self._broadcast_open(
+                OpenSession(session_id=session_id), state
+            )
+            if (
+                auto
+                and isinstance(reply, ErrorInfo)
+                and reply.code == DuplicateSessionError.code
+            ):
+                # Another client claimed the auto id first (each worker
+                # numbers its own sessions); roll back and renumber.
+                await self._rollback_open(session_id, opened, state)
+                session_id = self._next_session_id()
+                continue
+            break
+        if isinstance(reply, ErrorInfo):
+            await self._rollback_open(session_id, opened, state)
+            return [reply], False
+        state.sessions.add(session_id)
+        return [reply], False
+
+    async def _broadcast_open(
+        self, message: OpenSession, state: _RouterClientState
+    ):
+        """Open the session on every live worker; first success wins
+        the reply.  Returns ``(reply, opened_nodes)``."""
+        reply: SessionInfo | None = None
+        opened: list[str] = []
+        error: ErrorInfo | None = None
+        for node in sorted(state.links):
+            link = state.links[node]
+            if link.dead:
+                continue
+            try:
+                result, _ = await link.roundtrip(message)
+            except WorkerUnavailableError:
+                self._mark_worker_dead(node)
+                continue
+            if isinstance(result, ErrorInfo):
+                error = error or result
+                continue
+            if isinstance(result, SessionInfo):
+                opened.append(node)
+                if reply is None:
+                    reply = result
+        if reply is not None:
+            return reply, opened
+        if error is not None:
+            return error, opened
+        return (
+            ErrorInfo.from_exception(
+                WorkerUnavailableError(
+                    "no live workers on the ring",
+                    session_id=message.session_id,
+                )
+            ),
+            opened,
+        )
+
+    async def _rollback_open(
+        self, session_id: str, opened: list[str], state: _RouterClientState
+    ) -> None:
+        close = CloseSession(session_id=session_id)
+        for node in opened:
+            link = state.links.get(node)
+            if link is None or link.dead:
+                continue
+            with contextlib.suppress(WorkerUnavailableError):
+                await link.roundtrip(close)
+
+    async def _serve_close(
+        self, message: CloseSession, state: _RouterClientState
+    ):
+        self._require_session(message.session_id, state)
+        infos: list[SessionInfo] = []
+        error: ErrorInfo | None = None
+        for node in sorted(state.links):
+            link = state.links[node]
+            if link.dead:
+                continue
+            try:
+                result, _ = await link.roundtrip(message)
+            except WorkerUnavailableError:
+                self._mark_worker_dead(node)
+                continue
+            if isinstance(result, ErrorInfo):
+                error = error or result
+                continue
+            if isinstance(result, SessionInfo):
+                infos.append(result)
+        state.sessions.discard(message.session_id)
+        state.session_worker.pop(message.session_id, None)
+        if not infos:
+            if error is not None:
+                return [error], False
+            return [
+                ErrorInfo.from_exception(
+                    WorkerUnavailableError(
+                        "no live workers on the ring",
+                        session_id=message.session_id,
+                    )
+                )
+            ], False
+        if len(infos) == 1:
+            return [replace(infos[0], open=False)], False
+        # Aggregate across partitions: requests/hits sum, latency is
+        # the request-weighted mean.
+        requests = sum(info.requests for info in infos)
+        hits = sum(info.hits for info in infos)
+        weighted = sum(
+            info.average_latency_seconds * info.requests for info in infos
+        )
+        merged = replace(
+            infos[0],
+            requests=requests,
+            hits=hits,
+            hit_rate=(hits / requests) if requests else 0.0,
+            average_latency_seconds=(
+                (weighted / requests) if requests else 0.0
+            ),
+            open=False,
+        )
+        return [merged], False
+
+    def _require_session(
+        self, session_id: str | None, state: _RouterClientState
+    ) -> str:
+        if not session_id or session_id not in state.sessions:
+            raise SessionNotFoundError(
+                f"session {session_id!r} is not open on this connection",
+                session_id=str(session_id) if session_id else None,
+            )
+        return session_id
+
+    # -- the request path ----------------------------------------------
+    async def _serve_request(
+        self, message: TileRequest, state: _RouterClientState
+    ):
+        session_id = self._require_session(message.session_id, state)
+        key = TileKey(message.tile.level, message.tile.x, message.tile.y)
+        node = self.ring.owner(key)
+        link = state.links.get(node)
+        if link is None or link.dead:
+            # The ring can briefly lag a death detected on another
+            # connection; surface the same typed failure.
+            self._mark_worker_dead(node)
+            raise WorkerUnavailableError(
+                f"worker {node} owning tile {key} is down "
+                "(safe to retry: the ring has re-mapped the key)",
+                session_id=session_id,
+            )
+        try:
+            reply, pushes = await link.roundtrip(message)
+        except WorkerUnavailableError as exc:
+            self._mark_worker_dead(node)
+            raise WorkerUnavailableError(
+                str(exc), session_id=session_id
+            ) from exc
+        state.session_worker[session_id] = node
+        messages: list = []
+        if state.push:
+            messages.extend(pushes)
+        messages.append(reply)
+        return messages, False
+
+    async def _serve_ack(self, message: PushAck, state: _RouterClientState):
+        session_id = self._require_session(message.session_id, state)
+        if not state.push:
+            raise InvalidRequestError(
+                "push_ack without negotiated push support"
+            )
+        node = state.session_worker.get(session_id)
+        if node is None and message.tile is not None:
+            key = TileKey(
+                message.tile.level, message.tile.x, message.tile.y
+            )
+            node = self.ring.owner(key)
+        if node is None:
+            live = sorted(
+                n for n, link in state.links.items() if not link.dead
+            )
+            if not live:
+                raise WorkerUnavailableError(
+                    "no live workers on the ring", session_id=session_id
+                )
+            node = live[0]
+        link = state.links.get(node)
+        if link is None or link.dead:
+            raise WorkerUnavailableError(
+                f"worker {node} is down", session_id=session_id
+            )
+        try:
+            reply, pushes = await link.roundtrip(message)
+        except WorkerUnavailableError as exc:
+            self._mark_worker_dead(node)
+            raise WorkerUnavailableError(
+                str(exc), session_id=session_id
+            ) from exc
+        messages: list = list(pushes)
+        messages.append(reply)
+        return messages, False
+
+    def _serve_gossip(self, message: HotspotGossip):
+        """Client-facing gossip: read-only view of the merged hot set."""
+        tick, entries = self.cluster_view.gossip_snapshot()
+        return [
+            HotspotGossip(
+                entries=tuple(
+                    (key.level, key.x, key.y, weight)
+                    for key, weight in entries
+                ),
+                tick=tick,
+            )
+        ], False
+
+    # -- gossip --------------------------------------------------------
+    async def gossip_once(self) -> SharedHotspotRegistry:
+        """One gossip round: collect every worker's snapshot, merge
+        tick-aligned, rebroadcast the merged view.
+
+        Round 1 collects all local hot sets into the router's merged
+        view; round 2's rebroadcast cross-pollinates that view back to
+        every worker — disjoint hot sets converge within two rounds.
+        ``merge_max`` keeps repeated rounds stable (idempotent).
+        """
+        tick, entries = self.cluster_view.gossip_snapshot()
+        outbound = HotspotGossip(
+            entries=tuple(
+                (key.level, key.x, key.y, weight)
+                for key, weight in entries
+            ),
+            tick=tick,
+        )
+        fresh = SharedHotspotRegistry(
+            shards=1, decay=self.config.prefetch.hotspot_decay
+        )
+        for node in sorted(self._control):
+            link = self._control[node]
+            try:
+                reply, _ = await link.roundtrip(outbound)
+            except WorkerUnavailableError:
+                self._mark_worker_dead(node)
+                continue
+            if isinstance(reply, HotspotGossip) and reply.entries:
+                fresh.merge_max(
+                    SharedHotspotRegistry.from_snapshot(
+                        (
+                            (TileKey(level, x, y), weight)
+                            for level, x, y, weight in reply.entries
+                        ),
+                        tick=reply.tick,
+                        decay=fresh.decay,
+                    )
+                )
+            # An ErrorInfo reply (worker shares no registry) is skipped
+            # silently: gossip degrades gracefully on mixed clusters.
+        self.cluster_view = fresh
+        self.gossip_rounds += 1
+        return fresh
+
+
+class HotspotGossiper:
+    """Periodic driver for :meth:`TileServiceRouter.gossip_once`.
+
+    Same shape as :class:`~repro.middleware.net.HotspotDecayTicker`:
+    injectable sleep for tests, ``start``/``stop``; failures of a
+    single round are suppressed (a dead worker already got marked).
+    """
+
+    def __init__(
+        self,
+        router: TileServiceRouter,
+        interval_seconds: float,
+        *,
+        sleep=None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.router = router
+        self.interval_seconds = interval_seconds
+        self.rounds = 0
+        self._sleep = sleep if sleep is not None else asyncio.sleep
+        self._task: asyncio.Task | None = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    def start(self) -> None:
+        if self.running:
+            raise RuntimeError("gossiper already running")
+        self._task = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        if self._task is None:
+            return
+        self._task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._task
+        self._task = None
+
+    async def _run(self) -> None:
+        while True:
+            await self._sleep(self.interval_seconds)
+            with contextlib.suppress(Exception):
+                await self.router.gossip_once()
+                self.rounds += 1
+
+
+# ----------------------------------------------------------------------
+# threaded in-process harnesses (tests / sweep)
+# ----------------------------------------------------------------------
+class ThreadedRouter:
+    """Run a :class:`TileServiceRouter` on a background thread.
+
+    Mirrors :class:`~repro.middleware.net.ThreadedSocketServer`: sync
+    callers get a live ``(host, port)`` after :meth:`start` and a
+    blocking :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        workers: dict[str, tuple[str, int]] | list[tuple[str, int]],
+        config: ServiceConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        framing: str = "lines",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        payloads: tuple[str, ...] = ("json", "binary"),
+    ) -> None:
+        self._workers = workers
+        self._config = config
+        self._host = host
+        self._port = port
+        self._framing = framing
+        self._max_frame_bytes = max_frame_bytes
+        self._payloads = payloads
+        self.router: TileServiceRouter | None = None
+        self.address: tuple[str, int] | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    def start(self) -> tuple[str, int]:
+        if self._thread is not None:
+            raise RuntimeError("threaded router already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="forecache-router",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        if self._error is not None:
+            error = self._error
+            self._thread.join(timeout=5)
+            self._thread = None
+            raise error
+        if self.address is None:
+            raise RuntimeError("router thread failed to start")
+        return self.address
+
+    async def _main(self) -> None:
+        router = TileServiceRouter(
+            self._workers,
+            self._config,
+            host=self._host,
+            port=self._port,
+            framing=self._framing,
+            max_frame_bytes=self._max_frame_bytes,
+            payloads=self._payloads,
+        )
+        try:
+            await router.start()
+        except BaseException as exc:
+            with contextlib.suppress(BaseException):
+                await router.aclose()
+            self._error = exc
+            self._ready.set()
+            return
+        self.router = router
+        self.address = router.address
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._ready.set()
+        await self._stop_event.wait()
+        await router.aclose()
+
+    def gossip_once(self) -> SharedHotspotRegistry:
+        """Drive one gossip round from sync code (tests, sweeps)."""
+        assert self.router is not None and self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(
+            self.router.gossip_once(), self._loop
+        )
+        return future.result(timeout=30)
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            stop_event = self._stop_event
+
+            def _signal() -> None:
+                stop_event.set()
+
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(_signal)
+        self._thread.join(timeout=30)
+        self._thread = None
+
+    def __enter__(self) -> "ThreadedRouter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class ThreadedClusterServer:
+    """N in-process threaded workers plus a threaded router.
+
+    The all-threads harness for tests and the parameter sweep: every
+    worker is a :class:`~repro.middleware.net.ThreadedSocketServer`
+    over a *shared* pyramid (shared backend, independent caches), and
+    the router fronts them all.  ``workers[i].server.service.service``
+    reaches worker *i*'s sync facade for draining.
+    """
+
+    def __init__(
+        self,
+        pyramid: TilePyramid,
+        config: ServiceConfig | None = None,
+        *,
+        workers: int = 2,
+        engine_factory=None,
+        framing: str = "lines",
+        include_payload: bool = True,
+        max_workers: int = 4,
+        payloads: tuple[str, ...] | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.config = config or ServiceConfig()
+        self.workers: list[ThreadedSocketServer] = [
+            ThreadedSocketServer(
+                pyramid,
+                self.config,
+                engine_factory=engine_factory,
+                framing=framing,
+                include_payload=include_payload,
+                max_workers=max_workers,
+                payloads=payloads,
+                host=host,
+            )
+            for _ in range(workers)
+        ]
+        self._host = host
+        self._framing = framing
+        self._payloads = (
+            payloads if payloads is not None else self.config.payloads
+        )
+        self.router: ThreadedRouter | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.router is not None and self.router.address is not None
+        return self.router.address
+
+    def start(self) -> "ThreadedClusterServer":
+        try:
+            for worker in self.workers:
+                worker.start()
+            # Stable logical node names (not host:port): the ring hashes
+            # the node id, and ephemeral ports would re-partition the key
+            # space on every boot.
+            self.router = ThreadedRouter(
+                {
+                    f"worker-{index}": worker.address
+                    for index, worker in enumerate(self.workers)
+                },
+                self.config,
+                host=self._host,
+                framing=self._framing,
+                payloads=self._payloads,
+            )
+            self.router.start()
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def stop_worker(self, index: int) -> None:
+        """Gracefully stop one worker — the router sees EOF on its
+        links and converts subsequent requests for that partition into
+        typed ``worker_unavailable`` errors."""
+        self.workers[index].stop()
+
+    def gossip_once(self) -> SharedHotspotRegistry:
+        assert self.router is not None
+        return self.router.gossip_once()
+
+    def stop(self) -> None:
+        if self.router is not None:
+            with contextlib.suppress(Exception):
+                self.router.stop()
+            self.router = None
+        for worker in self.workers:
+            with contextlib.suppress(Exception):
+                worker.stop()
+
+    def __enter__(self) -> "ThreadedClusterServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# spawn-context multi-process cluster
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker process needs — picklable for spawn."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    size: int = 256
+    tile_size: int = 32
+    days: int = 1
+    seed: int = 7
+    framing: str = "lines"
+    max_workers: int = 4
+    config: ServiceConfig | None = None
+
+
+async def _cluster_worker_serve(spec: WorkerSpec, port_queue, stop_event):
+    from repro.core.allocation import SingleModelStrategy
+    from repro.core.engine import PredictionEngine
+    from repro.modis.dataset import MODISDataset
+    from repro.recommenders.momentum import MomentumRecommender
+
+    dataset = MODISDataset.build(
+        size=spec.size,
+        tile_size=spec.tile_size,
+        days=spec.days,
+        seed=spec.seed,
+    )
+    grid = dataset.pyramid.grid
+
+    def engine_factory():
+        model = MomentumRecommender()
+        return PredictionEngine(
+            grid=grid,
+            recommenders={model.name: model},
+            strategy=SingleModelStrategy(model.name),
+        )
+
+    server = ForeCacheSocketServer.build(
+        dataset.pyramid,
+        spec.config or ServiceConfig(),
+        engine_factory=engine_factory,
+        max_workers=spec.max_workers,
+        framing=spec.framing,
+        host=spec.host,
+        port=spec.port,
+    )
+    _, port = await server.start()
+    port_queue.put(("ok", port))
+    loop = asyncio.get_running_loop()
+    try:
+        await loop.run_in_executor(None, stop_event.wait)
+    finally:
+        await server.aclose()
+
+
+def _cluster_worker_main(spec: WorkerSpec, port_queue, stop_event) -> None:
+    """Module-level entry point — picklable for the spawn context."""
+    try:
+        asyncio.run(_cluster_worker_serve(spec, port_queue, stop_event))
+    except Exception as exc:  # pragma: no cover - surfaced via queue
+        with contextlib.suppress(Exception):
+            port_queue.put(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class ProcessCluster:
+    """N spawn-context worker processes plus an in-process router.
+
+    The real multi-process deployment shape: every worker is its own
+    Python process (own GIL, own cache, own service stack) serving a
+    :class:`ForeCacheSocketServer`; the router runs in the calling
+    process on a background thread.  ``kill_worker`` hard-kills a
+    process mid-flight (failure injection); ``stop_worker`` asks it to
+    exit cleanly.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        config: ServiceConfig | None = None,
+        size: int = 256,
+        tile_size: int = 32,
+        days: int = 1,
+        seed: int = 7,
+        start_port: int = 0,
+        host: str = "127.0.0.1",
+        framing: str = "lines",
+        max_workers: int = 4,
+        payloads: tuple[str, ...] = ("json", "binary"),
+        boot_timeout: float = 180.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.num_workers = workers
+        self.config = config or ServiceConfig()
+        self._size = size
+        self._tile_size = tile_size
+        self._days = days
+        self._seed = seed
+        self._start_port = start_port
+        self._host = host
+        self._framing = framing
+        self._max_workers = max_workers
+        self._payloads = payloads
+        self._boot_timeout = boot_timeout
+        self._ctx = multiprocessing.get_context("spawn")
+        self.processes: list = []
+        self._stop_events: list = []
+        self.worker_ports: list[int] = []
+        self.router: ThreadedRouter | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.router is not None and self.router.address is not None
+        return self.router.address
+
+    def start(self) -> "ProcessCluster":
+        try:
+            self._boot()
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def _boot(self) -> None:
+        queues = []
+        for index in range(self.num_workers):
+            port = self._start_port + index if self._start_port else 0
+            spec = WorkerSpec(
+                host=self._host,
+                port=port,
+                size=self._size,
+                tile_size=self._tile_size,
+                days=self._days,
+                seed=self._seed,
+                framing=self._framing,
+                max_workers=self._max_workers,
+                config=self.config,
+            )
+            queue = self._ctx.Queue()
+            stop_event = self._ctx.Event()
+            process = self._ctx.Process(
+                target=_cluster_worker_main,
+                args=(spec, queue, stop_event),
+                daemon=True,
+                name=f"forecache-worker-{index}",
+            )
+            process.start()
+            self.processes.append(process)
+            self._stop_events.append(stop_event)
+            queues.append(queue)
+        for index, queue in enumerate(queues):
+            try:
+                status, value = queue.get(timeout=self._boot_timeout)
+            except Exception as exc:
+                raise RuntimeError(
+                    f"worker {index} did not report a port within "
+                    f"{self._boot_timeout}s"
+                ) from exc
+            if status != "ok":
+                raise RuntimeError(
+                    f"worker {index} failed to boot: {value}"
+                )
+            self.worker_ports.append(int(value))
+        # Stable logical node names: the ring hashes the node id, so
+        # deriving it from the (ephemeral) port would re-partition the
+        # key space on every boot.  ``worker-<i>`` keeps the partition a
+        # pure function of (worker count, ring_replicas, ring_seed).
+        self.router = ThreadedRouter(
+            {
+                f"worker-{index}": (self._host, port)
+                for index, port in enumerate(self.worker_ports)
+            },
+            self.config,
+            host=self._host,
+            framing=self._framing,
+            payloads=self._payloads,
+        )
+        self.router.start()
+
+    def kill_worker(self, index: int) -> None:
+        """Hard-kill one worker process (mid-request failure injection)."""
+        process = self.processes[index]
+        process.kill()
+        process.join(timeout=30)
+
+    def stop_worker(self, index: int) -> None:
+        """Ask one worker to shut down cleanly."""
+        if self.processes[index].is_alive():
+            self._stop_events[index].set()
+        self.processes[index].join(timeout=30)
+
+    def gossip_once(self) -> SharedHotspotRegistry:
+        assert self.router is not None
+        return self.router.gossip_once()
+
+    def stop(self) -> None:
+        if self.router is not None:
+            with contextlib.suppress(Exception):
+                self.router.stop()
+            self.router = None
+        for process, event in zip(self.processes, self._stop_events):
+            # Never touch a dead worker's event: setting it blocks on
+            # an ack from the (SIGKILLed) waiter that will never come.
+            if process.is_alive():
+                with contextlib.suppress(Exception):
+                    event.set()
+        for process in self.processes:
+            process.join(timeout=10)
+        for process in self.processes:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=10)
+        self.processes.clear()
+        self._stop_events.clear()
+        self.worker_ports.clear()
+
+    def __enter__(self) -> "ProcessCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _snake_walk(grid, start: TileKey, steps: int) -> list[tuple[Move, TileKey]]:
+    """Deterministic walk: zoom to the deepest level, then snake."""
+    walk: list[tuple[Move, TileKey]] = []
+    key = start
+    while key.level < grid.deepest_level and len(walk) < steps:
+        nxt = grid.apply(key, Move.ZOOM_IN_NW)
+        if nxt is None:
+            break
+        walk.append((Move.ZOOM_IN_NW, nxt))
+        key = nxt
+    horizontal = Move.PAN_RIGHT
+    while len(walk) < steps:
+        nxt = grid.apply(key, horizontal)
+        if nxt is None:
+            horizontal = (
+                Move.PAN_LEFT
+                if horizontal == Move.PAN_RIGHT
+                else Move.PAN_RIGHT
+            )
+            nxt = grid.apply(key, Move.PAN_DOWN) or grid.apply(
+                key, Move.PAN_UP
+            )
+            if nxt is None:
+                break
+            walk.append((Move.PAN_DOWN, nxt))
+        else:
+            walk.append((horizontal, nxt))
+        key = nxt
+    return walk
+
+
+def main(argv=None) -> int:
+    from repro.middleware.config import CacheConfig, PrefetchPolicy
+    from repro.middleware.net import SocketTransport
+    from repro.modis.dataset import MODISDataset
+
+    parser = argparse.ArgumentParser(
+        prog="repro.middleware.cluster",
+        description="Boot a local multi-process ForeCache cluster and "
+        "replay a deterministic trace through the router.",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--start-port", type=int, default=0)
+    parser.add_argument("--size", type=int, default=256)
+    parser.add_argument("--tile-size", type=int, default=32)
+    parser.add_argument("--sessions", type=int, default=2)
+    parser.add_argument("--steps", type=int, default=12)
+    parser.add_argument(
+        "--payload", choices=("json", "binary"), default="json"
+    )
+    parser.add_argument(
+        "--framing", choices=("lines", "length"), default="lines"
+    )
+    parser.add_argument("--push", action="store_true")
+    parser.add_argument(
+        "--kill-worker",
+        action="store_true",
+        help="hard-kill worker 0 halfway through the replay and assert "
+        "typed worker_unavailable errors surface cleanly",
+    )
+    parser.add_argument("--backend-delay", type=float, default=0.0)
+    args = parser.parse_args(argv)
+
+    config = ServiceConfig(
+        prefetch=PrefetchPolicy(push="on" if args.push else "off"),
+        cache=CacheConfig(backend_delay_seconds=args.backend_delay),
+    )
+    dataset = MODISDataset.build(
+        size=args.size, tile_size=args.tile_size, days=1, seed=7
+    )
+    grid = dataset.pyramid.grid
+    started = time.perf_counter()
+    served = 0
+    failures = 0
+    with ProcessCluster(
+        args.workers,
+        config=config,
+        size=args.size,
+        tile_size=args.tile_size,
+        start_port=args.start_port,
+        framing=args.framing,
+    ) as cluster:
+        host, port = cluster.address
+        print(
+            f"cluster up: {args.workers} worker(s) on ports "
+            f"{cluster.worker_ports}, router on {host}:{port}"
+        )
+        transport = SocketTransport(
+            host,
+            port,
+            framing=args.framing,
+            push=args.push,
+            payload=args.payload,
+        )
+        try:
+            print(
+                f"negotiated: push={transport.push_enabled} "
+                f"payload={transport.payload}"
+            )
+            clients = []
+            walks = []
+            for index in range(args.sessions):
+                clients.append(
+                    transport.connect(session_id=f"cli-user-{index + 1}")
+                )
+                walks.append(
+                    _snake_walk(grid, TileKey(0, 0, 0), args.steps)
+                )
+            total = sum(len(walk) for walk in walks)
+            half = total // 2
+            step = 0
+            for position in range(max(len(w) for w in walks)):
+                for client, walk in zip(clients, walks):
+                    if position >= len(walk):
+                        continue
+                    if args.kill_worker and step == half:
+                        print("killing worker 0 mid-replay")
+                        cluster.kill_worker(0)
+                    move, key = walk[position]
+                    try:
+                        client.request(move, key)
+                        served += 1
+                    except WorkerUnavailableError as exc:
+                        failures += 1
+                        print(f"typed worker error (retrying): {exc}")
+                        client.request(move, key)
+                        served += 1
+                    step += 1
+            for client in clients:
+                client.close()
+        finally:
+            transport.close()
+    elapsed = time.perf_counter() - started
+    print(
+        f"served {served} requests across {args.sessions} session(s) "
+        f"in {elapsed:.1f}s ({failures} typed worker error(s))"
+    )
+    if args.kill_worker and args.workers > 1 and failures == 0:
+        print("expected at least one typed worker_unavailable error")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -340,6 +340,21 @@ class ServiceConfig:
     #: every connection onto the JSON-compatible wire.  "json" is
     #: mandatory — it is the fallback every client can speak.
     payloads: tuple[str, ...] = ("json", "binary")
+    #: Cluster mode: virtual ring points per worker on the consistent-
+    #: hash ring.  More replicas smooth the partition (each worker owns
+    #: many small arcs instead of one big one) at the cost of a larger
+    #: sorted ring; 64 keeps the per-worker share within a few percent
+    #: of 1/N.
+    ring_replicas: int = 64
+    #: Cluster mode: seed mixed into every ring hash.  The ring is a
+    #: pure function of (seed, worker ids, replicas), so routers sharing
+    #: a seed agree on tile ownership across processes and restarts.
+    ring_seed: int = 0
+    #: Cluster mode: real seconds between hotspot gossip rounds (router
+    #: polls every worker's registry snapshot and rebroadcasts the
+    #: merged view).  0 (default) = no timer; tests and replays drive
+    #: rounds explicitly via ``TileServiceRouter.gossip_once()``.
+    gossip_interval: float = 0.0
 
     def __post_init__(self) -> None:
         # Capacity-vs-budget fit is NOT checked here: the serving cache
@@ -368,6 +383,14 @@ class ServiceConfig:
             raise ValueError(
                 'payloads must include "json" (the mandatory fallback), '
                 f"got {self.payloads!r}"
+            )
+        if self.ring_replicas < 1:
+            raise ValueError(
+                f"ring_replicas must be >= 1, got {self.ring_replicas}"
+            )
+        if self.gossip_interval < 0:
+            raise ValueError(
+                f"gossip_interval must be >= 0, got {self.gossip_interval}"
             )
 
     def build_latency_model(self) -> LatencyModel:

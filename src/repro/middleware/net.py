@@ -44,6 +44,7 @@ from collections import deque
 from dataclasses import replace
 
 from repro.core.engine import PredictionEngine
+from repro.core.popularity import SharedHotspotRegistry
 from repro.middleware import protocol
 from repro.middleware.aio import AsyncForeCacheService
 from repro.middleware.config import ServiceConfig
@@ -57,6 +58,7 @@ from repro.middleware.protocol import (
     FrameDecoder,
     FrameTooLargeError,
     Hello,
+    HotspotGossip,
     InvalidRequestError,
     OpenSession,
     ProtocolError,
@@ -524,12 +526,50 @@ class ForeCacheSocketServer:
                 return await self._serve_request(message, conn)
             if isinstance(message, PushAck):
                 return await self._serve_ack(message, conn)
+            if isinstance(message, HotspotGossip):
+                return self._serve_gossip(message)
             error = InvalidRequestError(
                 f"server cannot serve {type(message).__name__} messages"
             )
             return [ErrorInfo.from_exception(error)], False
         except Exception as exc:
             return [ErrorInfo.from_exception(exc)], False
+
+    def _serve_gossip(self, message: HotspotGossip):
+        """Absorb a popularity snapshot; reply with this node's own.
+
+        Cluster workers answer the router's gossip frames here: incoming
+        entries are max-merged into the shared registry (idempotent —
+        a rebroadcast that already contains this node's counts changes
+        nothing), and the reply is the post-absorb full snapshot, so
+        one round trip both delivers the cluster view and collects this
+        worker's contribution.
+        """
+        registry = self.service.service.hotspot_registry
+        if registry is None:
+            raise InvalidRequestError(
+                "this server shares no hotspot registry "
+                '(shared_hotspots is "off")'
+            )
+        if message.entries:
+            registry.merge_max(
+                SharedHotspotRegistry.from_snapshot(
+                    (
+                        (TileKey(level, x, y), weight)
+                        for level, x, y, weight in message.entries
+                    ),
+                    tick=message.tick,
+                    decay=registry.decay,
+                )
+            )
+        tick, entries = registry.gossip_snapshot()
+        reply = HotspotGossip(
+            entries=tuple(
+                (key.level, key.x, key.y, weight) for key, weight in entries
+            ),
+            tick=tick,
+        )
+        return [reply], False
 
     def _require_session(self, session_id: str, conn: _ConnectionState):
         if session_id not in conn.sessions:

@@ -123,6 +123,19 @@ class VersionMismatchError(ProtocolError, ValueError):
     code = "version_mismatch"
 
 
+class WorkerUnavailableError(ProtocolError, ConnectionError):
+    """The cluster worker owning the requested tile is down.
+
+    The router surfaces this instead of hanging the client; the request
+    is safe to retry — the ring has already re-mapped the dead worker's
+    partition onto the survivors.  Older clients that predate the code
+    degrade to the base :class:`ProtocolError` via
+    :meth:`ErrorInfo.to_exception`.
+    """
+
+    code = "worker_unavailable"
+
+
 ERROR_TYPES: dict[str, type[ProtocolError]] = {
     cls.code: cls
     for cls in (
@@ -134,6 +147,7 @@ ERROR_TYPES: dict[str, type[ProtocolError]] = {
         FramingError,
         FrameTooLargeError,
         VersionMismatchError,
+        WorkerUnavailableError,
     )
 }
 
@@ -760,6 +774,40 @@ class CloseSession:
         return cls(session_id=data["session_id"])
 
 
+@dataclass(frozen=True)
+class HotspotGossip:
+    """A popularity snapshot travelling between cluster nodes.
+
+    ``entries`` carries ``(level, x, y, weight)`` rows — a decayed
+    weight per hot tile — and ``tick`` the decay epoch the weights are
+    expressed at, so the receiver can bring both sides to a common tick
+    before merging.  Sent worker → router as the reply to the router's
+    own gossip frame (whose entries are the merged cluster view).  An
+    empty-entry frame is a valid "nothing hot here yet" snapshot.
+    Pre-cluster peers reject the unknown type with a typed
+    ``invalid_request`` error rather than desyncing the stream.
+    """
+
+    entries: tuple[tuple[int, int, int, float], ...] = ()
+    tick: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "entries": [list(entry) for entry in self.entries],
+            "tick": self.tick,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HotspotGossip":
+        return cls(
+            entries=tuple(
+                (int(lvl), int(x), int(y), float(w))
+                for lvl, x, y, w in data.get("entries", [])
+            ),
+            tick=int(data.get("tick", 0)),
+        )
+
+
 # ----------------------------------------------------------------------
 # envelope
 # ----------------------------------------------------------------------
@@ -774,6 +822,7 @@ MESSAGE_TYPES: dict[str, type] = {
     "welcome": Welcome,
     "open_session": OpenSession,
     "close_session": CloseSession,
+    "hotspot_gossip": HotspotGossip,
 }
 _TYPE_NAMES = {cls: name for name, cls in MESSAGE_TYPES.items()}
 

@@ -88,6 +88,50 @@ class TestAsyncLifecycle:
 
         run(scenario())
 
+    def test_lifecycle_never_hops_to_the_bridge_pool(self, small_dataset):
+        """open/close are served natively on the event loop.
+
+        The cluster router re-opens sessions on every failover, making
+        session lifecycle a hot path; it must stay pure loop-side
+        bookkeeping.  A counting shim over the bridge pool's ``submit``
+        proves no lifecycle call dispatches an executor job — while a
+        cache miss (the one genuinely blocking operation) still does.
+        """
+        grid = small_dataset.pyramid.grid
+
+        async def scenario():
+            async with AsyncForeCacheService.build(
+                small_dataset.pyramid,
+                ServiceConfig(prefetch=PrefetchPolicy(k=4)),
+            ) as service:
+                submits = 0
+                original = service._executor.submit
+
+                def counting_submit(*args, **kwargs):
+                    nonlocal submits
+                    submits += 1
+                    return original(*args, **kwargs)
+
+                service._executor.submit = counting_submit
+                try:
+                    session = await service.open_session(
+                        make_engine(grid), "native-1"
+                    )
+                    await session.info()
+                    await session.close()
+                    await service.open_session(make_engine(grid), "native-2")
+                    await service.close_session("native-2")
+                    assert submits == 0
+                    # Sanity: the shim does count — a cold-cache miss
+                    # must travel to the bridge pool.
+                    probe = await service.open_session(make_engine(grid))
+                    await probe.request(None, TileKey(0, 0, 0))
+                    assert submits == 1
+                finally:
+                    service._executor.submit = original
+
+        run(scenario())
+
 
 class TestAsyncConcurrency:
     def test_many_concurrent_sessions(self, small_dataset):

@@ -21,6 +21,7 @@ import pytest
 from repro.core.allocation import SingleModelStrategy
 from repro.core.engine import PredictionEngine
 from repro.middleware.client import AsyncBrowsingSession, BrowsingSession
+from repro.middleware.cluster import ThreadedClusterServer
 from repro.middleware.config import PrefetchPolicy, ServiceConfig
 from repro.middleware.latency import LatencyRecorder
 from repro.middleware.net import (
@@ -36,6 +37,8 @@ from repro.middleware.service import ForeCacheService
 from repro.middleware.transport import InProcessTransport, Transport
 from repro.recommenders.momentum import MomentumRecommender
 from repro.tiles.key import TileKey
+from repro.tiles.moves import Move
+from repro.users.session import Request, Trace
 
 CONFIG = ServiceConfig(prefetch=PrefetchPolicy(k=5))
 
@@ -564,3 +567,153 @@ class TestFidelityOffConformance:
         )
         assert degraded.to_dict()["fidelity"] == 0.25
         assert proto.decode(proto.encode(degraded)).fidelity == 0.25
+
+
+# ----------------------------------------------------------------------
+# the cluster front end: a router in the path changes nothing
+# ----------------------------------------------------------------------
+def replay_cluster(pyramid, trace, *, framing="lines", payload="json"):
+    """One trace through a 1-worker cluster, client side.
+
+    A single worker behind the consistent-hash router *is* the direct
+    socket path with an extra hop: every session opens on the one
+    worker, every request routes to it, and the router forwards frames
+    without touching their numerics.
+    """
+    with ThreadedClusterServer(
+        pyramid,
+        CONFIG,
+        workers=1,
+        engine_factory=engine_factory(pyramid),
+        framing=framing,
+    ) as cluster:
+        with SocketTransport(
+            *cluster.address, pyramid=pyramid, framing=framing, payload=payload
+        ) as transport:
+            conn = transport.connect()
+            responses = BrowsingSession(conn).replay(trace)
+            conn.close()
+            return responses
+
+
+def partition_local_traces(grid, ring, steps=12):
+    """One bounce-walk trace per ring node, confined to its partition.
+
+    Each trace alternates between an adjacent (left, right) tile pair
+    at the deepest level whose two keys share a ring owner, so every
+    request of that session routes to exactly one worker.
+    """
+    level = grid.deepest_level
+    pairs = {}
+    for key in grid.keys_at_level(level):
+        right = grid.apply(key, Move.PAN_RIGHT)
+        if right is None:
+            continue
+        owner = ring.owner(key)
+        if owner == ring.owner(right) and owner not in pairs:
+            pairs[owner] = (key, right)
+        if len(pairs) == len(ring.nodes):
+            break
+    traces = {}
+    for index, owner in enumerate(sorted(pairs)):
+        left, right = pairs[owner]
+        requests = [Request(index=0, tile=left, move=None)]
+        for step in range(steps):
+            if step % 2 == 0:
+                requests.append(
+                    Request(index=step + 1, tile=right, move=Move.PAN_RIGHT)
+                )
+            else:
+                requests.append(
+                    Request(index=step + 1, tile=left, move=Move.PAN_LEFT)
+                )
+        traces[owner] = Trace(user_id=index, task_id=0, requests=requests)
+    return traces
+
+
+class TestClusterConformance:
+    """Recorder-for-recorder identity through the router.
+
+    A 1-worker cluster must be bit-identical to the facade baseline on
+    both framings and both payload encodings; on an N-worker cluster,
+    a session whose trace stays inside one ring partition must see
+    exactly the single-node numbers.
+    """
+
+    @pytest.mark.parametrize("framing", ("lines", "length"))
+    def test_single_worker_cluster_matches_facade(
+        self, framing, small_dataset, replay_trace, baseline
+    ):
+        responses = replay_cluster(
+            small_dataset.pyramid, replay_trace, framing=framing
+        )
+        assert signature(responses) == signature(baseline)
+        assert client_recorder(responses).to_dict() == (
+            client_recorder(baseline).to_dict()
+        )
+
+    def test_single_worker_cluster_binary_matches_facade(
+        self, small_dataset, replay_trace, baseline
+    ):
+        responses = replay_cluster(
+            small_dataset.pyramid, replay_trace, payload="binary"
+        )
+        assert signature(responses) == signature(baseline)
+        assert client_recorder(responses).to_dict() == (
+            client_recorder(baseline).to_dict()
+        )
+        for wire, reference in zip(responses, baseline):
+            assert wire.tile.key == reference.tile.key
+            for name, array in reference.tile.attributes.items():
+                assert wire.tile.attributes[name].dtype == array.dtype
+                np.testing.assert_array_equal(wire.tile.attributes[name], array)
+
+    def test_partition_local_sessions_match_single_node(self, small_dataset):
+        pyramid = small_dataset.pyramid
+        with ThreadedClusterServer(
+            pyramid, CONFIG, workers=2, engine_factory=engine_factory(pyramid)
+        ) as cluster:
+            ring = cluster.router.router.ring
+            traces = partition_local_traces(pyramid.grid, ring)
+            # Both workers own at least one adjacent pair at this scale.
+            assert set(traces) == set(ring.nodes)
+            cluster_runs = {}
+            with SocketTransport(*cluster.address, pyramid=pyramid) as transport:
+                for owner in sorted(traces):
+                    conn = transport.connect()
+                    cluster_runs[owner] = BrowsingSession(conn).replay(
+                        traces[owner]
+                    )
+                    conn.close()
+        for owner in sorted(traces):
+            # The single-node truth: a dedicated cold server replaying
+            # only this session.
+            with ThreadedSocketServer(
+                pyramid, CONFIG, engine_factory=engine_factory(pyramid)
+            ) as server:
+                with SocketTransport(
+                    *server.address, pyramid=pyramid
+                ) as transport:
+                    conn = transport.connect()
+                    solo = BrowsingSession(conn).replay(traces[owner])
+                    conn.close()
+            assert signature(cluster_runs[owner]) == signature(solo)
+            assert client_recorder(cluster_runs[owner]).to_dict() == (
+                client_recorder(solo).to_dict()
+            )
+
+    @pytest.mark.bench
+    def test_momentum_figure_pin_through_the_cluster(self):
+        # The headline numeric: the momentum LOO latency average at
+        # size=256/users=4, k=5, replayed through a 1-worker cluster,
+        # equals the direct socket path recorder-for-recorder and the
+        # long-pinned figure value to the bit.
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.runner import replay_model_latency
+
+        context = ExperimentContext.build(size=256, num_users=4)
+        factory = lambda train: context.momentum_engine(train)
+        direct = replay_model_latency(context, factory, k=5, frontend="socket")
+        routed = replay_model_latency(context, factory, k=5, frontend="cluster")
+        assert routed.to_dict() == direct.to_dict()
+        assert routed.average_seconds == 0.22686750000000075
